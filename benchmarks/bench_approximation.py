@@ -1,0 +1,54 @@
+"""Experiment E8 — MinWork is an n-approximation of the makespan optimum.
+
+Measures the makespan ratio of MinWork's allocation against the exact
+branch-and-bound optimum on random workload families (mild ratios) and on
+the adversarial family (ratio -> n, showing the bound is tight).
+"""
+
+from _report import run_once, write_report
+
+from repro.analysis import (
+    adversarial_ratios,
+    random_workload_ratios,
+    render_table,
+)
+
+
+def run_measurements():
+    random_samples = random_workload_ratios(num_agents=4, num_tasks=5,
+                                            trials=6, seed=2)
+    adversarial_samples = adversarial_ratios((2, 3, 4, 5, 6))
+    return random_samples, adversarial_samples
+
+
+def test_approximation(benchmark):
+    random_samples, adversarial_samples = run_once(benchmark,
+                                                   run_measurements)
+
+    by_family = {}
+    for sample in random_samples:
+        assert 1.0 - 1e-9 <= sample.ratio <= sample.num_agents + 1e-9
+        family = by_family.setdefault(sample.workload, [])
+        family.append(sample.ratio)
+
+    rows = []
+    for family in sorted(by_family):
+        ratios = by_family[family]
+        rows.append([family, len(ratios), min(ratios),
+                     sum(ratios) / len(ratios), max(ratios)])
+
+    adversarial_rows = []
+    for sample in adversarial_samples:
+        assert abs(sample.ratio - sample.num_agents) < 1e-2
+        adversarial_rows.append([sample.num_agents, sample.minwork_makespan,
+                                 sample.optimal_makespan, sample.ratio])
+
+    report = "MinWork vs exact optimum: makespan ratios (n=4, m=5)\n"
+    report += render_table(
+        ["workload family", "instances", "min ratio", "mean ratio",
+         "max ratio"], rows)
+    report += "\n\nAdversarial family: the n-approximation bound is tight\n"
+    report += render_table(
+        ["n", "MinWork makespan", "optimal makespan", "ratio (-> n)"],
+        adversarial_rows)
+    write_report("approximation", report)

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the cryptographic primitives DMW is built on.
+
+Wall-clock benchmarks (pytest-benchmark statistics are meaningful here):
+modular exponentiation, Horner share evaluation, Lagrange interpolation,
+plaintext and exponent-space degree resolution, commitment generation and
+share verification.  These are the constants behind Theorem 12.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DMWParameters, encode_bid
+from repro.core.verification import verify_share_bundle
+from repro.crypto import (
+    PedersenCommitter,
+    Polynomial,
+    interpolate_at_zero,
+    resolve_degree,
+    resolve_degree_in_exponent,
+)
+from repro.crypto.groups import fixture_group
+
+PARAMS = fixture_group("small")
+GROUP = PARAMS.group
+RNG = random.Random(7)
+POINTS = list(range(1, 13))
+
+
+def test_modular_exponentiation(benchmark):
+    base = PARAMS.z1
+    exponent = RNG.randrange(GROUP.q)
+    benchmark(lambda: GROUP.exp(base, exponent))
+
+
+def test_polynomial_evaluation(benchmark):
+    poly = Polynomial.random(10, GROUP.q, RNG)
+    benchmark(lambda: poly.evaluate(7))
+
+
+def test_lagrange_interpolation(benchmark):
+    poly = Polynomial.random(8, GROUP.q, RNG)
+    values = [poly.evaluate(x) for x in POINTS[:9]]
+    benchmark(lambda: interpolate_at_zero(POINTS[:9], values, GROUP.q))
+
+
+def test_degree_resolution_plaintext(benchmark):
+    poly = Polynomial.random(8, GROUP.q, RNG)
+    values = [poly.evaluate(x) for x in POINTS]
+    result = benchmark(lambda: resolve_degree(POINTS, values, GROUP.q))
+    assert result == 8
+
+
+@pytest.mark.parametrize("incremental", [True, False],
+                         ids=["incremental", "naive"])
+def test_degree_resolution_exponent(benchmark, incremental):
+    """Ablation: incremental weight updates vs recomputation per candidate
+    (the difference between O(n^2) and O(n^3) weight work)."""
+    poly = Polynomial.random(8, GROUP.q, RNG)
+    values = [GROUP.exp(PARAMS.z1, poly.evaluate(x)) for x in POINTS]
+    result = benchmark(lambda: resolve_degree_in_exponent(
+        GROUP, POINTS, values, incremental=incremental))
+    assert result == 8
+
+
+def test_pedersen_commitment(benchmark):
+    committer = PedersenCommitter(PARAMS)
+    value, blinding = RNG.randrange(GROUP.q), RNG.randrange(GROUP.q)
+    benchmark(lambda: committer.commit(value, blinding))
+
+
+def test_bid_encoding(benchmark):
+    """Full step II.1: four polynomials + three commitment vectors."""
+    parameters = DMWParameters.generate(8, fault_bound=1,
+                                        group_parameters=PARAMS)
+    benchmark(lambda: encode_bid(parameters, 3, RNG))
+
+
+def test_share_bundle_verification(benchmark):
+    """Full step III.1 check for one received bundle (eqs. (7)-(9))."""
+    parameters = DMWParameters.generate(8, fault_bound=1,
+                                        group_parameters=PARAMS)
+    package = encode_bid(parameters, 3, RNG)
+    alpha = parameters.pseudonyms[2]
+    bundle = package.share_bundle_for(alpha)
+    result = benchmark(lambda: verify_share_bundle(
+        parameters, package.commitments, alpha, bundle))
+    assert result

@@ -1,0 +1,67 @@
+"""Experiments E5/E6 — Theorems 5 and 9: faithfulness and strong
+voluntary participation, measured.
+
+Runs the full deviation-strategy matrix (every family from the Theorem 4
+proof, each tried by several agents on several instances) and reports the
+utility gains — all must be <= 0 — and the minimum honest-bystander
+utility — all must be >= 0.
+"""
+
+import random
+
+from _report import run_once, write_report
+
+from repro.analysis import (
+    faithfulness_violations,
+    participation_violations,
+    render_table,
+    run_deviation_matrix,
+)
+from repro.core import DMWParameters, standard_deviations
+from repro.scheduling import workloads
+
+
+def run_matrix():
+    parameters = DMWParameters.generate(5, fault_bound=1)
+    rng = random.Random(3)
+    all_outcomes = []
+    for instance in range(3):
+        problem = workloads.random_discrete(5, 2, parameters.bid_values, rng)
+        all_outcomes.extend(run_deviation_matrix(
+            problem, parameters, deviant_indices=[0, 2, 4],
+            seed=instance,
+        ))
+    return all_outcomes
+
+
+def test_faithfulness(benchmark):
+    outcomes = run_once(benchmark, run_matrix)
+
+    assert faithfulness_violations(outcomes) == []
+    assert participation_violations(outcomes) == []
+
+    by_strategy = {}
+    for outcome in outcomes:
+        record = by_strategy.setdefault(outcome.strategy, {
+            "runs": 0, "max_gain": float("-inf"), "completed": 0,
+            "min_bystander": float("inf"),
+        })
+        record["runs"] += 1
+        record["max_gain"] = max(record["max_gain"], outcome.gain)
+        record["completed"] += 1 if outcome.completed else 0
+        record["min_bystander"] = min(record["min_bystander"],
+                                      outcome.min_honest_utility)
+
+    rows = []
+    for strategy in sorted(standard_deviations()):
+        record = by_strategy[strategy]
+        rows.append([strategy, record["runs"], record["max_gain"],
+                     "%d/%d" % (record["completed"], record["runs"]),
+                     record["min_bystander"]])
+
+    report = ("Theorems 5 & 9 as experiments: %d deviation runs, "
+              "0 profitable, 0 bystander losses\n" % len(outcomes))
+    report += render_table(
+        ["deviation strategy", "runs", "max utility gain",
+         "runs completed", "min bystander utility"], rows)
+    write_report("faithfulness", report)

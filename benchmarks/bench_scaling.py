@@ -1,0 +1,52 @@
+"""Wall-clock scaling of full DMW executions.
+
+Complements the *counted* costs of the Table 1 benches with end-to-end
+wall-clock timings of honest protocol runs at several sizes, plus the
+centralized baseline for contrast.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DMWParameters
+from repro.core.protocol import run_dmw
+from repro.mechanisms import MinWork, truthful_bids
+from repro.scheduling import workloads
+
+
+def dmw_runner(n, m, group_size="small"):
+    parameters = DMWParameters.generate(n, fault_bound=1,
+                                        group_size=group_size)
+    problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                        random.Random(0))
+
+    def run():
+        outcome = run_dmw(problem, parameters=parameters,
+                          rng=random.Random(1))
+        assert outcome.completed
+        return outcome
+
+    return run
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_dmw_scaling_in_agents(benchmark, n):
+    benchmark.pedantic(dmw_runner(n, 2), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("m", [1, 4, 8])
+def test_dmw_scaling_in_tasks(benchmark, m):
+    benchmark.pedantic(dmw_runner(6, m), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("group_size", ["tiny", "small", "medium"])
+def test_dmw_scaling_in_group_size(benchmark, group_size):
+    benchmark.pedantic(dmw_runner(6, 2, group_size), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_minwork_baseline(benchmark, n):
+    problem = workloads.uniform_random(n, 2, random.Random(0))
+    mechanism = MinWork()
+    benchmark(lambda: mechanism.run(truthful_bids(problem)))

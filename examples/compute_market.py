@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""A decentralized compute market: the workload the paper's intro motivates.
+
+Scenario: ``n`` independent providers (different administrative domains —
+no provider trusts any other to run the auction) offer to execute ``m``
+batch jobs.  Each provider privately knows how long each job would take on
+its hardware.  The jobs are auctioned with Distributed MinWork: providers
+jointly compute who runs what and at what price, with no trusted center,
+and losing providers' quotes stay private.
+
+The script:
+
+1. generates a heterogeneous provider market (machine-correlated speeds:
+   some providers are uniformly faster);
+2. discretizes quotes onto the published bid set ``W`` (DMW bids are
+   discrete by construction);
+3. runs DMW, prints the market outcome, and compares provider revenue to
+   the centralized mechanism;
+4. demonstrates the privacy property on the transcript.
+
+Run:  python examples/compute_market.py
+"""
+
+import random
+
+from repro import MinWork, run_dmw, truthful_bids
+from repro.core import DMWParameters
+from repro.scheduling import workloads
+
+NUM_PROVIDERS = 8
+NUM_JOBS = 5
+FAULT_BOUND = 2
+
+
+def main():
+    rng = random.Random(42)
+    parameters = DMWParameters.generate(NUM_PROVIDERS,
+                                        fault_bound=FAULT_BOUND)
+    print("Published market parameters:")
+    print("  providers n=%d, fault bound c=%d" % (NUM_PROVIDERS, FAULT_BOUND))
+    print("  bid set W=%s, sigma=%d"
+          % (list(parameters.bid_values), parameters.sigma))
+    print("  Schnorr group: |p|=%d bits, |q|=%d bits"
+          % (parameters.group.p_bits, parameters.group.q.bit_length()))
+
+    # Heterogeneous providers: per-provider speeds over per-job sizes.
+    continuous = workloads.machine_correlated(NUM_PROVIDERS, NUM_JOBS, rng)
+    market = workloads.discretize_to_bid_set(continuous,
+                                             parameters.bid_values)
+    print("\nQuotes (hours, discretized to W):")
+    header = "            " + "".join("job%-4d" % j for j in range(NUM_JOBS))
+    print(header)
+    for provider in range(NUM_PROVIDERS):
+        row = "".join("%-7d" % int(market.time(provider, j))
+                      for j in range(NUM_JOBS))
+        print("  provider%-2d %s" % (provider, row))
+
+    outcome = run_dmw(market, parameters=parameters, rng=random.Random(7))
+    assert outcome.completed, outcome.abort
+
+    print("\nMarket clearing (distributed, no auctioneer):")
+    for transcript in outcome.transcripts:
+        print("  job %d -> provider %d at price %d (winning quote %d)"
+              % (transcript.task, transcript.winner,
+                 transcript.second_price, transcript.first_price))
+
+    print("\nProvider economics:")
+    print("  %-10s %-8s %-8s %-8s" % ("provider", "revenue", "cost",
+                                      "profit"))
+    for provider in range(NUM_PROVIDERS):
+        revenue = outcome.payments[provider]
+        cost = -outcome.schedule.valuation(provider, market)
+        print("  %-10d %-8.0f %-8.0f %+8.0f"
+              % (provider, revenue, cost, revenue - cost))
+
+    centralized = MinWork().run(truthful_bids(market))
+    assert centralized.schedule == outcome.schedule
+    assert list(centralized.payments) == list(outcome.payments)
+    print("\nSanity: identical to a (hypothetical) trusted auctioneer.")
+
+    # The privacy story: what the public transcript reveals.
+    print("\nTranscript disclosure (Theorem 10's remark):")
+    print("  revealed per job: winner pseudonym, first price, second price")
+    print("  NOT revealed: losing providers' quotes "
+          "(requires > c+1 = %d colluders to expose any)"
+          % (FAULT_BOUND + 1))
+    print("  messages exchanged: %d over %d synchronous rounds"
+          % (outcome.network_metrics.point_to_point_messages,
+             outcome.network_metrics.rounds))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Privacy demonstration: mounting the collusion attack of Theorem 10.
+
+DMW hides losing bids behind degree-encoded secret sharing.  A coalition
+of agents can pool the shares it legitimately received and try to
+reconstruct a target's bid polynomial.  Theorem 10 says the attack fails
+when fewer than ``c`` agents collude, and that lower (better) bids need
+*more* colluders to expose.
+
+This script runs the honest protocol, then mounts the attack with every
+coalition size, reporting which bids fall and confirming the measured
+thresholds match the theory: a bid ``y`` (encoded at degree
+``tau = sigma - y``) falls to exactly ``tau + 1`` colluders.
+
+Run:  python examples/privacy_collusion.py
+"""
+
+import random
+
+from repro.analysis import render_table, run_collusion_experiment
+from repro.core import DMWParameters
+from repro.scheduling import workloads
+
+
+def main():
+    parameters = DMWParameters.generate(6, fault_bound=1)
+    rng = random.Random(17)
+    problem = workloads.random_discrete(6, 2, parameters.bid_values, rng)
+    print("Parameters: n=6, c=%d, W=%s, sigma=%d"
+          % (parameters.fault_bound, list(parameters.bid_values),
+             parameters.sigma))
+    print("A bid y is encoded at degree tau = sigma - y; exposing it "
+          "takes tau + 1 colluders.\n")
+
+    print("True values (private!):")
+    for agent, row in enumerate(problem.times):
+        print("  A%d: %s" % (agent + 1, [int(v) for v in row]))
+
+    for size in range(1, 6):
+        coalition = list(range(size))
+        results = run_collusion_experiment(problem, parameters, coalition)
+        rows = []
+        for result in results:
+            rows.append([
+                "A%d" % (result.target + 1),
+                result.task,
+                result.true_bid,
+                result.required_colluders,
+                result.exposed,
+                result.inferred_bid if result.exposed else "-",
+            ])
+        exposed = sum(1 for r in results if r.exposed)
+        print("\nCoalition {A1..A%d} (%d colluders): exposed %d/%d bids"
+              % (size, size, exposed, len(results)))
+        print(render_table(
+            ["target", "task", "true bid", "colluders needed", "exposed",
+             "inferred"],
+            rows,
+        ))
+
+    print("\nReading the thresholds: with c = %d, coalitions of size "
+          "<= c + 1 = %d expose nothing;" % (parameters.fault_bound,
+                                             parameters.fault_bound + 1))
+    print("larger coalitions peel off the highest (worst) bids first — "
+          "exactly Theorem 10's 'inversely proportional' clause.")
+
+
+if __name__ == "__main__":
+    main()

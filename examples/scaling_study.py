@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Scaling study: regenerate the shape of Table 1 interactively.
+
+Sweeps the number of agents ``n``, the number of tasks ``m``, and the
+cryptographic group size ``log p``, printing measured message counts and
+per-agent modular work for centralized MinWork vs DMW, plus the fitted
+log-log scaling exponents next to the paper's predictions.
+
+This is the human-readable companion of the pytest-benchmark targets
+``benchmarks/bench_table1_*.py`` (which EXPERIMENTS.md records).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis import (
+    fit_loglog_slope,
+    measure_dmw,
+    measure_minwork,
+    render_table,
+    sweep_agents,
+    sweep_group_size,
+    sweep_tasks,
+)
+
+
+def print_sweep(title, samples, axis_name, axis):
+    rows = [[getattr(s, "num_agents"), getattr(s, "num_tasks"),
+             s.messages, s.field_elements, s.computation] for s in samples]
+    print("\n%s" % title)
+    print(render_table(["n", "m", "messages", "field elems", "mod work"],
+                       rows))
+    message_slope = fit_loglog_slope(axis, [s.messages for s in samples])
+    work_slope = fit_loglog_slope(axis, [s.computation for s in samples])
+    print("fitted exponents vs %s: messages %.2f, computation %.2f"
+          % (axis_name, message_slope, work_slope))
+
+
+def main():
+    print("Table 1 (paper): MinWork Theta(mn)/Theta(mn); "
+          "DMW Theta(mn^2)/O(mn^2 log p)")
+
+    agents = (4, 6, 8, 10, 12)
+    tasks = (1, 2, 4, 6, 8)
+
+    samples = sweep_agents(agents, num_tasks=2, measure=measure_minwork)
+    print_sweep("MinWork, sweep n (m=2) — predicted exponent 1",
+                samples, "n", [s.num_agents for s in samples])
+
+    samples = sweep_agents(agents, num_tasks=2, measure=measure_dmw)
+    print_sweep("DMW, sweep n (m=2) — predicted exponent 2",
+                samples, "n", [s.num_agents for s in samples])
+
+    samples = sweep_tasks(tasks, num_agents=6, measure=measure_minwork)
+    print_sweep("MinWork, sweep m (n=6) — predicted exponent 1",
+                samples, "m", [s.num_tasks for s in samples])
+
+    samples = sweep_tasks(tasks, num_agents=6, measure=measure_dmw)
+    print_sweep("DMW, sweep m (n=6) — predicted exponent 1",
+                samples, "m", [s.num_tasks for s in samples])
+
+    print("\nDMW, sweep group size (n=6, m=2) — the log p factor:")
+    samples = sweep_group_size(("tiny", "small", "medium"), num_agents=6,
+                               num_tasks=2)
+    rows = [[s.p_bits, s.messages, s.computation] for s in samples]
+    print(render_table(["|p| bits", "messages", "mod work"], rows))
+    work_slope = fit_loglog_slope([s.p_bits for s in samples],
+                                  [s.computation for s in samples])
+    print("fitted computation exponent vs |p|: %.2f (predicted ~1; "
+          "messages must stay flat)" % work_slope)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — Distributed Algorithmic Mechanism Design for Scheduling (DMW).
+
+A from-scratch reproduction of Carroll & Grosu's *Distributed MinWork*
+mechanism (PODC 2005 brief announcement; full version in JPDC 71, 2011):
+a fully distributed, faithful implementation of Nisan-Ronen's truthful
+MinWork scheduling mechanism, built on degree-encoded secret sharing,
+Pedersen commitments, and distributed polynomial degree resolution.
+
+Quick start::
+
+    import random
+    from repro import run_dmw, MinWork, truthful_bids
+    from repro.scheduling import workloads
+
+    problem = workloads.random_discrete(num_agents=5, num_tasks=3,
+                                        bid_values=[1, 2, 3],
+                                        rng=random.Random(7))
+    outcome = run_dmw(problem)              # distributed, no trusted center
+    result = MinWork().run(truthful_bids(problem))   # centralized baseline
+    assert outcome.schedule == result.schedule
+    assert list(outcome.payments) == list(result.payments)
+
+Package layout: :mod:`repro.crypto` (primitives), :mod:`repro.scheduling`
+(problem model), :mod:`repro.mechanisms` (centralized baselines),
+:mod:`repro.network` (synchronous simulator), :mod:`repro.core` (DMW),
+:mod:`repro.analysis` (experiment drivers).
+"""
+
+from . import serialization
+from .core import (
+    DMWAgent,
+    DMWOutcome,
+    DMWParameters,
+    DMWProtocol,
+    ProtocolAbort,
+    audit_protocol_run,
+    run_dmw,
+)
+from .mechanisms import MechanismResult, MinWork, truthful_bids
+from .scheduling import Schedule, SchedulingProblem, Task
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DMWAgent",
+    "DMWOutcome",
+    "DMWParameters",
+    "DMWProtocol",
+    "MechanismResult",
+    "MinWork",
+    "ProtocolAbort",
+    "Schedule",
+    "SchedulingProblem",
+    "Task",
+    "audit_protocol_run",
+    "run_dmw",
+    "serialization",
+    "truthful_bids",
+    "__version__",
+]

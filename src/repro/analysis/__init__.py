@@ -1,0 +1,109 @@
+"""Experiment drivers: complexity (Table 1), faithfulness, privacy,
+approximation, and table rendering."""
+
+from .approximation import (
+    RatioSample,
+    adversarial_ratios,
+    measure_ratio,
+    random_workload_ratios,
+)
+from .complexity import (
+    CostSample,
+    ScalingFit,
+    fit_loglog_slope,
+    measure_dmw,
+    measure_minwork,
+    run_centralized_minwork_over_network,
+    sweep_agents,
+    sweep_group_size,
+    sweep_tasks,
+    table1_fits,
+)
+from .faithfulness import (
+    DeviationOutcome,
+    check_dmw_truthfulness_exhaustive,
+    evaluate_deviation,
+    faithfulness_violations,
+    honest_factory,
+    participation_violations,
+    run_deviation_matrix,
+    run_with_agents,
+)
+from .cartel import (
+    CartelOutcome,
+    best_cartel_gain,
+    cartel_experiment,
+    price_inflation_rows,
+)
+from .frugality import (
+    FrugalityReport,
+    frugality_by_competition,
+    frugality_of,
+)
+from .leakage import (
+    LeakageReport,
+    consistent_loser_profiles,
+    entropy_bits,
+    leakage_report,
+    posterior_marginals,
+    repeated_execution_leakage,
+)
+from .resilience import (
+    ResilienceRow,
+    completion_with_deviators,
+    resilience_sweep,
+)
+from .privacy import (
+    AttackResult,
+    attack_shares,
+    exposure_by_coalition_size,
+    run_collusion_experiment,
+)
+from .tables import format_cell, render_table
+
+__all__ = [
+    "AttackResult",
+    "CartelOutcome",
+    "CostSample",
+    "DeviationOutcome",
+    "FrugalityReport",
+    "frugality_by_competition",
+    "frugality_of",
+    "LeakageReport",
+    "RatioSample",
+    "ResilienceRow",
+    "ScalingFit",
+    "best_cartel_gain",
+    "cartel_experiment",
+    "completion_with_deviators",
+    "price_inflation_rows",
+    "resilience_sweep",
+    "consistent_loser_profiles",
+    "entropy_bits",
+    "leakage_report",
+    "posterior_marginals",
+    "repeated_execution_leakage",
+    "adversarial_ratios",
+    "attack_shares",
+    "check_dmw_truthfulness_exhaustive",
+    "evaluate_deviation",
+    "exposure_by_coalition_size",
+    "faithfulness_violations",
+    "fit_loglog_slope",
+    "format_cell",
+    "honest_factory",
+    "measure_dmw",
+    "measure_minwork",
+    "measure_ratio",
+    "participation_violations",
+    "random_workload_ratios",
+    "render_table",
+    "run_centralized_minwork_over_network",
+    "run_collusion_experiment",
+    "run_deviation_matrix",
+    "run_with_agents",
+    "sweep_agents",
+    "sweep_group_size",
+    "sweep_tasks",
+    "table1_fits",
+]

@@ -1,0 +1,36 @@
+"""Sealed-bid auction substrate: the (M+1)st-price auction DMW builds on.
+
+:mod:`.sealed_bid` gives the centralized reference semantics (Vickrey and
+(M+1)st-price); :mod:`.distributed` implements Kikuchi's degree-encoded
+distributed protocol ([23] in the paper) in the honest-but-curious model,
+making concrete exactly what DMW adds: commitments, verifiability, and
+faithfulness against active deviation.
+"""
+
+from .distributed import (
+    AuctionError,
+    AuctionParameters,
+    DistributedAuctionBidder,
+    DistributedMPlus1Auction,
+    run_distributed_auction,
+)
+from .sealed_bid import (
+    AuctionResult,
+    check_auction_truthfulness,
+    first_price_auction,
+    mplus1_price_auction,
+    vickrey_auction,
+)
+
+__all__ = [
+    "AuctionError",
+    "AuctionParameters",
+    "AuctionResult",
+    "DistributedAuctionBidder",
+    "DistributedMPlus1Auction",
+    "check_auction_truthfulness",
+    "first_price_auction",
+    "mplus1_price_auction",
+    "run_distributed_auction",
+    "vickrey_auction",
+]

@@ -1,0 +1,319 @@
+"""Kikuchi's distributed (M+1)st-price auction, computed by the bidders.
+
+This is the substrate DMW generalizes from ([23] in the paper): the
+``M`` highest of ``n`` bidders win one item each and pay the ``(M+1)``-st
+highest bid, computed *distributedly* through degree-encoded secret
+sharing — here, as in DMW, by the bidders themselves rather than by
+Kikuchi's trusted auctioneer set.
+
+Encoding (a *max* auction, so the degree is **directly** related to the
+bid, unlike DMW's inverse encoding):
+
+* bids come from a published discrete set ``W = {w_1 < ... < w_k}``;
+* bidder ``i`` with bid ``y`` shares a random zero-constant-term
+  polynomial ``e_i`` of degree ``y + c`` (the ``+c`` is the same
+  collusion-resilience padding DMW uses);
+* the sum ``E = sum e_i`` has degree ``max_i (y_i + c)``: degree
+  resolution on the summed shares reveals the *highest* bid and nothing
+  about the others;
+* the top bidder is excluded (its shares are publicly subtracted) and
+  resolution repeats — ``M`` rounds identify the ``M`` winners, and the
+  ``(M+1)``-st resolution value is the price.
+
+Trust model: this module implements the *honest-but-curious* variant that
+Kikuchi's original protocol analyzes (participants follow the protocol
+but pool information to learn bids) — there are no commitments, so active
+bid manipulation is not detected here.  Hardening it to the full DMW
+threat model is exactly the contribution of the paper, realized in
+:mod:`repro.core`; this module exists to make that delta concrete and to
+reproduce the substrate's own properties (correctness vs the centralized
+reference, loser privacy, message costs).
+
+Winner identification: bidders whose bid equals the resolved maximum
+announce themselves and *open* their polynomial's shares (winners' bids
+become public — inherent to the auction, as in DMW); the opening is
+checked by interpolating the claimed degree against the shares every
+bidder holds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.interpolation import resolve_degree
+from ..crypto.modular import NULL_COUNTER, OperationCounter
+from ..crypto.polynomials import Polynomial
+from ..network.metrics import NetworkMetrics
+from ..network.simulator import SynchronousNetwork
+from .sealed_bid import AuctionResult
+
+
+class AuctionError(Exception):
+    """Raised when the distributed auction cannot complete."""
+
+
+@dataclass(frozen=True)
+class AuctionParameters:
+    """Published parameters of one distributed (M+1)st-price auction.
+
+    Attributes
+    ----------
+    modulus:
+        The field prime ``q`` shares live in.
+    pseudonyms:
+        One non-zero, distinct-mod-q evaluation point per bidder.
+    bid_values:
+        The published discrete bid set ``W`` (ascending).
+    collusion_bound:
+        ``c`` — degrees are padded by ``c`` so that ``c`` colluders learn
+        nothing about any losing bid.
+    """
+
+    modulus: int
+    pseudonyms: Tuple[int, ...]
+    bid_values: Tuple[int, ...]
+    collusion_bound: int
+
+    def __post_init__(self) -> None:
+        n = len(self.pseudonyms)
+        if n < 2:
+            raise ValueError("need at least two bidders")
+        reduced = [p % self.modulus for p in self.pseudonyms]
+        if len(set(reduced)) != n or 0 in reduced:
+            raise ValueError("pseudonyms must be distinct and non-zero")
+        bids = self.bid_values
+        if not bids or list(bids) != sorted(set(bids)) or bids[0] < 1:
+            raise ValueError("bid set must be strictly increasing positives")
+        if self.collusion_bound < 0:
+            raise ValueError("collusion bound must be non-negative")
+        if self.degree_for_bid(bids[-1]) > n - 1:
+            raise ValueError(
+                "largest degree %d unresolvable from %d shares"
+                % (self.degree_for_bid(bids[-1]), n)
+            )
+
+    @property
+    def num_bidders(self) -> int:
+        return len(self.pseudonyms)
+
+    def degree_for_bid(self, bid: int) -> int:
+        """``degree = bid + c`` (direct relation: max auction)."""
+        if bid not in self.bid_values:
+            raise ValueError("bid %r not in W=%s" % (bid,
+                                                     list(self.bid_values)))
+        return bid + self.collusion_bound
+
+    def bid_for_degree(self, degree: int) -> int:
+        bid = degree - self.collusion_bound
+        if bid not in self.bid_values:
+            raise ValueError("degree %d encodes no legal bid" % degree)
+        return bid
+
+    def degree_candidates(self) -> List[int]:
+        """Candidate degrees for resolution, ascending."""
+        return [self.degree_for_bid(bid) for bid in self.bid_values]
+
+    @classmethod
+    def generate(cls, num_bidders: int, collusion_bound: int = 1,
+                 bid_values: Optional[Sequence[int]] = None,
+                 modulus: int = 2 ** 61 - 1) -> "AuctionParameters":
+        """Standard parameters: pseudonyms ``1..n``, maximal legal ``W``."""
+        if bid_values is None:
+            top = num_bidders - collusion_bound - 1
+            if top < 1:
+                raise ValueError("no legal bid set for n=%d, c=%d"
+                                 % (num_bidders, collusion_bound))
+            bid_values = range(1, top + 1)
+        return cls(modulus=modulus,
+                   pseudonyms=tuple(range(1, num_bidders + 1)),
+                   bid_values=tuple(bid_values),
+                   collusion_bound=collusion_bound)
+
+
+@dataclass
+class _BidderState:
+    polynomial: Optional[Polynomial] = None
+    #: shares received from every bidder (index -> value at own pseudonym)
+    received: Dict[int, int] = field(default_factory=dict)
+
+
+class DistributedAuctionBidder:
+    """One honest-but-curious bidder."""
+
+    def __init__(self, index: int, parameters: AuctionParameters,
+                 valuation: int, rng: Optional[random.Random] = None) -> None:
+        self.index = index
+        self.parameters = parameters
+        self.valuation = int(valuation)
+        self.rng = rng or random.Random(index)
+        self.counter = OperationCounter()
+        self.state = _BidderState()
+
+    @property
+    def pseudonym(self) -> int:
+        return self.parameters.pseudonyms[self.index]
+
+    def choose_bid(self) -> int:
+        """Truthful by default; override to model misreporting."""
+        return self.valuation
+
+    def encode(self) -> Dict[int, int]:
+        """Draw the bid polynomial; return per-recipient shares."""
+        degree = self.parameters.degree_for_bid(self.choose_bid())
+        self.state.polynomial = Polynomial.random(
+            degree, self.parameters.modulus, self.rng,
+            zero_constant_term=True,
+        )
+        shares = {}
+        for recipient, pseudonym in enumerate(self.parameters.pseudonyms):
+            value = self.state.polynomial.evaluate(pseudonym, self.counter)
+            if recipient == self.index:
+                self.state.received[self.index] = value
+            else:
+                shares[recipient] = value
+        return shares
+
+    def receive(self, sender: int, value: int) -> None:
+        self.state.received[sender] = value
+
+    def summed_share(self, excluded: Sequence[int]) -> int:
+        """This bidder's share of ``E`` minus the excluded polynomials."""
+        total = 0
+        for sender, value in self.state.received.items():
+            if sender not in excluded:
+                total = (total + value) % self.parameters.modulus
+        return total
+
+    def open_polynomial(self) -> Polynomial:
+        """Publish the full bid polynomial (winners only — reveals the bid)."""
+        return self.state.polynomial
+
+
+class DistributedMPlus1Auction:
+    """Orchestrates the auction over the synchronous network."""
+
+    def __init__(self, parameters: AuctionParameters,
+                 bidders: Sequence[DistributedAuctionBidder]) -> None:
+        if len(bidders) != parameters.num_bidders:
+            raise ValueError("bidder count mismatch")
+        self.parameters = parameters
+        self.bidders = list(bidders)
+        self.network = SynchronousNetwork(parameters.num_bidders)
+
+    def _resolve(self, excluded: Sequence[int],
+                 counter: OperationCounter) -> int:
+        """Publish summed shares (minus ``excluded``) and resolve a degree."""
+        for bidder in self.bidders:
+            self.network.publish(bidder.index, "summed_share",
+                                 (tuple(sorted(excluded)),
+                                  bidder.summed_share(excluded)),
+                                 field_elements=1)
+        self.network.deliver()
+        values: Dict[int, int] = {}
+        for bidder in self.bidders:
+            for message in self.network.receive(bidder.index, "summed_share"):
+                _, value = message.payload
+                values[message.sender] = value
+        points = [self.parameters.pseudonyms[i] for i in sorted(values)]
+        share_values = [values[i] for i in sorted(values)]
+        degree = resolve_degree(points, share_values,
+                                self.parameters.modulus,
+                                candidates=self.parameters.degree_candidates(),
+                                counter=counter)
+        if degree is None:
+            raise AuctionError(
+                "degree resolution failed with %d bidders excluded"
+                % len(excluded)
+            )
+        return degree
+
+    def _identify_top_bidder(self, top_bid: int,
+                             excluded: Sequence[int],
+                             counter: OperationCounter) -> int:
+        """Claimants open their polynomials; verify degree; lowest
+        pseudonym wins the round."""
+        claimants = []
+        for bidder in self.bidders:
+            if bidder.index in excluded:
+                continue
+            if bidder.choose_bid() == top_bid:
+                self.network.publish(bidder.index, "opening",
+                                     bidder.open_polynomial(),
+                                     field_elements=top_bid
+                                     + self.parameters.collusion_bound)
+                claimants.append(bidder.index)
+        self.network.deliver()
+        openings: Dict[int, Polynomial] = {}
+        for bidder in self.bidders:
+            for message in self.network.receive(bidder.index, "opening"):
+                openings[message.sender] = message.payload
+        verified = []
+        expected_degree = self.parameters.degree_for_bid(top_bid)
+        for claimant in sorted(openings):
+            polynomial = openings[claimant]
+            if polynomial.degree != expected_degree:
+                continue
+            # Every bidder checks the opening against the share it holds.
+            consistent = all(
+                polynomial.evaluate(bidder.pseudonym, counter)
+                == bidder.state.received[claimant]
+                for bidder in self.bidders
+            )
+            if consistent:
+                verified.append(claimant)
+        if not verified:
+            raise AuctionError("no verifiable claimant for top bid %d"
+                               % top_bid)
+        return min(verified,
+                   key=lambda i: self.parameters.pseudonyms[i])
+
+    def run(self, num_items: int) -> Tuple[AuctionResult, NetworkMetrics]:
+        """Execute the full auction for ``num_items`` items."""
+        n = self.parameters.num_bidders
+        if not 1 <= num_items <= n - 1:
+            raise ValueError("need 1 <= M <= n-1, got M=%d, n=%d"
+                             % (num_items, n))
+        counter = OperationCounter()
+        # Share distribution round.
+        for bidder in self.bidders:
+            for recipient, value in bidder.encode().items():
+                self.network.send(bidder.index, recipient, "share", value,
+                                  field_elements=1)
+        self.network.deliver()
+        for bidder in self.bidders:
+            for message in self.network.receive(bidder.index, "share"):
+                bidder.receive(message.sender, message.payload)
+
+        winners: List[int] = []
+        for _ in range(num_items):
+            degree = self._resolve(winners, counter)
+            top_bid = self.parameters.bid_for_degree(degree)
+            winner = self._identify_top_bidder(top_bid, winners, counter)
+            winners.append(winner)
+        # The (M+1)-st price: resolve once more with all winners excluded.
+        price_degree = self._resolve(winners, counter)
+        price = self.parameters.bid_for_degree(price_degree)
+        result = AuctionResult(winners=tuple(sorted(winners)),
+                               price=float(price))
+        return result, self.network.metrics
+
+
+def run_distributed_auction(valuations: Sequence[int], num_items: int,
+                            parameters: Optional[AuctionParameters] = None,
+                            collusion_bound: int = 1,
+                            rng: Optional[random.Random] = None
+                            ) -> Tuple[AuctionResult, NetworkMetrics]:
+    """Convenience wrapper: build honest bidders and run the auction."""
+    rng = rng or random.Random(0)
+    if parameters is None:
+        parameters = AuctionParameters.generate(len(valuations),
+                                                collusion_bound)
+    bidders = [
+        DistributedAuctionBidder(index, parameters, valuation,
+                                 rng=random.Random(rng.getrandbits(64)))
+        for index, valuation in enumerate(valuations)
+    ]
+    auction = DistributedMPlus1Auction(parameters, bidders)
+    return auction.run(num_items)

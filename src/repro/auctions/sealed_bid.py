@@ -1,0 +1,117 @@
+"""Centralized sealed-bid auctions: the reference semantics.
+
+DMW is built on Kikuchi's distributed (M+1)st-price auction [23], so this
+package implements that substrate — first the *centralized* reference
+semantics (this module), then the distributed degree-encoded protocol
+(:mod:`repro.auctions.distributed`).
+
+An (M+1)st-price auction sells ``M`` identical items among unit-demand
+buyers: the ``M`` highest bidders win and each pays the ``(M+1)``-st
+highest bid.  ``M = 1`` is the Vickrey auction.  With unit-demand buyers
+the (M+1)st-price auction is strategyproof (it is the VCG mechanism for
+this domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    """Outcome of one sealed-bid multi-unit auction.
+
+    Attributes
+    ----------
+    winners:
+        Indices of the winning bidders, in bidder order.
+    price:
+        The uniform price every winner pays (the ``(M+1)``-st bid).
+    """
+
+    winners: Tuple[int, ...]
+    price: float
+
+    def utility(self, bidder: int, valuation: float) -> float:
+        """Quasi-linear utility: ``valuation - price`` if winning, else 0."""
+        if bidder in self.winners:
+            return valuation - self.price
+        return 0.0
+
+
+def mplus1_price_auction(bids: Sequence[float], num_items: int
+                         ) -> AuctionResult:
+    """Run an (M+1)st-price auction.
+
+    Parameters
+    ----------
+    bids:
+        One bid per bidder (higher is better — these are buyers).
+    num_items:
+        ``M``, the number of identical items; needs at least ``M + 1``
+        bidders so the price is defined.
+
+    Ties on the winning threshold are broken toward lower bidder index
+    (mirroring DMW's smallest-pseudonym rule).
+    """
+    if num_items < 1:
+        raise ValueError("need at least one item")
+    if len(bids) < num_items + 1:
+        raise ValueError(
+            "an (M+1)st-price auction needs at least M+1 = %d bidders, "
+            "got %d" % (num_items + 1, len(bids))
+        )
+    order = sorted(range(len(bids)), key=lambda i: (-bids[i], i))
+    winners = tuple(sorted(order[:num_items]))
+    price = bids[order[num_items]]
+    return AuctionResult(winners=winners, price=price)
+
+
+def vickrey_auction(bids: Sequence[float]) -> AuctionResult:
+    """The ``M = 1`` special case: highest bidder wins, pays second price."""
+    return mplus1_price_auction(bids, num_items=1)
+
+
+def first_price_auction(bids: Sequence[float]) -> AuctionResult:
+    """First-price auction (NOT truthful — kept as the negative control
+    for the property checkers)."""
+    winner = max(range(len(bids)), key=lambda i: (bids[i], -i))
+    return AuctionResult(winners=(winner,), price=bids[winner])
+
+
+def check_auction_truthfulness(auction, valuations: Sequence[float],
+                               bid_grid: Sequence[float]
+                               ) -> List[Tuple[int, float, float, float]]:
+    """Exhaustively search unilateral misreports over a bid grid.
+
+    Parameters
+    ----------
+    auction:
+        Callable ``bids -> AuctionResult``.
+    valuations:
+        The bidders' true values (truthful bids).
+    bid_grid:
+        Discrete alternative bids to try.
+
+    Returns
+    -------
+    Violations as ``(bidder, deviation, truthful utility, deviating
+    utility)`` tuples; empty for a truthful auction.
+    """
+    violations = []
+    truthful = list(valuations)
+    baseline = auction(truthful)
+    for bidder, valuation in enumerate(valuations):
+        honest_utility = baseline.utility(bidder, valuation)
+        for deviation in bid_grid:
+            if deviation == valuation:
+                continue
+            bids = list(truthful)
+            bids[bidder] = deviation
+            result = auction(bids)
+            utility = result.utility(bidder, valuation)
+            if utility > honest_utility + 1e-9:
+                violations.append((bidder, deviation, honest_utility,
+                                   utility))
+    return violations

@@ -1,0 +1,329 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``run``
+    Execute DMW on a random (or file-given) instance; print the schedule,
+    payments, transcripts, and costs; optionally audit the transcript.
+``minwork``
+    Run the centralized baseline on the same kind of instance.
+``faithfulness``
+    Run the deviation matrix and report gains/participation.
+``privacy``
+    Mount the collusion attack at every coalition size.
+``leakage``
+    Quantify the transcript's information leakage per loser.
+``table1``
+    Regenerate Table 1's scaling exponents (communication + computation).
+
+Every command accepts ``--seed`` and prints deterministic output, so the
+CLI doubles as a reproducibility harness.  Instances can also be loaded
+from a JSON file (``--instance``) holding a row-major time matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    exposure_by_coalition_size,
+    faithfulness_violations,
+    fit_loglog_slope,
+    leakage_report,
+    measure_dmw,
+    measure_minwork,
+    participation_violations,
+    render_table,
+    run_deviation_matrix,
+    sweep_agents,
+    sweep_tasks,
+)
+from .core import DMWParameters
+from .core.agent import DMWAgent
+from .core.audit import audit_protocol_run
+from .core.protocol import DMWProtocol
+from .core.trace import ProtocolTrace
+from .mechanisms import MinWork, truthful_bids
+from .scheduling import workloads
+from .scheduling.problem import SchedulingProblem
+
+
+def _load_instance(args, parameters: DMWParameters,
+                   rng: random.Random) -> SchedulingProblem:
+    """Build the instance from --instance JSON or randomly from W."""
+    if args.instance:
+        with open(args.instance) as handle:
+            rows = json.load(handle)
+        problem = SchedulingProblem(rows)
+        if problem.num_agents != parameters.num_agents:
+            raise SystemExit(
+                "instance has %d agents but --agents is %d"
+                % (problem.num_agents, parameters.num_agents)
+            )
+        return problem
+    return workloads.random_discrete(parameters.num_agents, args.tasks,
+                                     parameters.bid_values, rng)
+
+
+def _build_parameters(args) -> DMWParameters:
+    return DMWParameters.generate(args.agents, fault_bound=args.faults,
+                                  group_size=args.group_size)
+
+
+def _print_instance(problem: SchedulingProblem) -> None:
+    print("true values t_i^j (agents x tasks):")
+    for agent, row in enumerate(problem.times):
+        print("  A%d: %s" % (agent + 1, [int(v) for v in row]))
+
+
+def cmd_run(args) -> int:
+    parameters = _build_parameters(args)
+    rng = random.Random(args.seed)
+    problem = _load_instance(args, parameters, rng)
+    _print_instance(problem)
+
+    master = random.Random(args.seed + 1)
+    agents = [
+        DMWAgent(index, parameters,
+                 [int(problem.time(index, j))
+                  for j in range(problem.num_tasks)],
+                 rng=random.Random(master.getrandbits(64)))
+        for index in range(parameters.num_agents)
+    ]
+    trace = ProtocolTrace() if args.trace else None
+    protocol = DMWProtocol(parameters, agents, trace=trace)
+    outcome = protocol.execute(problem.num_tasks)
+    if args.trace:
+        print("\nprotocol trace:")
+        print(trace.render())
+    if not outcome.completed:
+        print("\nABORTED: %s (phase %s)" % (outcome.abort.reason,
+                                            outcome.abort.phase))
+        return 1
+    print("\nschedule:", list(outcome.schedule.assignment))
+    print("payments:", list(outcome.payments))
+    rows = [[t.task, t.first_price, "A%d" % (t.winner + 1), t.second_price]
+            for t in outcome.transcripts]
+    print(render_table(["task", "first price", "winner", "second price"],
+                       rows))
+    metrics = outcome.network_metrics
+    print("\ncosts: %d messages, %d field elements, %d rounds, "
+          "max agent work %d" % (metrics.point_to_point_messages,
+                                 metrics.field_elements, metrics.rounds,
+                                 outcome.max_agent_work))
+    if args.output:
+        from . import serialization
+        serialization.save(outcome, args.output)
+        print("outcome written to %s" % args.output)
+    if args.audit:
+        report = audit_protocol_run(protocol, outcome)
+        print("audit: %s (%d findings)"
+              % ("PASS" if report.ok else "FAIL", len(report.findings)))
+        for finding in report.findings:
+            print("  [%s] task=%s: %s" % (finding.check, finding.task,
+                                          finding.detail))
+        if not report.ok:
+            return 1
+    return 0
+
+
+def cmd_minwork(args) -> int:
+    parameters = _build_parameters(args)
+    rng = random.Random(args.seed)
+    problem = _load_instance(args, parameters, rng)
+    _print_instance(problem)
+    result = MinWork().run(truthful_bids(problem))
+    print("\nschedule:", list(result.schedule.assignment))
+    print("payments:", list(result.payments))
+    return 0
+
+
+def cmd_faithfulness(args) -> int:
+    parameters = _build_parameters(args)
+    rng = random.Random(args.seed)
+    problem = _load_instance(args, parameters, rng)
+    outcomes = run_deviation_matrix(problem, parameters,
+                                    deviant_indices=[0], seed=args.seed)
+    rows = [[o.strategy, o.honest_utility, o.deviant_utility, o.gain,
+             o.completed, o.abort_phase or "-"] for o in outcomes]
+    print(render_table(["deviation", "U(honest)", "U(deviate)", "gain",
+                        "completed", "abort phase"], rows))
+    gains = faithfulness_violations(outcomes)
+    losses = participation_violations(outcomes)
+    print("\nfaithfulness violations: %d" % len(gains))
+    print("participation violations: %d" % len(losses))
+    return 1 if gains or losses else 0
+
+
+def cmd_privacy(args) -> int:
+    parameters = _build_parameters(args)
+    rng = random.Random(args.seed)
+    problem = _load_instance(args, parameters, rng)
+    rows = [[size, exposed, total]
+            for size, exposed, total
+            in exposure_by_coalition_size(problem, parameters,
+                                          seed=args.seed)]
+    print(render_table(["coalition size", "bids exposed", "bids attacked"],
+                       rows))
+    return 0
+
+
+def cmd_leakage(args) -> int:
+    parameters = _build_parameters(args)
+    rng = random.Random(args.seed)
+    problem = _load_instance(args, parameters, rng)
+    from .core.protocol import run_dmw
+    outcome = run_dmw(problem, parameters=parameters,
+                      rng=random.Random(args.seed + 1))
+    if not outcome.completed:
+        print("instance aborted; no transcript to analyze")
+        return 1
+    rows = []
+    for transcript in outcome.transcripts:
+        report = leakage_report(parameters, transcript)
+        for loser in sorted(report.leaked_bits):
+            rows.append([transcript.task, "A%d" % (loser + 1),
+                         report.prior_bits,
+                         report.posterior_bits[loser],
+                         report.leaked_bits[loser]])
+    print(render_table(["task", "loser", "prior bits", "posterior bits",
+                        "leaked bits"], rows))
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from .reproduce import run_reproduction
+    if not args.report:
+        return run_reproduction(args.profile)
+
+    class _Tee:
+        """Write to stdout and the report file simultaneously."""
+
+        def __init__(self, stream, handle):
+            self._stream, self._handle = stream, handle
+
+        def write(self, text):
+            self._stream.write(text)
+            self._handle.write(text)
+
+        def flush(self):
+            self._stream.flush()
+            self._handle.flush()
+
+    import contextlib
+    with open(args.report, "w") as handle:
+        with contextlib.redirect_stdout(_Tee(sys.stdout, handle)):
+            code = run_reproduction(args.profile)
+    print("report written to %s" % args.report)
+    return code
+
+
+def cmd_table1(args) -> int:
+    agent_counts = (4, 6, 8, 10)
+    task_counts = (1, 2, 4, 6)
+    rows = []
+    for name, measure in (("minwork", measure_minwork),
+                          ("dmw", measure_dmw)):
+        n_samples = sweep_agents(agent_counts, num_tasks=2, measure=measure)
+        m_samples = sweep_tasks(task_counts, num_agents=6, measure=measure)
+        rows.append([
+            name,
+            fit_loglog_slope([s.num_agents for s in n_samples],
+                             [s.messages for s in n_samples]),
+            fit_loglog_slope([s.num_tasks for s in m_samples],
+                             [s.messages for s in m_samples]),
+            fit_loglog_slope([s.num_agents for s in n_samples],
+                             [s.computation for s in n_samples]),
+            fit_loglog_slope([s.num_tasks for s in m_samples],
+                             [s.computation for s in m_samples]),
+        ])
+    print("Table 1 regeneration: measured scaling exponents")
+    print(render_table(["mechanism", "msgs vs n", "msgs vs m",
+                        "work vs n", "work vs m"], rows))
+    print("\npaper: MinWork Theta(mn)/Theta(mn); DMW Theta(mn^2)/"
+          "O(mn^2 log p)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed MinWork (Carroll & Grosu, PODC 2005) "
+                    "reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("--agents", "-n", type=int, default=5,
+                         help="number of agents (default 5)")
+        sub.add_argument("--tasks", "-m", type=int, default=3,
+                         help="number of tasks (default 3)")
+        sub.add_argument("--faults", "-c", type=int, default=1,
+                         help="fault/collusion bound c (default 1)")
+        sub.add_argument("--seed", type=int, default=0,
+                         help="random seed (default 0)")
+        sub.add_argument("--group-size", default="small",
+                         choices=("tiny", "small", "medium", "large"),
+                         help="cryptographic group size (default small)")
+        sub.add_argument("--instance", default=None,
+                         help="JSON file with a row-major time matrix")
+
+    run_parser = subparsers.add_parser(
+        "run", help="execute DMW on an instance")
+    add_common(run_parser)
+    run_parser.add_argument("--audit", action="store_true",
+                            help="passively audit the public transcript")
+    run_parser.add_argument("--trace", action="store_true",
+                            help="print the structured protocol trace")
+    run_parser.add_argument("--output", default=None,
+                            help="write the outcome as JSON to this path")
+    run_parser.set_defaults(handler=cmd_run)
+
+    minwork_parser = subparsers.add_parser(
+        "minwork", help="run the centralized baseline")
+    add_common(minwork_parser)
+    minwork_parser.set_defaults(handler=cmd_minwork)
+
+    faith_parser = subparsers.add_parser(
+        "faithfulness", help="deviation matrix (Theorems 5 & 9)")
+    add_common(faith_parser)
+    faith_parser.set_defaults(handler=cmd_faithfulness)
+
+    privacy_parser = subparsers.add_parser(
+        "privacy", help="collusion attack sweep (Theorem 10)")
+    add_common(privacy_parser)
+    privacy_parser.set_defaults(handler=cmd_privacy)
+
+    leakage_parser = subparsers.add_parser(
+        "leakage", help="transcript information leakage")
+    add_common(leakage_parser)
+    leakage_parser.set_defaults(handler=cmd_leakage)
+
+    table1_parser = subparsers.add_parser(
+        "table1", help="regenerate Table 1's scaling exponents")
+    table1_parser.set_defaults(handler=cmd_table1)
+
+    reproduce_parser = subparsers.add_parser(
+        "reproduce", help="regenerate every experiment in one run")
+    reproduce_parser.add_argument("--profile", default="quick",
+                                  choices=("quick", "full"),
+                                  help="sweep sizes (default quick)")
+    reproduce_parser.add_argument("--report", default=None,
+                                  help="also write the output to this file")
+    reproduce_parser.set_defaults(handler=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

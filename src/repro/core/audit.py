@@ -1,0 +1,247 @@
+"""Passive verification of a DMW execution from its public transcript.
+
+The paper's related-work section highlights the problem of *passively
+verifying* that a deployed mechanism execution actually followed the
+strategyproof specification (Kang & Parkes [22]; the strategyproof-
+computing paradigm of Ng et al. [29]).  DMW is well suited to this: every
+protocol value that determines the outcome is either published or
+verifiable against published commitments, so a third-party auditor who
+merely *reads* the broadcast channel can re-derive the entire outcome and
+check every consistency equation — without ever seeing a private share.
+
+:func:`audit_protocol_run` replays the published messages of a completed
+:class:`~repro.core.protocol.DMWProtocol` execution:
+
+* completeness of each agent's commitments per task,
+* eq. (11) for every published ``(Lambda_i, Psi_i)``,
+* eq. (12) first-price resolution over the valid aggregates,
+* eq. (13) for every disclosed ``(f, h)`` row,
+* eq. (14) winner identification (including tie-breaking),
+* eq. (15)+(11) for the winner-excluded aggregates and the second price,
+* the payment vector implied by the per-task second prices,
+
+and compares everything against the outcome the participants reported.
+The auditor is not cost-constrained, so it verifies everything fully and
+ignores the participants' complaint traffic (it re-derives validity from
+first principles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.modular import OperationCounter
+from .bidding import AgentCommitments
+from .outcome import DMWOutcome
+from .parameters import DMWParameters
+from .resolution import (
+    ResolutionError,
+    identify_winner,
+    resolve_first_price,
+    resolve_second_price,
+)
+from .verification import verify_f_disclosure, verify_lambda_psi
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One problem the auditor found."""
+
+    task: Optional[int]
+    check: str
+    detail: str
+
+
+@dataclass
+class AuditReport:
+    """The auditor's verdict on one execution.
+
+    Attributes
+    ----------
+    ok:
+        True when the transcript is internally consistent *and* matches
+        the reported outcome.
+    findings:
+        Every discrepancy found (empty when ``ok``).
+    reconstructed_assignment / reconstructed_payments:
+        The outcome the auditor derived independently from public data.
+    operations:
+        The auditor's own counted modular work (for cost reporting).
+    """
+
+    ok: bool
+    findings: List[AuditFinding] = field(default_factory=list)
+    reconstructed_assignment: Optional[Tuple[int, ...]] = None
+    reconstructed_payments: Optional[Tuple[float, ...]] = None
+    operations: Dict[str, int] = field(default_factory=dict)
+
+
+class TranscriptAuditor:
+    """Re-derives a DMW outcome from published messages only."""
+
+    def __init__(self, parameters: DMWParameters) -> None:
+        self.parameters = parameters
+        self.counter = OperationCounter()
+        self._findings: List[AuditFinding] = []
+
+    # -- helpers ---------------------------------------------------------------
+    def _flag(self, task: Optional[int], check: str, detail: str) -> None:
+        self._findings.append(AuditFinding(task=task, check=check,
+                                           detail=detail))
+
+    def _published_by_task(self, messages, kind: str) -> Dict[int, Dict[int, object]]:
+        """Group one published kind as ``task -> {sender -> payload}``."""
+        grouped: Dict[int, Dict[int, object]] = {}
+        for message in messages:
+            if message.kind != kind:
+                continue
+            task, payload = message.payload
+            grouped.setdefault(task, {})[message.sender] = payload
+        return grouped
+
+    # -- the audit -------------------------------------------------------------
+    def audit(self, messages, num_tasks: int,
+              outcome: Optional[DMWOutcome] = None) -> AuditReport:
+        """Audit the published ``messages`` of an execution.
+
+        Parameters
+        ----------
+        messages:
+            The bulletin-board history (``network.published()``).
+        num_tasks:
+            Number of auctions the execution ran.
+        outcome:
+            The outcome the participants reported; when given, the
+            reconstruction is compared against it.
+        """
+        parameters = self.parameters
+        n = parameters.num_agents
+        commitments_by_task = self._published_by_task(messages, "commitments")
+        aggregates_by_task = self._published_by_task(messages, "lambda_psi")
+        disclosures_by_task = self._published_by_task(messages, "f_disclosure")
+        claims_by_task = self._published_by_task(messages, "winner_claim")
+        second_by_task = self._published_by_task(messages, "second_price")
+
+        assignment: List[Optional[int]] = [None] * num_tasks
+        payments = [0.0] * n
+
+        for task in range(num_tasks):
+            commitments = commitments_by_task.get(task, {})
+            if set(commitments) != set(range(n)):
+                self._flag(task, "commitments",
+                           "missing commitments from agents %s"
+                           % sorted(set(range(n)) - set(commitments)))
+                continue
+            ordered: List[AgentCommitments] = [commitments[k]
+                                               for k in range(n)]
+
+            # eq. (11): which aggregates are valid.
+            valid_lambdas: Dict[int, int] = {}
+            for publisher, (lam, psi) in aggregates_by_task.get(task,
+                                                                {}).items():
+                if verify_lambda_psi(parameters, ordered,
+                                     parameters.pseudonyms[publisher],
+                                     lam, psi, counter=self.counter):
+                    valid_lambdas[publisher] = lam
+                else:
+                    self._flag(task, "lambda_psi",
+                               "agent %d published inconsistent aggregates"
+                               % publisher)
+
+            try:
+                first_price, _ = resolve_first_price(parameters,
+                                                     valid_lambdas,
+                                                     self.counter)
+            except ResolutionError as error:
+                self._flag(task, "first_price", str(error))
+                continue
+
+            # eq. (13): which disclosure rows are valid.
+            valid_rows: Dict[int, Dict[int, tuple]] = {}
+            for discloser, row in disclosures_by_task.get(task, {}).items():
+                if verify_f_disclosure(parameters, ordered,
+                                       parameters.pseudonyms[discloser],
+                                       row, self.counter):
+                    valid_rows[discloser] = row
+                else:
+                    self._flag(task, "f_disclosure",
+                               "agent %d disclosed an inconsistent row"
+                               % discloser)
+
+            claimants = sorted(claims_by_task.get(task, {}),
+                               key=lambda i: parameters.pseudonyms[i])
+            try:
+                winner = identify_winner(parameters, first_price, valid_rows,
+                                         claimants=claimants or None,
+                                         counter=self.counter)
+            except ResolutionError as error:
+                self._flag(task, "winner", str(error))
+                continue
+
+            valid_excluded: Dict[int, int] = {}
+            for publisher, (lam, psi) in second_by_task.get(task, {}).items():
+                if verify_lambda_psi(parameters, ordered,
+                                     parameters.pseudonyms[publisher],
+                                     lam, psi, exclude=winner,
+                                     counter=self.counter):
+                    valid_excluded[publisher] = lam
+                else:
+                    self._flag(task, "second_price",
+                               "agent %d published inconsistent excluded "
+                               "aggregates" % publisher)
+            try:
+                second_price, _ = resolve_second_price(parameters,
+                                                       valid_excluded,
+                                                       self.counter)
+            except ResolutionError as error:
+                self._flag(task, "second_price", str(error))
+                continue
+
+            assignment[task] = winner
+            payments[winner] += second_price
+
+        reconstructed_assignment = (tuple(assignment)
+                                    if None not in assignment else None)
+
+        if outcome is not None and outcome.completed:
+            if reconstructed_assignment is None:
+                self._flag(None, "outcome",
+                           "participants report success but the transcript "
+                           "does not determine every task")
+            else:
+                if reconstructed_assignment != outcome.schedule.assignment:
+                    self._flag(None, "outcome",
+                               "reported schedule %s != reconstructed %s"
+                               % (outcome.schedule.assignment,
+                                  reconstructed_assignment))
+                if tuple(payments) != tuple(outcome.payments):
+                    self._flag(None, "outcome",
+                               "reported payments %s != reconstructed %s"
+                               % (outcome.payments, tuple(payments)))
+
+        return AuditReport(
+            ok=not self._findings,
+            findings=list(self._findings),
+            reconstructed_assignment=reconstructed_assignment,
+            reconstructed_payments=(tuple(payments)
+                                    if reconstructed_assignment is not None
+                                    else None),
+            operations=self.counter.snapshot(),
+        )
+
+
+def audit_protocol_run(protocol, outcome: Optional[DMWOutcome] = None,
+                       num_tasks: Optional[int] = None) -> AuditReport:
+    """Audit a finished :class:`~repro.core.protocol.DMWProtocol` run.
+
+    Reads only the protocol's bulletin board (published messages); private
+    channels are never consulted.
+    """
+    if num_tasks is None:
+        if outcome is not None:
+            num_tasks = len(outcome.transcripts)
+        else:
+            raise ValueError("pass num_tasks or an outcome with transcripts")
+    auditor = TranscriptAuditor(protocol.parameters)
+    return auditor.audit(protocol.network.published(), num_tasks, outcome)

@@ -1,0 +1,50 @@
+"""Exceptions raised by the DMW protocol implementation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class DMWError(Exception):
+    """Base class for all DMW errors."""
+
+
+class ParameterError(DMWError):
+    """Invalid Phase I parameters (bid set, pseudonyms, fault bound...)."""
+
+
+class ProtocolAbort(DMWError):
+    """An honest agent detected a protocol violation and terminated.
+
+    Per the paper's faithfulness proofs, termination yields zero utility
+    for every agent: no allocation is made and no payment dispensed.
+
+    Attributes
+    ----------
+    reason:
+        Human-readable description of what failed.
+    phase:
+        Protocol phase (``"bidding"``, ``"allocating"``, ``"payments"``).
+    task:
+        Task index of the affected auction, if applicable.
+    detected_by:
+        Index of the agent that detected the violation, if applicable.
+    offender:
+        Index of the agent whose messages triggered detection, if known.
+    """
+
+    def __init__(self, reason: str, phase: str,
+                 task: Optional[int] = None,
+                 detected_by: Optional[int] = None,
+                 offender: Optional[int] = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.phase = phase
+        self.task = task
+        self.detected_by = detected_by
+        self.offender = offender
+
+    def __repr__(self) -> str:
+        return ("ProtocolAbort(reason=%r, phase=%r, task=%r, detected_by=%r, "
+                "offender=%r)" % (self.reason, self.phase, self.task,
+                                  self.detected_by, self.offender))

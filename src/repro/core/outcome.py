@@ -1,0 +1,71 @@
+"""Outcome records for DMW executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..network.metrics import NetworkMetrics
+from ..scheduling.problem import SchedulingProblem
+from ..scheduling.schedule import Schedule
+from .exceptions import ProtocolAbort
+
+
+@dataclass(frozen=True)
+class AuctionTranscript:
+    """What one task's distributed Vickrey auction revealed.
+
+    Per Theorem 10's remark, this is exactly the information DMW discloses:
+    the winner, the first price, and the second price — *not* the losing
+    agents' identities or bids.
+    """
+
+    task: int
+    first_price: int
+    winner: int
+    second_price: int
+    #: Agents whose published Lambda/Psi passed eq. (11).
+    valid_aggregate_publishers: Tuple[int, ...]
+    #: Agents whose disclosure rows passed eq. (13).
+    valid_disclosers: Tuple[int, ...]
+
+
+@dataclass
+class DMWOutcome:
+    """The result of one full DMW execution (all ``m`` auctions + payments).
+
+    Either ``completed`` with a schedule and unanimous payments, or aborted
+    with an attached :class:`ProtocolAbort` — in which case every agent's
+    utility is zero (no allocation is executed, no payment dispensed),
+    matching the termination semantics of the faithfulness proofs.
+    """
+
+    completed: bool
+    schedule: Optional[Schedule]
+    payments: Optional[Tuple[float, ...]]
+    transcripts: List[AuctionTranscript]
+    abort: Optional[ProtocolAbort]
+    network_metrics: NetworkMetrics
+    #: Per-agent modular-operation snapshots (Theorem 12 measurements).
+    agent_operations: List[Dict[str, int]] = field(default_factory=list)
+
+    def utility(self, agent: int, true_values: SchedulingProblem) -> float:
+        """Return ``U_i = P_i + V_i`` (0 when the protocol terminated)."""
+        if not self.completed:
+            return 0.0
+        return (self.payments[agent]
+                + self.schedule.valuation(agent, true_values))
+
+    def utilities(self, true_values: SchedulingProblem) -> List[float]:
+        """Utility vector for all agents."""
+        return [self.utility(agent, true_values)
+                for agent in range(len(self.agent_operations)
+                                   or true_values.num_agents)]
+
+    @property
+    def max_agent_work(self) -> int:
+        """Largest per-agent multiplication work (the per-agent cost of
+        Theorem 12)."""
+        if not self.agent_operations:
+            return 0
+        return max(ops["multiplication_work"] for ops in self.agent_operations)

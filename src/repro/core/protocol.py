@@ -1,0 +1,656 @@
+"""The DMW protocol orchestrator: Phases I-IV over the simulated network.
+
+:class:`DMWProtocol` drives a set of :class:`~repro.core.agent.DMWAgent`
+instances through the four phases of the mechanism, moving every value over
+a :class:`~repro.network.simulator.SynchronousNetwork` so communication is
+*counted*, not assumed.  The orchestrator is a stand-in for lockstep
+execution: it contains no mechanism logic of its own — every decision is
+made inside an agent method — and merely sequences the rounds that the
+paper's implicit synchronization barriers (step II.4) impose.
+
+Message kinds (matching Fig. 2 top to bottom):
+
+========================  =========================================  ============
+kind                      content                                    field elems
+========================  =========================================  ============
+``share_bundle``          private ``(e, f, g, h)`` shares             4
+``commitments``           published ``(O, Q, R)`` vectors             ``3 sigma``
+``lambda_psi``            published ``(Lambda_i, Psi_i)``             2
+``f_disclosure``          published ``(f, h)`` share row              ``2n``
+``winner_claim``          published candidacy announcement            1
+``second_price``          published ``(Lambda'_i, Psi'_i)``           2
+``payment_claim``         vector sent to the payment escrow           ``n``
+``*_complaint``           accusations (only under attack)             #accused
+========================  =========================================  ============
+
+Strong communication compatibility (Theorem 3) is vacuous in this model:
+the network is obedient and no agent forwards another's messages — every
+transmission goes directly from its producer to its consumers.
+
+Termination semantics: when any agent aborts (a failed verification, a
+short resolution, or a payment conflict), the entire execution is void —
+no allocation, no payments, utility zero for everyone — matching the
+proofs of Theorems 4 and 8.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.faults import FaultPlan
+from ..network.simulator import SynchronousNetwork
+from ..scheduling.problem import SchedulingProblem
+from ..scheduling.schedule import Schedule
+from .agent import DMWAgent
+from .exceptions import ParameterError, ProtocolAbort
+from .outcome import AuctionTranscript, DMWOutcome
+from .parameters import DMWParameters
+from .payments import PaymentInfrastructure
+from .resolution import ResolutionError
+from .trace import NULL_TRACE, ProtocolTrace
+
+
+class DMWProtocol:
+    """One DMW execution over ``m`` tasks.
+
+    Parameters
+    ----------
+    parameters:
+        The published Phase I parameters.
+    agents:
+        One agent per pseudonym, honest or deviating, in index order.
+    fault_plan:
+        Optional substrate fault injection.
+    """
+
+    def __init__(self, parameters: DMWParameters,
+                 agents: Sequence[DMWAgent],
+                 fault_plan: Optional[FaultPlan] = None,
+                 record_deliveries: bool = False,
+                 network: Optional[SynchronousNetwork] = None,
+                 trace: Optional[ProtocolTrace] = None) -> None:
+        if len(agents) != parameters.num_agents:
+            raise ParameterError(
+                "got %d agents for %d pseudonyms"
+                % (len(agents), parameters.num_agents)
+            )
+        for index, agent in enumerate(agents):
+            if agent.index != index:
+                raise ParameterError(
+                    "agent at position %d has index %d" % (index, agent.index)
+                )
+        self.parameters = parameters
+        self.agents = list(agents)
+        # Participant n is the payment infrastructure's network endpoint.
+        if network is not None:
+            if network.num_agents != parameters.num_agents or \
+                    network.num_participants != parameters.num_agents + 1:
+                raise ParameterError(
+                    "supplied network must have n agents plus the payment "
+                    "infrastructure endpoint"
+                )
+            self.network = network
+        else:
+            self.network = SynchronousNetwork(
+                parameters.num_agents, fault_plan=fault_plan,
+                extra_participants=1, record_deliveries=record_deliveries,
+            )
+        self.infrastructure = PaymentInfrastructure(parameters.num_agents)
+        self.trace = trace if trace is not None else NULL_TRACE
+        self._transcripts: List[AuctionTranscript] = []
+
+    # -- helpers --------------------------------------------------------------
+    @property
+    def _infrastructure_id(self) -> int:
+        return self.parameters.num_agents
+
+    def _reference_agent(self) -> DMWAgent:
+        """The lowest-indexed non-deviating agent (transcript source).
+
+        Honest agents compute identical resolution results from the public
+        transcript; the reference choice is bookkeeping, not protocol.
+        """
+        for agent in self.agents:
+            if not getattr(agent, "is_deviant", False):
+                return agent
+        return self.agents[0]
+
+    def _void(self, abort: ProtocolAbort) -> DMWOutcome:
+        self.trace.record("abort", task=abort.task, phase=abort.phase,
+                          reason=abort.reason,
+                          detected_by=abort.detected_by,
+                          offender=abort.offender)
+        return DMWOutcome(
+            completed=False, schedule=None, payments=None,
+            transcripts=list(self._transcripts), abort=abort,
+            network_metrics=self.network.metrics,
+            agent_operations=[agent.counter.snapshot()
+                              for agent in self.agents],
+        )
+
+    # -- phase drivers ------------------------------------------------------------
+    def _run_bidding(self, task: int) -> None:
+        """Phase II: everyone encodes, sends bundles, publishes commitments."""
+        num_agents = self.parameters.num_agents
+        for agent in self.agents:
+            commitments, bundles = agent.begin_task(task)
+            if commitments is not None:
+                self.network.publish(agent.index, "commitments",
+                                     (task, commitments),
+                                     field_elements=commitments.field_elements)
+            for recipient, bundle in bundles.items():
+                if bundle is None:
+                    continue
+                self.network.send(agent.index, recipient, "share_bundle",
+                                  (task, bundle),
+                                  field_elements=bundle.FIELD_ELEMENTS)
+        self.network.deliver()
+        for agent in self.agents:
+            for message in self.network.receive(agent.index, "commitments"):
+                message_task, commitments = message.payload
+                agent.receive_commitments(message_task, message.sender,
+                                          commitments)
+            for message in self.network.receive(agent.index, "share_bundle"):
+                message_task, bundle = message.payload
+                agent.receive_bundle(message_task, message.sender, bundle)
+
+    def _run_share_verification(self, task: int) -> Optional[ProtocolAbort]:
+        """Step III.1 for every agent; any abort voids the execution."""
+        for agent in self.agents:
+            abort = agent.check_shares(task)
+            if abort is not None:
+                return abort
+        return None
+
+    def _collect_board(self, task: int, kind: str) -> Dict[int, object]:
+        """Drain one published-kind from every inbox into a shared view.
+
+        All broadcasts reach every other agent, so merging the inboxes
+        reconstructs the common bulletin-board view (including each
+        publisher's own entry).
+        """
+        board: Dict[int, object] = {}
+        for agent in self.agents:
+            for message in self.network.receive(agent.index, kind):
+                message_task, value = message.payload
+                if message_task == task:
+                    board[message.sender] = value
+        return board
+
+    def _run_complaint_round(self, task: int, kind: str,
+                             complaints_by_agent: Dict[int, List[int]]
+                             ) -> List[int]:
+        """Broadcast non-empty complaint lists; return the union.
+
+        Skipped entirely (no extra round, no messages) when nobody
+        complains — the honest-path common case, which keeps the protocol
+        at the Theorem 11 message budget.
+        """
+        if not any(complaints_by_agent.values()):
+            return []
+        for agent_index, complaints in complaints_by_agent.items():
+            if complaints:
+                self.network.publish(agent_index, kind, (task, complaints),
+                                     field_elements=len(complaints))
+        self.network.deliver()
+        union: List[int] = []
+        for agent in self.agents:
+            for message in self.network.receive(agent.index, kind):
+                message_task, complained = message.payload
+                if message_task == task:
+                    union.extend(complained)
+        return sorted(set(union))
+
+    def _run_aggregates(self, task: int) -> None:
+        """Step III.2: publish, cross-validate, and arbitrate
+        ``(Lambda, Psi)``."""
+        for agent in self.agents:
+            published = agent.publish_aggregates(task)
+            if published is not None:
+                self.network.publish(agent.index, "lambda_psi",
+                                     (task, published), field_elements=2)
+        self.network.deliver()
+        board = self._collect_board(task, "lambda_psi")
+        complaints_by_agent = {
+            agent.index: agent.validate_aggregates(task, board)
+            for agent in self.agents
+        }
+        self.trace.record("aggregates_published", task=task,
+                          publishers=sorted(board))
+        union = self._run_complaint_round(task, "aggregate_complaint",
+                                          complaints_by_agent)
+        if union:
+            self.trace.record("complaints", task=task,
+                              stage="aggregates", accused=union)
+            for agent in self.agents:
+                agent.arbitrate_aggregates(task, board, union)
+
+    def _run_disclosure(self, task: int) -> List[int]:
+        """Step III.3: disclosure set publishes its ``(f, h)`` rows and
+        lowest bidders announce winner claims.  Returns the claimant list
+        in pseudonym order."""
+        for agent in self.agents:
+            row = agent.disclose_f_shares(task)
+            if row is not None:
+                self.network.publish(
+                    agent.index, "f_disclosure", (task, row),
+                    field_elements=2 * self.parameters.num_agents,
+                )
+            if agent.claim_winnership(task):
+                self.network.publish(agent.index, "winner_claim", (task, True),
+                                     field_elements=1)
+        self.network.deliver()
+        rows: Dict[int, Dict[int, tuple]] = {}
+        claimants: List[int] = []
+        for agent in self.agents:
+            for message in self.network.receive(agent.index, "f_disclosure"):
+                message_task, row = message.payload
+                if message_task == task:
+                    rows[message.sender] = row
+            for message in self.network.receive(agent.index, "winner_claim"):
+                message_task, _ = message.payload
+                if message_task == task:
+                    claimants.append(message.sender)
+        claimants = sorted(set(claimants),
+                           key=lambda i: self.parameters.pseudonyms[i])
+        complaints_by_agent = {
+            agent.index: agent.validate_disclosures(task, rows)
+            for agent in self.agents
+        }
+        self.trace.record("disclosures_published", task=task,
+                          disclosers=sorted(rows), claimants=claimants)
+        union = self._run_complaint_round(task, "disclosure_complaint",
+                                          complaints_by_agent)
+        if union:
+            self.trace.record("complaints", task=task,
+                              stage="disclosures", accused=union)
+            for agent in self.agents:
+                agent.arbitrate_disclosures(task, rows, union)
+        return claimants
+
+    def _run_second_price(self, task: int) -> None:
+        """Step III.4: publish, cross-validate, and arbitrate the
+        winner-excluded aggregates."""
+        for agent in self.agents:
+            published = agent.publish_excluded_aggregates(task)
+            if published is not None:
+                self.network.publish(agent.index, "second_price",
+                                     (task, published), field_elements=2)
+        self.network.deliver()
+        board = self._collect_board(task, "second_price")
+        complaints_by_agent = {
+            agent.index: agent.validate_excluded_aggregates(task, board)
+            for agent in self.agents
+        }
+        union = self._run_complaint_round(task, "second_price_complaint",
+                                          complaints_by_agent)
+        if union:
+            self.trace.record("complaints", task=task,
+                              stage="second_price", accused=union)
+            for agent in self.agents:
+                agent.arbitrate_excluded_aggregates(task, board, union)
+
+    def _run_auction(self, task: int) -> Optional[ProtocolAbort]:
+        """Run the full distributed Vickrey auction for one task."""
+        self.trace.record("auction_start", task=task)
+        self._run_bidding(task)
+        abort = self._run_share_verification(task)
+        if abort is not None:
+            return abort
+        self._run_aggregates(task)
+        try:
+            for agent in self.agents:
+                agent.resolve_first(task)
+        except ResolutionError as error:
+            return ProtocolAbort(str(error), phase="allocating", task=task)
+        claimants = self._run_disclosure(task)
+        try:
+            for agent in self.agents:
+                agent.find_winner(task, claimants)
+        except ResolutionError as error:
+            return ProtocolAbort(str(error), phase="allocating", task=task)
+        self._run_second_price(task)
+        try:
+            for agent in self.agents:
+                agent.resolve_second(task)
+        except ResolutionError as error:
+            return ProtocolAbort(str(error), phase="allocating", task=task)
+        reference = self._reference_agent()
+        state = reference.task_state(task)
+        self.trace.record("auction_resolved", task=task,
+                          first_price=state.first_price,
+                          winner=state.winner,
+                          second_price=state.second_price)
+        self._transcripts.append(AuctionTranscript(
+            task=task,
+            first_price=state.first_price,
+            winner=state.winner,
+            second_price=state.second_price,
+            valid_aggregate_publishers=tuple(sorted(state.valid_lambdas)),
+            valid_disclosers=tuple(sorted(state.valid_disclosures)),
+        ))
+        return None
+
+    def _run_payments(self) -> Optional[ProtocolAbort]:
+        """Phase IV: collect claims and ask the escrow to decide."""
+        for agent in self.agents:
+            try:
+                claim = agent.payment_claim()
+            except ProtocolAbort as abort:
+                return abort
+            if claim is None:
+                continue
+            self.network.send(agent.index, self._infrastructure_id,
+                              "payment_claim", claim,
+                              field_elements=self.parameters.num_agents)
+        self.network.deliver()
+        for message in self.network.receive(self._infrastructure_id,
+                                            "payment_claim"):
+            self.infrastructure.submit_claim(message.sender, message.payload)
+        decision = self.infrastructure.decide()
+        if not decision.dispensed:
+            return ProtocolAbort(
+                "payment claims conflict (agents %s); no payments dispensed"
+                % (decision.conflicting_agents,),
+                phase="payments",
+            )
+        self.trace.record("payments_dispensed",
+                          payments=list(decision.payments))
+        self._decision = decision
+        return None
+
+    # -- parallel (per-phase) drivers -------------------------------------------
+    def _run_parallel_auctions(self, tasks: Sequence[int]
+                               ) -> Optional[ProtocolAbort]:
+        """Run every task's auction with phase-level parallelism.
+
+        The paper's auctions are "parallel and independent": each protocol
+        phase executes for *all* tasks inside one synchronization barrier,
+        so the whole execution takes the per-auction round count (4 plus
+        payments) instead of ``4m + 1``.  Message and computation totals
+        are identical to the sequential schedule — only rounds (and hence
+        latency) shrink, which ``tests/test_parallel.py`` pins down.
+        """
+        for task in tasks:
+            self.trace.record("auction_start", task=task)
+        # Phase II for every task, one barrier.
+        for task in tasks:
+            for agent in self.agents:
+                commitments, bundles = agent.begin_task(task)
+                if commitments is not None:
+                    self.network.publish(
+                        agent.index, "commitments", (task, commitments),
+                        field_elements=commitments.field_elements)
+                for recipient, bundle in bundles.items():
+                    if bundle is None:
+                        continue
+                    self.network.send(agent.index, recipient,
+                                      "share_bundle", (task, bundle),
+                                      field_elements=bundle.FIELD_ELEMENTS)
+        self.network.deliver()
+        for agent in self.agents:
+            for message in self.network.receive(agent.index, "commitments"):
+                message_task, commitments = message.payload
+                agent.receive_commitments(message_task, message.sender,
+                                          commitments)
+            for message in self.network.receive(agent.index,
+                                                "share_bundle"):
+                message_task, bundle = message.payload
+                agent.receive_bundle(message_task, message.sender, bundle)
+        for task in tasks:
+            abort = self._run_share_verification(task)
+            if abort is not None:
+                return abort
+        # Step III.2 for every task, one barrier.
+        boards: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        for task in tasks:
+            for agent in self.agents:
+                published = agent.publish_aggregates(task)
+                if published is not None:
+                    self.network.publish(agent.index, "lambda_psi",
+                                         (task, published),
+                                         field_elements=2)
+        self.network.deliver()
+        for agent in self.agents:
+            for message in self.network.receive(agent.index, "lambda_psi"):
+                message_task, value = message.payload
+                boards.setdefault(message_task, {})[message.sender] = value
+        complaints_by_agent: Dict[int, List[Tuple[int, int]]] = {}
+        for task in tasks:
+            board = boards.get(task, {})
+            for agent in self.agents:
+                for accused in agent.validate_aggregates(task, board):
+                    complaints_by_agent.setdefault(agent.index, []).append(
+                        (task, accused))
+        if complaints_by_agent:
+            for agent_index, complaints in complaints_by_agent.items():
+                self.network.publish(agent_index, "aggregate_complaint",
+                                     complaints,
+                                     field_elements=len(complaints))
+            self.network.deliver()
+            union: Dict[int, set] = {}
+            for agent in self.agents:
+                for message in self.network.receive(agent.index,
+                                                    "aggregate_complaint"):
+                    for task, accused in message.payload:
+                        union.setdefault(task, set()).add(accused)
+            for task, accused in union.items():
+                self.trace.record("complaints", task=task,
+                                  stage="aggregates",
+                                  accused=sorted(accused))
+                for agent in self.agents:
+                    agent.arbitrate_aggregates(task, boards.get(task, {}),
+                                               sorted(accused))
+        try:
+            for task in tasks:
+                for agent in self.agents:
+                    agent.resolve_first(task)
+        except ResolutionError as error:
+            return ProtocolAbort(str(error), phase="allocating")
+        # Step III.3 for every task, one barrier.
+        row_boards: Dict[int, Dict[int, Dict[int, tuple]]] = {}
+        claimants_by_task: Dict[int, List[int]] = {}
+        for task in tasks:
+            for agent in self.agents:
+                row = agent.disclose_f_shares(task)
+                if row is not None:
+                    self.network.publish(
+                        agent.index, "f_disclosure", (task, row),
+                        field_elements=2 * self.parameters.num_agents)
+                if agent.claim_winnership(task):
+                    self.network.publish(agent.index, "winner_claim",
+                                         (task, True), field_elements=1)
+        self.network.deliver()
+        for agent in self.agents:
+            for message in self.network.receive(agent.index,
+                                                "f_disclosure"):
+                message_task, row = message.payload
+                row_boards.setdefault(message_task,
+                                      {})[message.sender] = row
+            for message in self.network.receive(agent.index,
+                                                "winner_claim"):
+                message_task, _ = message.payload
+                claimants_by_task.setdefault(message_task,
+                                             []).append(message.sender)
+        complaints_by_agent = {}
+        for task in tasks:
+            rows = row_boards.get(task, {})
+            for agent in self.agents:
+                for accused in agent.validate_disclosures(task, rows):
+                    complaints_by_agent.setdefault(agent.index, []).append(
+                        (task, accused))
+        if complaints_by_agent:
+            for agent_index, complaints in complaints_by_agent.items():
+                self.network.publish(agent_index, "disclosure_complaint",
+                                     complaints,
+                                     field_elements=len(complaints))
+            self.network.deliver()
+            union = {}
+            for agent in self.agents:
+                for message in self.network.receive(
+                        agent.index, "disclosure_complaint"):
+                    for task, accused in message.payload:
+                        union.setdefault(task, set()).add(accused)
+            for task, accused in union.items():
+                self.trace.record("complaints", task=task,
+                                  stage="disclosures",
+                                  accused=sorted(accused))
+                for agent in self.agents:
+                    agent.arbitrate_disclosures(
+                        task, row_boards.get(task, {}), sorted(accused))
+        try:
+            for task in tasks:
+                claimants = sorted(
+                    set(claimants_by_task.get(task, [])),
+                    key=lambda i: self.parameters.pseudonyms[i])
+                for agent in self.agents:
+                    agent.find_winner(task, claimants)
+        except ResolutionError as error:
+            return ProtocolAbort(str(error), phase="allocating")
+        # Step III.4 for every task, one barrier.
+        second_boards: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        for task in tasks:
+            for agent in self.agents:
+                published = agent.publish_excluded_aggregates(task)
+                if published is not None:
+                    self.network.publish(agent.index, "second_price",
+                                         (task, published),
+                                         field_elements=2)
+        self.network.deliver()
+        for agent in self.agents:
+            for message in self.network.receive(agent.index,
+                                                "second_price"):
+                message_task, value = message.payload
+                second_boards.setdefault(message_task,
+                                         {})[message.sender] = value
+        complaints_by_agent = {}
+        for task in tasks:
+            board = second_boards.get(task, {})
+            for agent in self.agents:
+                for accused in agent.validate_excluded_aggregates(task,
+                                                                  board):
+                    complaints_by_agent.setdefault(agent.index, []).append(
+                        (task, accused))
+        if complaints_by_agent:
+            for agent_index, complaints in complaints_by_agent.items():
+                self.network.publish(agent_index, "second_price_complaint",
+                                     complaints,
+                                     field_elements=len(complaints))
+            self.network.deliver()
+            union = {}
+            for agent in self.agents:
+                for message in self.network.receive(
+                        agent.index, "second_price_complaint"):
+                    for task, accused in message.payload:
+                        union.setdefault(task, set()).add(accused)
+            for task, accused in union.items():
+                self.trace.record("complaints", task=task,
+                                  stage="second_price",
+                                  accused=sorted(accused))
+                for agent in self.agents:
+                    agent.arbitrate_excluded_aggregates(
+                        task, second_boards.get(task, {}), sorted(accused))
+        try:
+            for task in tasks:
+                for agent in self.agents:
+                    agent.resolve_second(task)
+        except ResolutionError as error:
+            return ProtocolAbort(str(error), phase="allocating")
+        reference = self._reference_agent()
+        for task in tasks:
+            state = reference.task_state(task)
+            self.trace.record("auction_resolved", task=task,
+                              first_price=state.first_price,
+                              winner=state.winner,
+                              second_price=state.second_price)
+            self._transcripts.append(AuctionTranscript(
+                task=task,
+                first_price=state.first_price,
+                winner=state.winner,
+                second_price=state.second_price,
+                valid_aggregate_publishers=tuple(sorted(
+                    state.valid_lambdas)),
+                valid_disclosers=tuple(sorted(state.valid_disclosures)),
+            ))
+        return None
+
+    # -- public API -----------------------------------------------------------
+    def execute(self, num_tasks: int, parallel: bool = False) -> DMWOutcome:
+        """Run all ``num_tasks`` auctions plus the payments phase.
+
+        Parameters
+        ----------
+        num_tasks:
+            Number of auctions ``m``.
+        parallel:
+            When True, all auctions advance phase-by-phase inside shared
+            barriers (the paper's "parallel and independent" reading):
+            5-7 rounds total instead of ``4m + 1``, identical messages
+            and outcomes.
+        """
+        if parallel:
+            abort = self._run_parallel_auctions(range(num_tasks))
+            if abort is not None:
+                return self._void(abort)
+        else:
+            for task in range(num_tasks):
+                abort = self._run_auction(task)
+                if abort is not None:
+                    return self._void(abort)
+        abort = self._run_payments()
+        if abort is not None:
+            return self._void(abort)
+        assignment = [0] * num_tasks
+        for transcript in self._transcripts:
+            assignment[transcript.task] = transcript.winner
+        schedule = Schedule(assignment, self.parameters.num_agents)
+        return DMWOutcome(
+            completed=True, schedule=schedule,
+            payments=self._decision.payments,
+            transcripts=list(self._transcripts), abort=None,
+            network_metrics=self.network.metrics,
+            agent_operations=[agent.counter.snapshot()
+                              for agent in self.agents],
+        )
+
+
+def run_dmw(problem: SchedulingProblem,
+            parameters: Optional[DMWParameters] = None,
+            fault_bound: int = 1,
+            rng: Optional[random.Random] = None,
+            group_size: str = "small",
+            parallel: bool = False) -> DMWOutcome:
+    """Convenience entry point: run DMW on an integer-valued instance.
+
+    Every ``t_i^j`` must be an integer in the (derived or given) bid set
+    ``W``; use :func:`repro.scheduling.workloads.discretize_to_bid_set`
+    for continuous instances.
+
+    Parameters
+    ----------
+    problem:
+        The instance whose times are the agents' true values.
+    parameters:
+        Pre-built protocol parameters; generated from the problem shape
+        when omitted.
+    fault_bound:
+        ``c``, used only when generating parameters.
+    rng:
+        Seeds the per-agent private randomness streams.
+    group_size:
+        Cryptographic fixture size when generating parameters.
+    """
+    rng = rng or random.Random(0)
+    if parameters is None:
+        parameters = DMWParameters.generate(problem.num_agents,
+                                            fault_bound=fault_bound,
+                                            group_size=group_size)
+    agents = []
+    for index in range(problem.num_agents):
+        values = [int(problem.time(index, task))
+                  for task in range(problem.num_tasks)]
+        agents.append(DMWAgent(index, parameters, values,
+                               rng=random.Random(rng.getrandbits(64))))
+    protocol = DMWProtocol(parameters, agents)
+    return protocol.execute(problem.num_tasks, parallel=parallel)

@@ -1,0 +1,97 @@
+"""Structured execution traces for DMW runs.
+
+A :class:`ProtocolTrace` records what happened, when, and on whose
+evidence: phase transitions, per-agent verification verdicts, complaint
+rounds, resolutions, and the final decision.  Traces serve three users:
+
+* tests assert event *sequences* (e.g. "complaints precede arbitration,
+  and only when a deviant is present");
+* the CLI's ``--trace`` flag prints a human-readable timeline;
+* debugging: a failing distributed run is unreadable from message dumps,
+  and perfectly readable from its trace.
+
+Tracing is opt-in (``DMWProtocol(..., trace=ProtocolTrace())``) and adds
+no cost when off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event.
+
+    Attributes
+    ----------
+    sequence:
+        Monotone event index.
+    task:
+        Task the event belongs to (``None`` for execution-level events).
+    kind:
+        Event type, e.g. ``"phase"``, ``"resolved_first_price"``,
+        ``"complaints"``, ``"winner"``, ``"abort"``, ``"payments"``.
+    detail:
+        Event payload (kind-specific, JSON-friendly).
+    """
+
+    sequence: int
+    task: Optional[int]
+    kind: str
+    detail: Dict[str, Any]
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        scope = "task %s" % self.task if self.task is not None else "run"
+        pairs = ", ".join("%s=%s" % (k, v)
+                          for k, v in sorted(self.detail.items()))
+        return "[%03d] %-8s %-24s %s" % (self.sequence, scope, self.kind,
+                                         pairs)
+
+
+class ProtocolTrace:
+    """An append-only event log."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, kind: str, task: Optional[int] = None,
+               **detail: Any) -> None:
+        """Append one event."""
+        self._events.append(TraceEvent(sequence=len(self._events),
+                                       task=task, kind=kind, detail=detail))
+
+    # -- queries -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None,
+               task: Optional[int] = None) -> List[TraceEvent]:
+        """Events filtered by kind and/or task."""
+        return [event for event in self._events
+                if (kind is None or event.kind == kind)
+                and (task is None or event.task == task)]
+
+    def kinds(self) -> List[str]:
+        """Event kinds in occurrence order (with repeats)."""
+        return [event.kind for event in self._events]
+
+    def render(self) -> str:
+        """The full timeline as text."""
+        return "\n".join(event.render() for event in self._events)
+
+
+class NullTrace(ProtocolTrace):
+    """Discards every event (the default when tracing is off)."""
+
+    def record(self, kind: str, task: Optional[int] = None,
+               **detail: Any) -> None:
+        pass
+
+
+NULL_TRACE = NullTrace()

@@ -1,0 +1,120 @@
+"""Phase III verification checks (eqs. (7)-(9), (11), (13) and (15)).
+
+Every check here is something *any* agent can compute from public
+commitments plus the values it received or that were published — the
+protocol's entire security rests on honest agents running these and
+terminating on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..crypto.modular import NULL_COUNTER, OperationCounter
+from .bidding import AgentCommitments, ShareBundle
+from .parameters import DMWParameters
+
+
+def verify_share_bundle(parameters: DMWParameters,
+                        commitments: AgentCommitments,
+                        pseudonym: int,
+                        bundle: ShareBundle,
+                        counter: OperationCounter = NULL_COUNTER) -> bool:
+    """Step III.1: check a received bundle against public commitments.
+
+    Verifies, at the receiver's pseudonym ``alpha``:
+
+    * eq. (7): ``z1^{e(a) f(a)} z2^{g(a)} = prod O_l^{a^l}``
+      (the product polynomial has degree at most ``sigma`` and zero
+      constant/linear terms — this binds ``deg e + deg f = sigma``);
+    * eq. (8): ``z1^{e(a)} z2^{h(a)} = prod Q_l^{a^l}``;
+    * eq. (9): ``z1^{f(a)} z2^{h(a)} = prod R_l^{a^l}``.
+    """
+    q = parameters.group.q
+    product_value = (bundle.e_value * bundle.f_value) % q
+    return (
+        commitments.o_vector.verify_share(pseudonym, product_value,
+                                          bundle.g_value, counter)
+        and commitments.q_vector.verify_share(pseudonym, bundle.e_value,
+                                              bundle.h_value, counter)
+        and commitments.r_vector.verify_share(pseudonym, bundle.f_value,
+                                              bundle.h_value, counter)
+    )
+
+
+def gamma_value(parameters: DMWParameters, commitments: AgentCommitments,
+                pseudonym: int,
+                counter: OperationCounter = NULL_COUNTER) -> int:
+    """Return ``Gamma_{i,k} = prod_l Q_{k,l}^{alpha_i^l}``.
+
+    Publicly computable; equals ``z1^{e_k(alpha_i)} z2^{h_k(alpha_i)}``
+    when agent ``k`` is honest.
+    """
+    return commitments.q_vector.evaluate(pseudonym, counter)
+
+
+def phi_value(parameters: DMWParameters, commitments: AgentCommitments,
+              pseudonym: int,
+              counter: OperationCounter = NULL_COUNTER) -> int:
+    """Return ``Phi_{i,k} = prod_l R_{k,l}^{alpha_i^l}``.
+
+    Publicly computable; equals ``z1^{f_k(alpha_i)} z2^{h_k(alpha_i)}``
+    when agent ``k`` is honest.
+    """
+    return commitments.r_vector.evaluate(pseudonym, counter)
+
+
+def verify_lambda_psi(parameters: DMWParameters,
+                      all_commitments: Sequence[AgentCommitments],
+                      publisher_pseudonym: int,
+                      lambda_value: int,
+                      psi_value_: int,
+                      exclude: Optional[int] = None,
+                      counter: OperationCounter = NULL_COUNTER) -> bool:
+    """Eq. (11) (and its eq.-(15) excluding variant).
+
+    Checks ``prod_k Gamma_{i,k} = Lambda_i * Psi_i`` at the publisher's
+    pseudonym ``alpha_i``, where the product runs over all agents except
+    ``exclude`` (used for the second-price values, which divide the winner
+    out of the aggregates).
+    """
+    group = parameters.group
+    product = 1
+    for index, commitments in enumerate(all_commitments):
+        if index == exclude:
+            continue
+        product = group.mul(
+            product,
+            gamma_value(parameters, commitments, publisher_pseudonym, counter),
+            counter,
+        )
+    return product == group.mul(lambda_value, psi_value_, counter)
+
+
+def verify_f_disclosure(parameters: DMWParameters,
+                        all_commitments: Sequence[AgentCommitments],
+                        discloser_pseudonym: int,
+                        disclosed: Dict[int, tuple],
+                        counter: OperationCounter = NULL_COUNTER) -> bool:
+    """Verify one agent's winner-identification disclosure (eq. (13)).
+
+    ``disclosed`` maps each agent index ``l`` to the pair
+    ``(f_l(alpha_k), h_l(alpha_k))`` the discloser ``A_k`` claims to hold.
+    Each pair must open ``Phi_{k,l}``; a complete and valid row lets anyone
+    run plain degree resolution on every ``f_l``.
+    """
+    group = parameters.group
+    if set(disclosed) != set(range(len(all_commitments))):
+        return False
+    for index, commitments in enumerate(all_commitments):
+        f_value, h_value = disclosed[index]
+        expected = phi_value(parameters, commitments, discloser_pseudonym,
+                             counter)
+        opened = group.mul(
+            group.exp(parameters.z1, f_value, counter),
+            group.exp(parameters.z2, h_value, counter),
+            counter,
+        )
+        if opened != expected:
+            return False
+    return True

@@ -1,0 +1,75 @@
+"""Cryptographic substrate for DMW.
+
+Everything DMW needs from cryptography, built from scratch on Python
+integers: metered modular arithmetic (:mod:`.modular`), prime and Schnorr
+group generation (:mod:`.primes`, :mod:`.groups`), polynomials over ``Z_q``
+(:mod:`.polynomials`), Lagrange interpolation and degree resolution
+(:mod:`.interpolation`), Pedersen commitments (:mod:`.commitments`), and the
+degree-encoded secret-sharing scheme (:mod:`.secretsharing`).
+"""
+
+from .commitments import PedersenCommitter, PolynomialCommitment
+from .groups import GroupParameters, SchnorrGroup, fixture_group
+from .interpolation import (
+    interpolate_at_zero,
+    lagrange_weights_at_zero,
+    resolve_degree,
+    resolve_degree_in_exponent,
+)
+from .modular import (
+    NULL_COUNTER,
+    OperationCounter,
+    metered,
+    mod_add,
+    mod_div,
+    mod_exp,
+    mod_inv,
+    mod_mul,
+    mod_sub,
+)
+from .polynomials import Polynomial, sum_polynomials
+from .primes import (
+    find_subgroup_generator,
+    generate_schnorr_parameters,
+    is_prime,
+    next_prime,
+    random_prime,
+)
+from .secretsharing import (
+    DegreeEncodedSharing,
+    DegreeEncodingScheme,
+    ShamirScheme,
+    Share,
+)
+
+__all__ = [
+    "NULL_COUNTER",
+    "DegreeEncodedSharing",
+    "DegreeEncodingScheme",
+    "GroupParameters",
+    "OperationCounter",
+    "PedersenCommitter",
+    "Polynomial",
+    "PolynomialCommitment",
+    "SchnorrGroup",
+    "ShamirScheme",
+    "Share",
+    "find_subgroup_generator",
+    "fixture_group",
+    "generate_schnorr_parameters",
+    "interpolate_at_zero",
+    "is_prime",
+    "lagrange_weights_at_zero",
+    "metered",
+    "mod_add",
+    "mod_div",
+    "mod_exp",
+    "mod_inv",
+    "mod_mul",
+    "mod_sub",
+    "next_prime",
+    "random_prime",
+    "resolve_degree",
+    "resolve_degree_in_exponent",
+    "sum_polynomials",
+]

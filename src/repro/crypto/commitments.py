@@ -1,0 +1,148 @@
+"""Pedersen-style commitments over a Schnorr group.
+
+DMW binds each agent to its secret polynomials with commitment *vectors*
+(one group element per coefficient slot up to ``sigma``):
+
+* ``O_i`` commits to the coefficients of the product ``e_i * f_i`` blinded
+  by ``g_i``'s coefficients,
+* ``Q_i`` commits to ``e_i``'s coefficients blinded by ``h_i``'s,
+* ``R_i`` commits to ``f_i``'s coefficients blinded by ``h_i``'s.
+
+Because commitments are multiplicatively homomorphic, a verifier can check a
+received *share* against the public vector without learning anything else:
+
+``prod_l C_l^(alpha^l) = z1^{value(alpha)} z2^{blinding(alpha)}``
+
+(eqs. (7)-(9) of the paper).  This module provides the single-value
+commitment, the coefficient-vector commitment, and the homomorphic
+evaluation used by those checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .groups import GroupParameters
+from .modular import NULL_COUNTER, OperationCounter
+from .polynomials import Polynomial
+
+
+@dataclass(frozen=True)
+class PedersenCommitter:
+    """Commitment scheme ``commit(v, r) = z1^v * z2^r (mod p)``."""
+
+    parameters: GroupParameters
+
+    def commit(self, value: int, blinding: int,
+               counter: OperationCounter = NULL_COUNTER) -> int:
+        """Commit to ``value`` with blinding factor ``blinding``."""
+        group = self.parameters.group
+        return group.mul(
+            group.exp(self.parameters.z1, value, counter),
+            group.exp(self.parameters.z2, blinding, counter),
+            counter,
+        )
+
+    def verify(self, commitment: int, value: int, blinding: int,
+               counter: OperationCounter = NULL_COUNTER) -> bool:
+        """Return True if ``commitment`` opens to ``(value, blinding)``."""
+        return commitment == self.commit(value, blinding, counter)
+
+    def commit_polynomial(self, values: Polynomial, blindings: Polynomial,
+                          size: int,
+                          counter: OperationCounter = NULL_COUNTER
+                          ) -> "PolynomialCommitment":
+        """Commit to coefficients ``1..size`` of ``values``/``blindings``.
+
+        Coefficient slot ``l`` holds ``z1^{a_l} z2^{r_l}`` where ``a_l`` and
+        ``r_l`` are the degree-``l`` coefficients (constant terms are zero by
+        protocol construction and are *not* committed — the verification
+        equations start the product at ``l = 1``).
+
+        Parameters
+        ----------
+        size:
+            Number of slots (the protocol's ``sigma``); polynomials of lower
+            degree are zero-padded, which is what hides their degree.
+        """
+        value_coefficients = values.padded_coefficients(size + 1)
+        blinding_coefficients = blindings.padded_coefficients(size + 1)
+        if value_coefficients[0] != 0 or blinding_coefficients[0] != 0:
+            raise ValueError(
+                "committed polynomials must have zero constant terms"
+            )
+        elements = [
+            self.commit(value_coefficients[l], blinding_coefficients[l], counter)
+            for l in range(1, size + 1)
+        ]
+        return PolynomialCommitment(parameters=self.parameters,
+                                    elements=tuple(elements))
+
+
+@dataclass(frozen=True)
+class PolynomialCommitment:
+    """A vector of per-coefficient Pedersen commitments (slots ``1..sigma``).
+
+    The commitment reveals only ``sigma`` (public protocol parameter), never
+    the underlying degree, because every slot is blinded.
+    """
+
+    parameters: GroupParameters
+    elements: tuple
+
+    @property
+    def size(self) -> int:
+        """The number of committed coefficient slots (``sigma``)."""
+        return len(self.elements)
+
+    def evaluate(self, point: int,
+                 counter: OperationCounter = NULL_COUNTER) -> int:
+        """Homomorphically evaluate the committed polynomials at ``point``.
+
+        Returns ``prod_{l=1}^{sigma} C_l^(point^l) =
+        z1^{value(point)} z2^{blinding(point)}`` — the right-hand side of
+        eqs. (7)-(9).
+        """
+        group = self.parameters.group
+        result = 1
+        power = 1
+        for element in self.elements:
+            power = (power * point) % group.q
+            result = group.mul(result, group.exp(element, power, counter), counter)
+        return result
+
+    def verify_share(self, point: int, value: int, blinding: int,
+                     counter: OperationCounter = NULL_COUNTER) -> bool:
+        """Check a received share pair against this commitment.
+
+        Verifies ``z1^value * z2^blinding == evaluate(point)`` — i.e. that
+        ``value = f(point)`` and ``blinding = r(point)`` for the committed
+        ``f`` and blinding polynomial ``r``.
+        """
+        group = self.parameters.group
+        left = group.mul(
+            group.exp(self.parameters.z1, value, counter),
+            group.exp(self.parameters.z2, blinding, counter),
+            counter,
+        )
+        return left == self.evaluate(point, counter)
+
+
+def product_of_commitment_evaluations(commitments: Sequence[PolynomialCommitment],
+                                      point: int,
+                                      counter: OperationCounter = NULL_COUNTER
+                                      ) -> int:
+    """Return ``prod_k commitments[k].evaluate(point)``.
+
+    Used for the aggregate checks (eq. (11) and (13)): the product over all
+    agents' ``Q`` (resp. ``R``) evaluations at ``alpha_i`` must equal
+    ``Lambda_i * Psi_i`` (resp. ``z1^{F(alpha_i)} * Psi_i``).
+    """
+    if not commitments:
+        raise ValueError("need at least one commitment")
+    group = commitments[0].parameters.group
+    result = 1
+    for commitment in commitments:
+        result = group.mul(result, commitment.evaluate(point, counter), counter)
+    return result

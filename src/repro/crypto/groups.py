@@ -1,0 +1,161 @@
+"""Schnorr groups: the algebraic home of the DMW commitments.
+
+Phase I of DMW publishes primes ``p, q`` with ``q | p - 1`` and two distinct
+generators ``z1, z2`` of the order-``q`` subgroup of ``Z_p^*``.  All
+commitments (``O``, ``Q``, ``R``) and the exponent-space degree-resolution
+values (``Lambda``, ``Psi``) are elements of that subgroup; all *exponents*
+(polynomial coefficients and shares) live in ``Z_q``.
+
+See DESIGN.md decision 1 for why exponents are taken mod ``q`` even though
+the journal text loosely says "mod p": the generators have order ``q``, so
+``z1^x`` only depends on ``x mod q`` and eq. (12) itself reduces the Lagrange
+coefficients mod ``q``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .modular import NULL_COUNTER, OperationCounter, mod_exp, mod_inv, mod_mul
+from .primes import find_subgroup_generator, generate_schnorr_parameters, is_prime
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """An order-``q`` subgroup of ``Z_p^*``.
+
+    Attributes
+    ----------
+    p:
+        Field prime; group elements are integers in ``[1, p-1]``.
+    q:
+        Prime order of the subgroup; exponents are integers mod ``q``.
+    """
+
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if (self.p - 1) % self.q != 0:
+            raise ValueError("q must divide p - 1")
+        if not is_prime(self.q):
+            raise ValueError("q=%d is not prime" % self.q)
+        if not is_prime(self.p):
+            raise ValueError("p=%d is not prime" % self.p)
+
+    # -- group operations (all metered) -------------------------------------
+    def exp(self, base: int, exponent: int,
+            counter: OperationCounter = NULL_COUNTER) -> int:
+        """Return ``base ** (exponent mod q) mod p``."""
+        return mod_exp(base % self.p, exponent % self.q, self.p, counter)
+
+    def mul(self, a: int, b: int, counter: OperationCounter = NULL_COUNTER) -> int:
+        """Return ``a * b mod p``."""
+        return mod_mul(a, b, self.p, counter)
+
+    def div(self, a: int, b: int, counter: OperationCounter = NULL_COUNTER) -> int:
+        """Return ``a * b^{-1} mod p``."""
+        return mod_mul(a, mod_inv(b, self.p, counter), self.p, counter)
+
+    def product(self, elements, counter: OperationCounter = NULL_COUNTER) -> int:
+        """Return the product of ``elements`` mod ``p`` (1 for empty input)."""
+        result = 1
+        for element in elements:
+            result = mod_mul(result, element, self.p, counter)
+        return result
+
+    # -- membership / sampling ----------------------------------------------
+    def contains(self, element: int) -> bool:
+        """Return True if ``element`` lies in the order-``q`` subgroup."""
+        return 0 < element < self.p and pow(element, self.q, self.p) == 1
+
+    def random_exponent(self, rng: random.Random, nonzero: bool = False) -> int:
+        """Draw a uniform exponent from ``Z_q`` (``Z_q^*`` if ``nonzero``)."""
+        low = 1 if nonzero else 0
+        return rng.randrange(low, self.q)
+
+    def find_generator(self, rng: random.Random, exclude: tuple = ()) -> int:
+        """Return a fresh generator of the subgroup, avoiding ``exclude``."""
+        return find_subgroup_generator(self.p, self.q, rng, exclude)
+
+    @property
+    def p_bits(self) -> int:
+        """Bit length of the field prime (the ``log p`` of Theorem 12)."""
+        return self.p.bit_length()
+
+
+@dataclass(frozen=True)
+class GroupParameters:
+    """A Schnorr group plus the two public generators ``z1, z2``.
+
+    The discrete logarithm of ``z2`` base ``z1`` must be unknown to every
+    agent for the Pedersen commitments to be hiding *and* binding; in this
+    simulation the generators are drawn independently at setup time, which
+    models a trusted parameter ceremony.
+    """
+
+    group: SchnorrGroup
+    z1: int
+    z2: int
+
+    def __post_init__(self) -> None:
+        if not self.group.contains(self.z1) or self.z1 == 1:
+            raise ValueError("z1 is not a generator of the order-q subgroup")
+        if not self.group.contains(self.z2) or self.z2 == 1:
+            raise ValueError("z2 is not a generator of the order-q subgroup")
+        if self.z1 == self.z2:
+            raise ValueError("z1 and z2 must be distinct")
+
+    @classmethod
+    def generate(cls, q_bits: int, p_bits: int,
+                 rng: Optional[random.Random] = None) -> "GroupParameters":
+        """Generate fresh parameters of the requested sizes."""
+        rng = rng or random.Random()
+        p, q = generate_schnorr_parameters(q_bits, p_bits, rng)
+        group = SchnorrGroup(p=p, q=q)
+        z1 = group.find_generator(rng)
+        z2 = group.find_generator(rng, exclude=(z1,))
+        return cls(group=group, z1=z1, z2=z2)
+
+
+def _precomputed(p: int, q: int, z1: int, z2: int) -> GroupParameters:
+    return GroupParameters(group=SchnorrGroup(p=p, q=q), z1=z1, z2=z2)
+
+
+def _generate_fixture(q_bits: int, p_bits: int, seed: int) -> GroupParameters:
+    """Deterministically generate a reusable parameter set (test fixture)."""
+    return GroupParameters.generate(q_bits, p_bits, random.Random(seed))
+
+
+# Small deterministic parameter sets, generated once per process and cached.
+# Tests use these to avoid re-running prime search in every test case.
+_FIXTURE_CACHE = {}
+
+#: (q_bits, p_bits) presets by human-readable size name.
+FIXTURE_SIZES = {
+    "tiny": (24, 40),
+    "small": (40, 56),
+    "medium": (64, 96),
+    "large": (160, 512),
+}
+
+
+def fixture_group(size: str = "small") -> GroupParameters:
+    """Return a cached deterministic :class:`GroupParameters` preset.
+
+    Parameters
+    ----------
+    size:
+        One of ``"tiny"``, ``"small"``, ``"medium"``, ``"large"`` — see
+        :data:`FIXTURE_SIZES`.  The same object is returned on every call
+        within a process.
+    """
+    if size not in FIXTURE_SIZES:
+        raise KeyError("unknown fixture size %r; options: %s"
+                       % (size, sorted(FIXTURE_SIZES)))
+    if size not in _FIXTURE_CACHE:
+        q_bits, p_bits = FIXTURE_SIZES[size]
+        _FIXTURE_CACHE[size] = _generate_fixture(q_bits, p_bits, seed=0xD311 + q_bits)
+    return _FIXTURE_CACHE[size]

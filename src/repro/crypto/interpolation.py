@@ -1,0 +1,242 @@
+"""Lagrange interpolation and polynomial degree resolution (paper §2.4).
+
+DMW determines auction outcomes by *degree resolution*: every bid is encoded
+as the degree of a polynomial with zero constant term, the polynomials are
+summed, and the degree of the sum (which equals the maximum per-agent degree,
+hence the minimum bid) is found as the least ``d`` for which interpolating
+``d + 1`` shares reproduces the constant term ``0``.
+
+Two variants are provided:
+
+* :func:`resolve_degree` works on plaintext shares (used for winner
+  identification, eq. (14), after the relevant shares are disclosed);
+* :func:`resolve_degree_in_exponent` works on *committed* shares
+  ``Lambda_i = z1^{E(alpha_i)}`` (eq. (12)), testing
+  ``prod_k Lambda_k^{rho_k} == 1`` without ever learning the shares.
+
+Note on the off-by-one in the paper (DESIGN.md decision 2): interpolating a
+degree-``d`` polynomial requires ``d + 1`` points, so the least ``s`` with
+``f^{(s)}(0) = f(0)`` is ``d + 1``, not ``d``.  All functions here take and
+return *degrees* and internally use ``degree + 1`` interpolation points,
+keeping the protocol self-consistent.  A resolution test at a candidate
+degree below the true degree passes accidentally with probability ``1/q``,
+the same failure probability the paper cites.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .modular import (
+    NULL_COUNTER,
+    OperationCounter,
+    mod_add,
+    mod_inv,
+    mod_mul,
+)
+
+
+def lagrange_weights_at_zero(points: Sequence[int], modulus: int,
+                             counter: OperationCounter = NULL_COUNTER) -> List[int]:
+    """Return the Lagrange basis values ``L_k(0)`` for the given points.
+
+    ``L_k(0) = prod_{i != k} alpha_i / (alpha_i - alpha_k) (mod modulus)``,
+    i.e. the ``rho_k`` of eq. (12).  ``modulus`` must be prime and the points
+    distinct, non-zero, and distinct mod ``modulus``.
+    """
+    reduced = [point % modulus for point in points]
+    if len(set(reduced)) != len(reduced):
+        raise ValueError("interpolation points must be distinct mod modulus")
+    if any(point == 0 for point in reduced):
+        raise ValueError("interpolation points must be non-zero")
+    weights = []
+    for k, alpha_k in enumerate(reduced):
+        numerator, denominator = 1, 1
+        for i, alpha_i in enumerate(reduced):
+            if i == k:
+                continue
+            numerator = mod_mul(numerator, alpha_i, modulus, counter)
+            denominator = mod_mul(
+                denominator, (alpha_i - alpha_k) % modulus, modulus, counter
+            )
+        weights.append(
+            mod_mul(numerator, mod_inv(denominator, modulus, counter),
+                    modulus, counter)
+        )
+    return weights
+
+
+def interpolate_at_zero(points: Sequence[int], values: Sequence[int],
+                        modulus: int,
+                        counter: OperationCounter = NULL_COUNTER) -> int:
+    """Return ``f^{(s)}(0)``, the paper's s-th Lagrange interpolation.
+
+    This evaluates, at 0, the unique degree-``s-1`` polynomial through the
+    ``s`` given ``(point, value)`` pairs.  It equals the true ``f(0)``
+    whenever ``deg f <= s - 1``.
+
+    Implemented with the three-step algorithm of §2.4 (psi / phi / sum),
+    which costs ``Theta(s^2)`` multiplications — the figure Theorem 12
+    builds on — with the denominator order of eq. (2), ``alpha_i - alpha_k``
+    (the §2.4 listing transposes it, which only flips a sign).
+    """
+    if len(points) != len(values):
+        raise ValueError("points and values must have equal length")
+    if not points:
+        raise ValueError("at least one interpolation point is required")
+    reduced_points = [point % modulus for point in points]
+    # Step 1: psi_k = f(alpha_k) / prod_{i != k} (alpha_i - alpha_k)
+    psi = []
+    for k, alpha_k in enumerate(reduced_points):
+        denominator = 1
+        for i, alpha_i in enumerate(reduced_points):
+            if i == k:
+                continue
+            denominator = mod_mul(
+                denominator, (alpha_i - alpha_k) % modulus, modulus, counter
+            )
+        psi.append(
+            mod_mul(values[k] % modulus,
+                    mod_inv(denominator, modulus, counter), modulus, counter)
+        )
+    # Step 2: phi(0) = prod_k alpha_k
+    phi = 1
+    for alpha_k in reduced_points:
+        phi = mod_mul(phi, alpha_k, modulus, counter)
+    # Step 3: f^{(s)}(0) = phi(0) * sum_k psi_k / alpha_k
+    total = 0
+    for alpha_k, psi_k in zip(reduced_points, psi):
+        total = mod_add(
+            total,
+            mod_mul(psi_k, mod_inv(alpha_k, modulus, counter), modulus, counter),
+            modulus, counter,
+        )
+    return mod_mul(phi, total, modulus, counter)
+
+
+def resolve_degree(points: Sequence[int], values: Sequence[int], modulus: int,
+                   candidates: Optional[Sequence[int]] = None,
+                   counter: OperationCounter = NULL_COUNTER) -> Optional[int]:
+    """Resolve the degree of a zero-constant-term polynomial from shares.
+
+    Parameters
+    ----------
+    points, values:
+        Shares ``(alpha_k, f(alpha_k))``; at least ``degree + 1`` of them
+        must be supplied for the true degree to be detectable.
+    modulus:
+        The field prime ``q``.
+    candidates:
+        Candidate degrees to test, in the order given (callers pass them
+        ascending so the least passing candidate is returned).  Defaults to
+        ``1 .. len(points) - 1``.
+    counter:
+        Operation meter.
+
+    Returns
+    -------
+    The first candidate degree ``d`` such that the ``(d+1)``-point
+    interpolation at zero vanishes, or ``None`` if no candidate passes.
+    """
+    if candidates is None:
+        candidates = range(1, len(points))
+    for degree in candidates:
+        needed = degree + 1
+        if needed > len(points):
+            continue
+        value = interpolate_at_zero(points[:needed], values[:needed],
+                                    modulus, counter)
+        if value == 0:
+            return degree
+    return None
+
+
+def resolve_degree_in_exponent(group, points: Sequence[int],
+                               exponent_values: Sequence[int],
+                               candidates: Optional[Sequence[int]] = None,
+                               counter: OperationCounter = NULL_COUNTER,
+                               incremental: bool = True) -> Optional[int]:
+    """Degree resolution on committed shares (eq. (12)).
+
+    Parameters
+    ----------
+    group:
+        A :class:`repro.crypto.groups.SchnorrGroup`; weights are computed
+        mod ``group.q`` and the test product mod ``group.p``.
+    points:
+        The pseudonyms ``alpha_k``.
+    exponent_values:
+        The published ``Lambda_k = z1^{E(alpha_k)}``.
+    candidates:
+        Candidate degrees (ascending); defaults to ``1 .. len(points) - 1``.
+    incremental:
+        When True (default) the Lagrange weights are *updated* as each new
+        point joins the interpolation set — ``O(s)`` multiplications per
+        step, ``O(n^2 log p)`` overall — which is the cost Theorem 12
+        assumes.  ``False`` recomputes the weights from scratch at every
+        candidate (``O(n^3)`` weight work), kept for the cost-model
+        ablation benchmark.
+
+    Returns
+    -------
+    The first candidate degree ``d`` with
+    ``prod_{k=1}^{d+1} Lambda_k^{rho_k} == 1 (mod p)``, or ``None``.
+    """
+    if len(points) != len(exponent_values):
+        raise ValueError("points and exponent values must have equal length")
+    if candidates is None:
+        candidates = range(1, len(points))
+    candidates = list(candidates)
+    if not incremental:
+        for degree in candidates:
+            needed = degree + 1
+            if needed > len(points):
+                continue
+            weights = lagrange_weights_at_zero(points[:needed], group.q,
+                                               counter)
+            product = 1
+            for value, weight in zip(exponent_values[:needed], weights):
+                product = group.mul(product, group.exp(value, weight, counter),
+                                    counter)
+            if product == 1:
+                return degree
+        return None
+    # Incremental scan: maintain the weights for the current point prefix.
+    # Adding alpha_new multiplies every existing weight by
+    # alpha_new / (alpha_new - alpha_k) and computes the new point's own
+    # weight as prod_i alpha_i / (alpha_i - alpha_new).
+    q = group.q
+    candidate_set = set(candidates)
+    max_candidate = max(candidate_set) if candidate_set else 0
+    reduced = [point % q for point in points]
+    if len(set(reduced)) != len(reduced) or 0 in reduced:
+        raise ValueError("points must be distinct and non-zero mod q")
+    weights: list = []
+    for size in range(1, min(len(points), max_candidate + 1) + 1):
+        alpha_new = reduced[size - 1]
+        new_numerator, new_denominator = 1, 1
+        for k in range(size - 1):
+            alpha_k = reduced[k]
+            weights[k] = mod_mul(
+                weights[k],
+                mod_mul(alpha_new,
+                        mod_inv((alpha_new - alpha_k) % q, q, counter),
+                        q, counter),
+                q, counter,
+            )
+            new_numerator = mod_mul(new_numerator, alpha_k, q, counter)
+            new_denominator = mod_mul(new_denominator,
+                                      (alpha_k - alpha_new) % q, q, counter)
+        weights.append(mod_mul(new_numerator,
+                               mod_inv(new_denominator, q, counter)
+                               if size > 1 else 1, q, counter))
+        degree = size - 1
+        if degree not in candidate_set:
+            continue
+        product = 1
+        for value, weight in zip(exponent_values[:size], weights):
+            product = group.mul(product, group.exp(value, weight, counter),
+                                counter)
+        if product == 1:
+            return degree
+    return None

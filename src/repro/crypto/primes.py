@@ -1,0 +1,161 @@
+"""Prime generation for the DMW cryptographic parameters.
+
+DMW (Phase I) publishes two large primes ``p`` and ``q`` with ``q | p - 1``
+and two generators of the order-``q`` subgroup of ``Z_p^*``.  This module
+provides the number-theoretic machinery: Miller-Rabin primality testing
+(deterministic for inputs below 3.3 * 10^24 using the known witness set,
+randomized beyond), prime search, and Schnorr-parameter generation.
+
+No external libraries are used; everything operates on Python integers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+# Witnesses proven sufficient for a deterministic Miller-Rabin test of any
+# integer below 3,317,044,064,679,887,385,961,981 (Sorenson & Webster 2015).
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+
+def _miller_rabin_round(n: int, witness: int, d: int, r: int) -> bool:
+    """Return True if ``n`` passes one Miller-Rabin round for ``witness``."""
+    x = pow(witness, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = x * x % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_prime(n: int, rng: Optional[random.Random] = None, rounds: int = 40) -> bool:
+    """Primality test.
+
+    Deterministic for ``n`` below ~3.3e24; Miller-Rabin with ``rounds``
+    random witnesses beyond that (error probability at most ``4**-rounds``).
+
+    Parameters
+    ----------
+    n:
+        Integer to test.
+    rng:
+        Source of witnesses for the probabilistic range.  A fresh
+        ``random.Random(n)`` is used when omitted so results are stable.
+    rounds:
+        Number of probabilistic rounds for large ``n``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < _DETERMINISTIC_BOUND:
+        witnesses = [w for w in _DETERMINISTIC_WITNESSES if w < n - 1]
+    else:
+        rng = rng or random.Random(n)
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, w, d, r) for w in witnesses)
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``."""
+    candidate = max(n + 1, 2)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """Return a random prime of exactly ``bits`` bits.
+
+    Parameters
+    ----------
+    bits:
+        Desired bit length (at least 2).
+    rng:
+        Randomness source; passing the same seeded generator reproduces the
+        same prime.
+    """
+    if bits < 2:
+        raise ValueError("a prime needs at least 2 bits, got %d" % bits)
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate, rng):
+            return candidate
+
+
+def generate_schnorr_parameters(q_bits: int, p_bits: int,
+                                rng: random.Random,
+                                max_attempts: int = 100_000) -> Tuple[int, int]:
+    """Generate ``(p, q)`` with ``q`` prime, ``p`` prime, and ``q | p - 1``.
+
+    The construction searches for ``p = k*q + 1`` with ``k`` random and even,
+    the standard Schnorr-group setup.
+
+    Parameters
+    ----------
+    q_bits:
+        Bit length of the subgroup order ``q``.
+    p_bits:
+        Bit length of the field prime ``p`` (must exceed ``q_bits``).
+    rng:
+        Randomness source.
+    max_attempts:
+        Safety bound on the number of candidate ``k`` values tried.
+
+    Returns
+    -------
+    (p, q):
+        The field prime and subgroup order.
+    """
+    if p_bits <= q_bits + 1:
+        raise ValueError(
+            "p_bits (%d) must exceed q_bits (%d) by at least 2" % (p_bits, q_bits)
+        )
+    q = random_prime(q_bits, rng)
+    k_bits = p_bits - q_bits
+    for _ in range(max_attempts):
+        k = rng.getrandbits(k_bits) | (1 << (k_bits - 1))
+        k += k % 2  # keep k even so p = k*q + 1 is odd
+        p = k * q + 1
+        if p.bit_length() == p_bits and is_prime(p, rng):
+            return p, q
+    raise RuntimeError(
+        "failed to find p = k*q + 1 prime after %d attempts" % max_attempts
+    )
+
+
+def find_subgroup_generator(p: int, q: int, rng: random.Random,
+                            exclude: Tuple[int, ...] = ()) -> int:
+    """Return a generator of the order-``q`` subgroup of ``Z_p^*``.
+
+    A random ``h`` is raised to ``(p-1)/q``; the result generates the
+    subgroup whenever it is not 1.  Generators listed in ``exclude`` are
+    rejected so independent generators (``z1 != z2``) can be drawn.
+    """
+    if (p - 1) % q != 0:
+        raise ValueError("q=%d does not divide p-1=%d" % (q, p - 1))
+    cofactor = (p - 1) // q
+    while True:
+        h = rng.randrange(2, p - 1)
+        g = pow(h, cofactor, p)
+        if g != 1 and g not in exclude:
+            return g

@@ -1,0 +1,233 @@
+"""Secret sharing: standard Shamir and the degree-encoded variant.
+
+DMW's privacy rests on a *degree-encoded* secret-sharing scheme (Kikuchi's
+(M+1)st-price auction construction): the secret is not a field element
+stored in the free term — it is the **degree** of the polynomial itself.
+Sharing a value ``d`` means choosing a uniformly random polynomial of exact
+degree ``d`` with zero constant term and handing out evaluations.  Such
+shares can be *summed* share-wise across agents, and degree resolution on
+the summed shares reveals only ``max_i d_i``, which is how the minimum bid
+surfaces without exposing anyone else's bid.
+
+Standard Shamir sharing is included both for completeness (the paper
+contrasts the two in §3) and because the reconstruction-attack analysis in
+:mod:`repro.analysis.privacy` uses it as the adversary's tool.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .interpolation import interpolate_at_zero, resolve_degree
+from .modular import NULL_COUNTER, OperationCounter
+from .polynomials import Polynomial
+
+
+@dataclass(frozen=True)
+class Share:
+    """A single evaluation ``(point, value)`` of a sharing polynomial."""
+
+    point: int
+    value: int
+
+
+class ShamirScheme:
+    """Classical ``(threshold, n)`` Shamir sharing over ``Z_q``.
+
+    The secret sits in the free term; any ``threshold`` shares reconstruct,
+    fewer reveal nothing.
+    """
+
+    def __init__(self, modulus: int, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.modulus = modulus
+        self.threshold = threshold
+
+    def share(self, secret: int, points: Sequence[int],
+              rng: random.Random) -> List[Share]:
+        """Split ``secret`` into one share per point.
+
+        ``len(points)`` must be at least ``threshold`` and the points must
+        be distinct and non-zero.
+        """
+        if len(points) < self.threshold:
+            raise ValueError("need at least threshold=%d points" % self.threshold)
+        if len(set(p % self.modulus for p in points)) != len(points):
+            raise ValueError("share points must be distinct mod q")
+        if any(p % self.modulus == 0 for p in points):
+            raise ValueError("share points must be non-zero")
+        coefficients = [secret % self.modulus]
+        coefficients.extend(
+            rng.randrange(self.modulus) for _ in range(self.threshold - 1)
+        )
+        polynomial = Polynomial(coefficients, self.modulus)
+        return [Share(point, polynomial.evaluate(point)) for point in points]
+
+    def reconstruct(self, shares: Sequence[Share],
+                    counter: OperationCounter = NULL_COUNTER) -> int:
+        """Recover the secret from at least ``threshold`` shares."""
+        if len(shares) < self.threshold:
+            raise ValueError(
+                "need %d shares to reconstruct, got %d"
+                % (self.threshold, len(shares))
+            )
+        subset = shares[: self.threshold]
+        return interpolate_at_zero(
+            [share.point for share in subset],
+            [share.value for share in subset],
+            self.modulus,
+            counter,
+        )
+
+
+@dataclass(frozen=True)
+class DegreeEncodedSharing:
+    """The result of sharing a value in a polynomial's degree.
+
+    Attributes
+    ----------
+    polynomial:
+        The random polynomial whose exact degree is the encoded value.
+        Held privately by the dealer (it is what commitments bind to).
+    shares:
+        One :class:`Share` per recipient point.
+    """
+
+    polynomial: Polynomial
+    shares: tuple
+
+    @property
+    def encoded_degree(self) -> int:
+        return self.polynomial.degree
+
+
+class DegreeEncodingScheme:
+    """Degree-encoded sharing over ``Z_q`` (the DMW bid-encoding primitive).
+
+    Parameters
+    ----------
+    modulus:
+        The field prime ``q``.
+    points:
+        The public evaluation points (agent pseudonyms); all shares are
+        evaluations at these points, in order.
+    """
+
+    def __init__(self, modulus: int, points: Sequence[int]) -> None:
+        reduced = [p % modulus for p in points]
+        if len(set(reduced)) != len(reduced):
+            raise ValueError("points must be distinct mod q")
+        if any(p == 0 for p in reduced):
+            raise ValueError("points must be non-zero mod q")
+        self.modulus = modulus
+        self.points = tuple(points)
+
+    def share_degree(self, degree: int, rng: random.Random,
+                     counter: OperationCounter = NULL_COUNTER
+                     ) -> DegreeEncodedSharing:
+        """Encode ``degree`` in a random zero-constant-term polynomial.
+
+        ``degree`` must satisfy ``1 <= degree <= len(points) - 1`` so the
+        degree remains resolvable from the available shares.
+        """
+        if not 1 <= degree <= len(self.points) - 1:
+            raise ValueError(
+                "degree must be in [1, %d], got %d"
+                % (len(self.points) - 1, degree)
+            )
+        polynomial = Polynomial.random(degree, self.modulus, rng,
+                                       zero_constant_term=True)
+        shares = tuple(
+            Share(point, polynomial.evaluate(point, counter))
+            for point in self.points
+        )
+        return DegreeEncodedSharing(polynomial=polynomial, shares=shares)
+
+    def sum_shares(self, sharings: Sequence[Sequence[Share]]) -> List[Share]:
+        """Combine sharings point-wise: the share-level image of summing the
+        underlying polynomials."""
+        if not sharings:
+            raise ValueError("need at least one sharing to sum")
+        combined = []
+        for index, point in enumerate(self.points):
+            total = 0
+            for sharing in sharings:
+                share = sharing[index]
+                if share.point != point:
+                    raise ValueError(
+                        "share %d is for point %d, expected %d"
+                        % (index, share.point, point)
+                    )
+                total = (total + share.value) % self.modulus
+            combined.append(Share(point, total))
+        return combined
+
+    def resolve(self, shares: Sequence[Share],
+                candidates: Optional[Sequence[int]] = None,
+                counter: OperationCounter = NULL_COUNTER) -> Optional[int]:
+        """Resolve the encoded degree from shares (see
+        :func:`repro.crypto.interpolation.resolve_degree`)."""
+        return resolve_degree(
+            [share.point for share in shares],
+            [share.value for share in shares],
+            self.modulus,
+            candidates=candidates,
+            counter=counter,
+        )
+
+    def reconstruction_attack(self, shares: Sequence[Share],
+                              candidate_degrees: Sequence[int]
+                              ) -> Dict[int, bool]:
+        """Attempt the collusion attack of Theorem 10.
+
+        Given a coalition's subset of shares of one agent's polynomial, test
+        each candidate degree ``d``: the coalition succeeds for ``d`` when it
+        holds at least ``d + 1`` consistent evaluations (counting the free
+        point ``(0, 0)`` every party knows).  Returns, per candidate degree,
+        whether the coalition can *distinguish* that the polynomial has
+        degree at most ``d``.
+
+        With fewer than ``d`` proper shares every transcript is consistent
+        with every degree-``d`` polynomial, so the attack is information-
+        theoretically blind — this is what `tests/test_privacy.py` checks.
+        """
+        outcomes = {}
+        points = [0] + [share.point for share in shares]
+        values = [0] + [share.value for share in shares]
+        for degree in candidate_degrees:
+            if len(points) < degree + 2:
+                # Not enough points to over-determine a degree-d polynomial:
+                # any values are consistent, the coalition learns nothing.
+                outcomes[degree] = False
+                continue
+            # Interpolate through d+1 points and check the remaining ones.
+            base_points, base_values = points[: degree + 1], values[: degree + 1]
+            consistent = True
+            for point, value in zip(points[degree + 1:], values[degree + 1:]):
+                predicted = _interpolate_at(base_points, base_values, point,
+                                            self.modulus)
+                if predicted != value:
+                    consistent = False
+                    break
+            outcomes[degree] = consistent
+        return outcomes
+
+
+def _interpolate_at(points: Sequence[int], values: Sequence[int],
+                    x: int, modulus: int) -> int:
+    """Evaluate, at ``x``, the interpolant through ``(points, values)``."""
+    x %= modulus
+    total = 0
+    for k, (alpha_k, value_k) in enumerate(zip(points, values)):
+        numerator, denominator = 1, 1
+        for i, alpha_i in enumerate(points):
+            if i == k:
+                continue
+            numerator = numerator * ((x - alpha_i) % modulus) % modulus
+            denominator = denominator * ((alpha_k - alpha_i) % modulus) % modulus
+        total = (total + value_k * numerator
+                 * pow(denominator, modulus - 2, modulus)) % modulus
+    return total

@@ -1,0 +1,68 @@
+"""Centralized scheduling mechanisms (the baselines DMW distributes)."""
+
+from .base import (
+    Bids,
+    CentralizedMechanism,
+    MechanismResult,
+    random_bid_row,
+    truthful_bids,
+    unilateral_deviation,
+)
+from .minwork import MinWork, minwork_first_and_second_price
+from .optimal import (
+    greedy_makespan_schedule,
+    makespan_approximation_ratio,
+    optimal_makespan_schedule,
+)
+from .properties import (
+    Violation,
+    check_truthfulness_exhaustive,
+    check_truthfulness_sampled,
+    check_voluntary_participation,
+)
+from .related import (
+    ExactMakespanAllocation,
+    GreedyWorkSplit,
+    MyersonRelatedMachines,
+    RelatedResult,
+    assigned_work,
+    related_problem,
+)
+from .randomized import (
+    BiasedRandomNMachines,
+    RandomizedTwoMachines,
+    biased_auction,
+    expected_makespan,
+)
+from .vcg import VCG, makespan_objective, total_work_objective
+
+__all__ = [
+    "BiasedRandomNMachines",
+    "Bids",
+    "CentralizedMechanism",
+    "ExactMakespanAllocation",
+    "GreedyWorkSplit",
+    "MechanismResult",
+    "MinWork",
+    "MyersonRelatedMachines",
+    "RelatedResult",
+    "assigned_work",
+    "related_problem",
+    "RandomizedTwoMachines",
+    "VCG",
+    "Violation",
+    "biased_auction",
+    "check_truthfulness_exhaustive",
+    "check_truthfulness_sampled",
+    "check_voluntary_participation",
+    "expected_makespan",
+    "greedy_makespan_schedule",
+    "makespan_approximation_ratio",
+    "makespan_objective",
+    "minwork_first_and_second_price",
+    "optimal_makespan_schedule",
+    "random_bid_row",
+    "total_work_objective",
+    "truthful_bids",
+    "unilateral_deviation",
+]

@@ -1,0 +1,102 @@
+"""The MinWork mechanism of Nisan & Ronen (paper Definition 5).
+
+MinWork allocates each task to the agent bidding the lowest execution time
+and pays each winner, per task won, the *second-lowest* bid for that task
+(eq. (1)) — i.e. it runs ``m`` parallel, independent Vickrey auctions.  It
+minimizes total work exactly, and is therefore an ``n``-approximation for
+the makespan objective.
+
+The implementation exposes its elementary operation count so the
+``Theta(mn)`` computational-cost row of Table 1 can be measured rather than
+assumed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..scheduling.schedule import Schedule
+from .base import Bids, CentralizedMechanism, MechanismResult
+
+
+class MinWork(CentralizedMechanism):
+    """MinWork: per-task lowest-bid allocation with Vickrey payments.
+
+    Parameters
+    ----------
+    tie_break:
+        ``"lowest_index"`` (default) awards ties to the smallest agent
+        index — matching DMW's smallest-pseudonym rule, which makes
+        outcome-equivalence testable.  ``"random"`` matches Definition 5's
+        "allocation is random when there is more than one agent with
+        minimum type" and requires ``rng``.
+    rng:
+        Randomness source for ``tie_break="random"``.
+    """
+
+    def __init__(self, tie_break: str = "lowest_index",
+                 rng: Optional[random.Random] = None) -> None:
+        if tie_break not in ("lowest_index", "random"):
+            raise ValueError("tie_break must be 'lowest_index' or 'random'")
+        if tie_break == "random" and rng is None:
+            raise ValueError("tie_break='random' requires an rng")
+        self.tie_break = tie_break
+        self.rng = rng
+        #: Elementary operations (comparisons) performed by the most recent
+        #: ``allocate`` + ``payments`` pair; the measurable side of the
+        #: Theta(mn) claim.
+        self.last_operation_count = 0
+
+    def allocate(self, bids: Bids) -> Schedule:
+        """Allocate each task to a lowest bidder."""
+        self.last_operation_count = 0
+        assignment = []
+        for task in range(bids.num_tasks):
+            column = bids.task_times(task)
+            self.last_operation_count += len(column)
+            best = min(column)
+            winners = [agent for agent, bid in enumerate(column) if bid == best]
+            if len(winners) == 1 or self.tie_break == "lowest_index":
+                assignment.append(winners[0])
+            else:
+                assignment.append(self.rng.choice(winners))
+        return Schedule(assignment, bids.num_agents)
+
+    def payments(self, bids: Bids, schedule: Schedule) -> List[float]:
+        """Vickrey payments: ``P_i = sum_{j in S_i} min_{i' != i} y_{i'}^j``."""
+        if bids.num_agents < 2:
+            raise ValueError(
+                "MinWork payments need at least two agents (no second price "
+                "exists with one)"
+            )
+        totals = [0.0] * bids.num_agents
+        for task in range(bids.num_tasks):
+            winner = schedule.agent_of(task)
+            column = bids.task_times(task)
+            self.last_operation_count += len(column)
+            second_price = min(bid for agent, bid in enumerate(column)
+                               if agent != winner)
+            totals[winner] += second_price
+        return totals
+
+    def run_with_cost(self, bids: Bids) -> Tuple[MechanismResult, int]:
+        """Run the mechanism and also return its elementary operation count."""
+        result = self.run(bids)
+        return result, self.last_operation_count
+
+
+def minwork_first_and_second_price(column: Tuple[float, ...],
+                                   tie_break_lowest_index: bool = True
+                                   ) -> Tuple[int, float, float]:
+    """Return ``(winner, first_price, second_price)`` for one task column.
+
+    Helper shared by tests and by the DMW-vs-MinWork equivalence checks.
+    """
+    if len(column) < 2:
+        raise ValueError("need at least two bids for a second price")
+    first_price = min(column)
+    winner = column.index(first_price)
+    second_price = min(bid for agent, bid in enumerate(column)
+                       if agent != winner)
+    return winner, first_price, second_price

@@ -1,0 +1,236 @@
+"""Truthful scheduling on *related* machines (the paper's future work).
+
+The conclusion of the paper names "designing distributed versions of the
+centralized mechanism for scheduling on related machines proposed in
+[Archer-Tardos]" as future work.  This module implements the centralized
+side of that program for the single-parameter domain Archer and Tardos
+introduced:
+
+* each agent's private type is one number ``b_i`` — its *inverse speed*
+  (time per unit of work); task ``j`` has a public size ``r_j``; agent
+  ``i`` completes the tasks assigned to it in ``b_i * (assigned work)``;
+* an allocation rule is truthfully implementable iff each agent's
+  assigned work ``w_i(b_i)`` is non-increasing in its own bid
+  (monotonicity), and the unique normalized truthful payment is Myerson's
+
+  ``P_i(b) = b_i * w_i(b_i) + integral_{b_i}^{inf} w_i(u) du``.
+
+Over a *discrete* bid grid (which DMW needs anyway) the integral is the
+finite sum ``sum_{u > b_i, u in grid} w_i(u) * delta(u)`` with
+``w_i(grid_max+) = 0`` beyond the grid, evaluated by rerunning the
+allocation — exact, no estimation.
+
+Two allocation rules are provided:
+
+* :class:`GreedyWorkSplit` — the monotone LPT-style heuristic: tasks in
+  decreasing size, each to the machine finishing it earliest under
+  declared speeds, with deterministic bid-then-index tie-breaking;
+* exact min-makespan (via :mod:`repro.mechanisms.optimal`), whose
+  monotonicity requires consistent tie-breaking and is *checked
+  empirically* by the test suite rather than assumed.
+
+Truthfulness of :class:`MyersonRelatedMachines` is therefore testable end
+to end: exhaustive unilateral deviations over the grid must never help —
+and for allocation rules that are *not* monotone the same harness
+exhibits a violation (see ``tests/test_related.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..scheduling.problem import SchedulingProblem
+from ..scheduling.schedule import Schedule
+
+#: An allocation rule maps (inverse speeds, task sizes) -> Schedule.
+AllocationRule = Callable[[Sequence[float], Sequence[float]], Schedule]
+
+
+def related_problem(inverse_speeds: Sequence[float],
+                    sizes: Sequence[float]) -> SchedulingProblem:
+    """Build the unrelated-machines view ``t_i^j = b_i * r_j``."""
+    return SchedulingProblem(
+        [[b * r for r in sizes] for b in inverse_speeds]
+    )
+
+
+def assigned_work(schedule: Schedule, sizes: Sequence[float],
+                  agent: int) -> float:
+    """Total size of the tasks ``agent`` received."""
+    return sum(sizes[j] for j in schedule.tasks_of(agent))
+
+
+class GreedyWorkSplit:
+    """Monotone LPT-style allocation for related machines.
+
+    Tasks are placed in decreasing size order on the machine that would
+    finish them earliest given the *declared* inverse speeds, ties broken
+    by (declared bid, index).  Raising one's own bid can only shed work
+    under this rule, which the tests verify exhaustively on grids.
+    """
+
+    def __call__(self, inverse_speeds: Sequence[float],
+                 sizes: Sequence[float]) -> Schedule:
+        n = len(inverse_speeds)
+        loads = [0.0] * n  # completion time under declared speeds
+        assignment = [0] * len(sizes)
+        order = sorted(range(len(sizes)), key=lambda j: (-sizes[j], j))
+        for task in order:
+            best = min(
+                range(n),
+                key=lambda i: (loads[i] + inverse_speeds[i] * sizes[task],
+                               inverse_speeds[i], i),
+            )
+            assignment[task] = best
+            loads[best] += inverse_speeds[best] * sizes[task]
+        return Schedule(assignment, n)
+
+
+class ExactMakespanAllocation:
+    """Exact min-makespan allocation under declared speeds.
+
+    Ties between optimal schedules are broken by preferring *less* work
+    on higher-bid machines (lexicographic work vector ordered by
+    decreasing bid), which is what keeps the rule monotone in practice;
+    the test suite checks monotonicity exhaustively on small grids.
+    """
+
+    def __init__(self, node_limit: int = 500_000) -> None:
+        self.node_limit = node_limit
+
+    def __call__(self, inverse_speeds: Sequence[float],
+                 sizes: Sequence[float]) -> Schedule:
+        import itertools
+        n = len(inverse_speeds)
+        best_schedule, best_key = None, None
+        # Exhaustive for the small instances the experiments use.
+        for combo in itertools.product(range(n), repeat=len(sizes)):
+            schedule = Schedule(list(combo), n)
+            loads = [0.0] * n
+            for task, agent in enumerate(combo):
+                loads[agent] += inverse_speeds[agent] * sizes[task]
+            makespan = max(loads)
+            # Secondary key: work on machines sorted by decreasing bid —
+            # prefer unloading slow (high-bid) machines.
+            slow_order = sorted(range(n),
+                                key=lambda i: (-inverse_speeds[i], i))
+            work_vector = tuple(assigned_work(schedule, sizes, i)
+                                for i in slow_order)
+            key = (makespan, work_vector)
+            if best_key is None or key < best_key:
+                best_schedule, best_key = schedule, key
+        return best_schedule
+
+
+@dataclass(frozen=True)
+class RelatedResult:
+    """Outcome of the related-machines mechanism."""
+
+    schedule: Schedule
+    payments: Tuple[float, ...]
+
+    def utility(self, agent: int, true_inverse_speed: float,
+                sizes: Sequence[float]) -> float:
+        """``P_i - b_i * (assigned work)`` with the *true* type."""
+        work = assigned_work(self.schedule, sizes, agent)
+        return self.payments[agent] - true_inverse_speed * work
+
+
+class MyersonRelatedMachines:
+    """Monotone allocation + exact Myerson payments over a bid grid.
+
+    Parameters
+    ----------
+    sizes:
+        Public task sizes ``r_j``.
+    bid_grid:
+        The discrete, ascending set of legal inverse-speed bids.
+    allocation:
+        The allocation rule; defaults to :class:`GreedyWorkSplit`.
+    """
+
+    def __init__(self, sizes: Sequence[float], bid_grid: Sequence[float],
+                 allocation: Optional[AllocationRule] = None) -> None:
+        if not sizes or any(r <= 0 for r in sizes):
+            raise ValueError("task sizes must be positive")
+        grid = list(bid_grid)
+        if grid != sorted(set(grid)) or not grid or grid[0] <= 0:
+            raise ValueError("bid grid must be ascending positives")
+        self.sizes = list(sizes)
+        self.bid_grid = grid
+        self.allocation = allocation or GreedyWorkSplit()
+
+    def _validate_bids(self, bids: Sequence[float]) -> None:
+        for bid in bids:
+            if bid not in self.bid_grid:
+                raise ValueError("bid %r not in the published grid" % bid)
+
+    def work_curve(self, bids: Sequence[float], agent: int) -> List[float]:
+        """``w_agent(u)`` for every grid value ``u`` (others fixed).
+
+        The monotonicity certificate: for a truthful mechanism this list
+        must be non-increasing.
+        """
+        curve = []
+        for u in self.bid_grid:
+            trial = list(bids)
+            trial[agent] = u
+            schedule = self.allocation(trial, self.sizes)
+            curve.append(assigned_work(schedule, self.sizes, agent))
+        return curve
+
+    def run(self, bids: Sequence[float]) -> RelatedResult:
+        """Allocate and pay (exact discrete Myerson payments).
+
+        On the grid ``u_1 < ... < u_k`` the Myerson integral for an agent
+        bidding ``u_t`` is evaluated with the step interpretation — the
+        work curve is piecewise constant, changing only at grid points:
+
+        ``P_i = u_t * w(u_t) + sum_{s > t} (u_s - u_{s-1}) * w(u_s)``
+
+        which makes every grid deviation exactly utility-neutral-or-worse
+        (the discrete analogue of the integral payment).
+        """
+        self._validate_bids(bids)
+        schedule = self.allocation(bids, self.sizes)
+        payments = []
+        for agent, bid in enumerate(bids):
+            curve = self.work_curve(bids, agent)
+            index = self.bid_grid.index(bid)
+            own_work = assigned_work(schedule, self.sizes, agent)
+            payment = bid * own_work
+            for s in range(index + 1, len(self.bid_grid)):
+                step = self.bid_grid[s] - self.bid_grid[s - 1]
+                payment += step * curve[s]
+            payments.append(payment)
+        return RelatedResult(schedule=schedule, payments=tuple(payments))
+
+    # -- property checkers -------------------------------------------------------
+    def check_monotonicity(self, bids: Sequence[float]
+                           ) -> Optional[Tuple[int, List[float]]]:
+        """Return ``(agent, curve)`` for the first non-monotone work curve,
+        or ``None`` if all are non-increasing."""
+        for agent in range(len(bids)):
+            curve = self.work_curve(bids, agent)
+            if any(b > a + 1e-9 for a, b in zip(curve, curve[1:])):
+                return agent, curve
+        return None
+
+    def check_truthfulness(self, true_types: Sequence[float]
+                           ) -> Optional[Tuple[int, float, float, float]]:
+        """Exhaustive unilateral grid deviations; first violation or None."""
+        self._validate_bids(true_types)
+        baseline = self.run(list(true_types))
+        for agent, true_type in enumerate(true_types):
+            honest = baseline.utility(agent, true_type, self.sizes)
+            for deviation in self.bid_grid:
+                if deviation == true_type:
+                    continue
+                bids = list(true_types)
+                bids[agent] = deviation
+                result = self.run(bids)
+                utility = result.utility(agent, true_type, self.sizes)
+                if utility > honest + 1e-9:
+                    return agent, deviation, honest, utility
+        return None

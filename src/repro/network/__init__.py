@@ -1,0 +1,28 @@
+"""Distributed substrate: synchronous network simulation with accounting."""
+
+from .asynchronous import TimeoutNetwork
+from .faults import FaultPlan, obedient_plan
+from .latency import (
+    LatencyModel,
+    Timeline,
+    estimate_protocol_latency,
+    timeline_for_rounds,
+)
+from .message import BROADCAST, Message, estimate_bytes
+from .metrics import NetworkMetrics
+from .simulator import SynchronousNetwork
+
+__all__ = [
+    "BROADCAST",
+    "FaultPlan",
+    "LatencyModel",
+    "Message",
+    "NetworkMetrics",
+    "SynchronousNetwork",
+    "TimeoutNetwork",
+    "Timeline",
+    "estimate_bytes",
+    "estimate_protocol_latency",
+    "obedient_plan",
+    "timeline_for_rounds",
+]

@@ -1,0 +1,109 @@
+"""Timeout semantics: running the synchronous protocol on slow links.
+
+DMW is specified with implicit synchronization barriers; a deployment
+realizes a barrier with a *timeout*: wait up to ``T`` for the round's
+messages, treat anything later as withheld.  :class:`TimeoutNetwork`
+extends the synchronous simulator with exactly that: every unicast's
+arrival time is sampled from a :class:`~repro.network.latency.LatencyModel`,
+messages arriving after the round timeout are dropped (and counted), and
+a wall clock advances by the per-round barrier time.
+
+This closes the loop on the paper's own future work ("implementing DMW
+in a simulated distributed environment") at the fidelity the protocol's
+synchronous structure admits: the interesting asynchrony — a slow agent
+being indistinguishable from a withholding one — is captured, and the
+safety dichotomy (correct outcome or abort, never a wrong outcome) can
+be tested under it (``tests/test_asynchronous.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .faults import FaultPlan
+from .latency import LatencyModel
+from .message import Message
+from .simulator import SynchronousNetwork
+
+
+class TimeoutNetwork(SynchronousNetwork):
+    """A synchronous network whose barriers are realized by timeouts.
+
+    Parameters
+    ----------
+    num_agents, fault_plan, extra_participants:
+        As for :class:`~repro.network.simulator.SynchronousNetwork`.
+    latency_model:
+        Per-message delay sampler.
+    round_timeout:
+        Barrier duration ``T``: messages with sampled delay above ``T``
+        are dropped as late.
+    """
+
+    def __init__(self, num_agents: int, latency_model: LatencyModel,
+                 round_timeout: float,
+                 fault_plan: Optional[FaultPlan] = None,
+                 extra_participants: int = 0) -> None:
+        super().__init__(num_agents, fault_plan=fault_plan,
+                         extra_participants=extra_participants)
+        if round_timeout <= 0:
+            raise ValueError("round timeout must be positive")
+        self.latency_model = latency_model
+        self.round_timeout = round_timeout
+        #: Wall clock: sum of per-round barrier durations.
+        self.clock = 0.0
+        #: Unicast copies dropped for arriving after the timeout.
+        self.late_messages = 0
+        #: Per-round barrier durations (min(timeout, slowest on-time)).
+        self.round_durations: List[float] = []
+
+    def deliver(self) -> int:
+        """Deliver the round under the latency model and advance the clock.
+
+        Late messages are *transmitted* (they count toward the metrics,
+        exactly like fault-plan drops) but never arrive; the receiving
+        code observes them as withheld.
+        """
+        delivered = 0
+        queued, self._outbox = self._outbox, []
+        slowest_on_time = 0.0
+        late_this_round = 0
+        for message in queued:
+            if self.fault_plan.sender_is_crashed(message.sender,
+                                                 self.round_index):
+                continue
+            stamped = message.with_round(self.round_index)
+            self.metrics.record(stamped, self.num_participants)
+            if message.is_broadcast:
+                self.bulletin_board.append(stamped)
+                recipients = [a for a in range(self.num_participants)
+                              if a != message.sender]
+            else:
+                recipients = [message.recipient]
+            for recipient in recipients:
+                unicast = Message(sender=stamped.sender, recipient=recipient,
+                                  kind=stamped.kind, payload=stamped.payload,
+                                  field_elements=stamped.field_elements,
+                                  round_sent=self.round_index)
+                final = self.fault_plan.transform(unicast, self.round_index)
+                if final is None:
+                    continue
+                delay = self.latency_model.sample(stamped.sender, recipient)
+                if delay > self.round_timeout:
+                    late_this_round += 1
+                    continue
+                slowest_on_time = max(slowest_on_time, delay)
+                self._inboxes[recipient].append(final)
+                if self.record_deliveries:
+                    self.delivery_log.append(final)
+                delivered += 1
+        # A barrier waits its full timeout whenever something is missing;
+        # otherwise it releases at the slowest on-time arrival.
+        duration = self.round_timeout if late_this_round else slowest_on_time
+        self.late_messages += late_this_round
+        self.round_durations.append(duration)
+        self.clock += duration
+        self.metrics.record_round()
+        self.round_index += 1
+        return delivered

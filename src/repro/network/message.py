@@ -1,0 +1,61 @@
+"""Typed messages for the simulated network.
+
+Every protocol transmission — a private share, a published commitment
+vector, a payment claim — is a :class:`Message`.  Messages carry an
+accounting weight in *field elements* (integers mod ``p`` or mod ``q``), so
+communication cost can be reported both in message counts (the unit of
+Theorem 11) and in field-element volume (a proxy for bytes: multiply by
+``ceil(log2 p / 8)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Sentinel recipient meaning "published to every participant".
+BROADCAST = None
+
+
+@dataclass(frozen=True)
+class Message:
+    """One transmission on the simulated network.
+
+    Attributes
+    ----------
+    sender:
+        Sending agent id.
+    recipient:
+        Receiving agent id, or :data:`BROADCAST` for a published message.
+    kind:
+        Message type tag, e.g. ``"share"``, ``"commitment"``, ``"lambda_psi"``.
+    payload:
+        Arbitrary content; the simulator never inspects it.
+    field_elements:
+        Number of field elements the payload encodes (accounting weight).
+    round_sent:
+        Filled in by the simulator at delivery time.
+    """
+
+    sender: int
+    recipient: Optional[int]
+    kind: str
+    payload: Any
+    field_elements: int = 1
+    round_sent: int = -1
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.recipient is BROADCAST
+
+    def with_round(self, round_index: int) -> "Message":
+        """Return a copy stamped with the delivery round."""
+        return Message(sender=self.sender, recipient=self.recipient,
+                       kind=self.kind, payload=self.payload,
+                       field_elements=self.field_elements,
+                       round_sent=round_index)
+
+
+def estimate_bytes(field_elements: int, p_bits: int) -> int:
+    """Convert a field-element count to bytes for a given field size."""
+    return field_elements * ((p_bits + 7) // 8)

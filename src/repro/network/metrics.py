@@ -1,0 +1,74 @@
+"""Communication accounting (the measurement side of Theorem 11).
+
+The paper counts a "published" message as ``n - 1`` point-to-point
+transmissions (proof of Theorem 11 assumes no broadcast facility), so the
+headline figure is :attr:`NetworkMetrics.point_to_point_messages` with that
+expansion applied.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .message import Message
+
+
+@dataclass
+class NetworkMetrics:
+    """Running totals of network activity.
+
+    Attributes
+    ----------
+    point_to_point_messages:
+        Unicast transmissions, with each broadcast expanded to ``n - 1``.
+    broadcast_events:
+        Number of publish operations (before expansion).
+    field_elements:
+        Total field elements transmitted (same expansion rule).
+    rounds:
+        Synchronous rounds executed.
+    by_kind:
+        Point-to-point message counts per message kind.
+    """
+
+    point_to_point_messages: int = 0
+    broadcast_events: int = 0
+    field_elements: int = 0
+    rounds: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def record(self, message: Message, num_agents: int) -> None:
+        """Account for one logical message."""
+        if message.is_broadcast:
+            copies = max(num_agents - 1, 0)
+            self.broadcast_events += 1
+        else:
+            copies = 1
+        self.point_to_point_messages += copies
+        self.field_elements += copies * message.field_elements
+        self.by_kind[message.kind] += copies
+
+    def record_round(self) -> None:
+        self.rounds += 1
+
+    def merge(self, other: "NetworkMetrics") -> None:
+        """Fold another metrics object into this one."""
+        self.point_to_point_messages += other.point_to_point_messages
+        self.broadcast_events += other.broadcast_events
+        self.field_elements += other.field_elements
+        self.rounds += other.rounds
+        self.by_kind.update(other.by_kind)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return a plain-dict summary (stable keys for table rendering)."""
+        summary = {
+            "point_to_point_messages": self.point_to_point_messages,
+            "broadcast_events": self.broadcast_events,
+            "field_elements": self.field_elements,
+            "rounds": self.rounds,
+        }
+        for kind in sorted(self.by_kind):
+            summary["messages[%s]" % kind] = self.by_kind[kind]
+        return summary

@@ -1,0 +1,151 @@
+"""Synchronous round-based message-passing simulator.
+
+DMW's phases are implicitly synchronized (paper step II.4: "agents cannot
+continue until all shares are transmitted and commitments published"), so a
+synchronous model is faithful: within a round every agent deposits outgoing
+messages, then :meth:`SynchronousNetwork.deliver` moves them to the
+recipients' inboxes atomically.
+
+Two transmission primitives exist, mirroring Fig. 2:
+
+* :meth:`send` — a private point-to-point message (solid arrows);
+* :meth:`publish` — a published message (dashed arrows), delivered to every
+  other agent and retained on a bulletin board; accounted as ``n - 1``
+  unicasts per the proof of Theorem 11.
+
+The simulator is deliberately *dumb*: it moves and counts messages and
+applies the :class:`~repro.network.faults.FaultPlan`; all protocol logic
+lives in the agents.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from .faults import FaultPlan, obedient_plan
+from .message import BROADCAST, Message
+from .metrics import NetworkMetrics
+
+
+class SynchronousNetwork:
+    """A synchronous network connecting ``num_agents`` participants.
+
+    Agent ids are ``0 .. num_agents - 1``.  An optional extra participant
+    (e.g. the trusted center of centralized MinWork) can be registered via
+    ``extra_participants``; it gets an id at the top of the range and full
+    send/receive rights, but does not change the broadcast fan-out used for
+    agent-to-agent publishing unless included.
+    """
+
+    def __init__(self, num_agents: int,
+                 fault_plan: Optional[FaultPlan] = None,
+                 extra_participants: int = 0,
+                 record_deliveries: bool = False) -> None:
+        if num_agents < 1:
+            raise ValueError("need at least one agent")
+        if extra_participants < 0:
+            raise ValueError("extra_participants must be non-negative")
+        self.num_agents = num_agents
+        self.num_participants = num_agents + extra_participants
+        self.fault_plan = fault_plan or obedient_plan()
+        self.metrics = NetworkMetrics()
+        self._outbox: List[Message] = []
+        self._inboxes: Dict[int, List[Message]] = defaultdict(list)
+        #: Published history: list of delivered broadcast messages, in order.
+        self.bulletin_board: List[Message] = []
+        #: Every delivered unicast copy, when ``record_deliveries`` is on
+        #: (used by the latency model to reconstruct a timeline).
+        self.record_deliveries = record_deliveries
+        self.delivery_log: List[Message] = []
+        self.round_index = 0
+
+    # -- validation -----------------------------------------------------------
+    def _check_participant(self, participant: int, role: str) -> None:
+        if not 0 <= participant < self.num_participants:
+            raise ValueError("invalid %s id %d" % (role, participant))
+
+    # -- transmission primitives ------------------------------------------------
+    def send(self, sender: int, recipient: int, kind: str, payload: Any,
+             field_elements: int = 1) -> None:
+        """Queue a private point-to-point message for the next delivery."""
+        self._check_participant(sender, "sender")
+        self._check_participant(recipient, "recipient")
+        if sender == recipient:
+            raise ValueError("agents do not message themselves")
+        self._outbox.append(Message(sender=sender, recipient=recipient,
+                                    kind=kind, payload=payload,
+                                    field_elements=field_elements))
+
+    def publish(self, sender: int, kind: str, payload: Any,
+                field_elements: int = 1) -> None:
+        """Queue a published message (broadcast) for the next delivery."""
+        self._check_participant(sender, "sender")
+        self._outbox.append(Message(sender=sender, recipient=BROADCAST,
+                                    kind=kind, payload=payload,
+                                    field_elements=field_elements))
+
+    # -- round execution -----------------------------------------------------
+    def deliver(self) -> int:
+        """Deliver all queued messages; returns the number delivered.
+
+        Faults are applied per expanded unicast copy, so a broadcast from a
+        crashed sender reaches nobody while a broadcast over one dropped
+        link still reaches the other recipients.  Metrics count messages
+        actually *sent* by live senders (a dropped message was transmitted;
+        it just did not arrive).
+        """
+        delivered = 0
+        queued, self._outbox = self._outbox, []
+        for message in queued:
+            if self.fault_plan.sender_is_crashed(message.sender,
+                                                 self.round_index):
+                continue
+            stamped = message.with_round(self.round_index)
+            self.metrics.record(stamped, self.num_participants)
+            if message.is_broadcast:
+                self.bulletin_board.append(stamped)
+                recipients = [a for a in range(self.num_participants)
+                              if a != message.sender]
+            else:
+                recipients = [message.recipient]
+            for recipient in recipients:
+                unicast = Message(sender=stamped.sender, recipient=recipient,
+                                  kind=stamped.kind, payload=stamped.payload,
+                                  field_elements=stamped.field_elements,
+                                  round_sent=self.round_index)
+                final = self.fault_plan.transform(unicast, self.round_index)
+                if final is not None:
+                    self._inboxes[recipient].append(final)
+                    if self.record_deliveries:
+                        self.delivery_log.append(final)
+                    delivered += 1
+        self.metrics.record_round()
+        self.round_index += 1
+        return delivered
+
+    # -- reception -------------------------------------------------------------
+    def receive(self, agent: int, kind: Optional[str] = None) -> List[Message]:
+        """Drain (and return) an agent's inbox, optionally filtered by kind.
+
+        Filtered receives leave other kinds queued.
+        """
+        self._check_participant(agent, "agent")
+        inbox = self._inboxes[agent]
+        if kind is None:
+            self._inboxes[agent] = []
+            return inbox
+        matched = [m for m in inbox if m.kind == kind]
+        self._inboxes[agent] = [m for m in inbox if m.kind != kind]
+        return matched
+
+    def peek(self, agent: int) -> Tuple[Message, ...]:
+        """Return an agent's queued messages without consuming them."""
+        self._check_participant(agent, "agent")
+        return tuple(self._inboxes[agent])
+
+    def published(self, kind: Optional[str] = None) -> List[Message]:
+        """Return the bulletin-board history, optionally filtered by kind."""
+        if kind is None:
+            return list(self.bulletin_board)
+        return [m for m in self.bulletin_board if m.kind == kind]

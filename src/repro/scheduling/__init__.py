@@ -1,0 +1,7 @@
+"""Scheduling-on-unrelated-machines problem substrate (paper §2.1)."""
+
+from .problem import SchedulingProblem, Task
+from .schedule import Schedule
+from . import workloads
+
+__all__ = ["Schedule", "SchedulingProblem", "Task", "workloads"]

@@ -1,0 +1,122 @@
+"""Schedules: partitions of the task set over agents (paper §2.1).
+
+A schedule ``S`` partitions task indices into disjoint sets ``S_i``; the
+objective the paper targets is the makespan ``C_max = max_i sum_{j in S_i}
+t_i^j`` while MinWork actually minimizes the *total work* ``sum_i sum_{j in
+S_i} t_i^j`` (which makes it an n-approximation of the makespan — an
+experiment in :mod:`repro.analysis.approximation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .problem import SchedulingProblem
+
+
+class Schedule:
+    """An assignment of every task to exactly one agent.
+
+    Parameters
+    ----------
+    assignment:
+        ``assignment[j]`` is the agent index that task ``j`` is allocated
+        to.  Every task must be assigned (MinWork always produces a complete
+        assignment).
+    num_agents:
+        Number of agents ``n`` (agents may receive no tasks).
+    """
+
+    def __init__(self, assignment: Sequence[int], num_agents: int) -> None:
+        if num_agents < 1:
+            raise ValueError("need at least one agent")
+        for j, agent in enumerate(assignment):
+            if not 0 <= agent < num_agents:
+                raise ValueError(
+                    "task %d assigned to invalid agent %d" % (j, agent)
+                )
+        self._assignment = tuple(assignment)
+        self._num_agents = num_agents
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_partition(cls, partition: Sequence[Iterable[int]],
+                       num_tasks: int) -> "Schedule":
+        """Build from the paper's partition form ``{S_1, ..., S_n}``."""
+        assignment = [-1] * num_tasks
+        for agent, tasks in enumerate(partition):
+            for task in tasks:
+                if not 0 <= task < num_tasks:
+                    raise ValueError("task index %d out of range" % task)
+                if assignment[task] != -1:
+                    raise ValueError("task %d assigned twice" % task)
+                assignment[task] = agent
+        if any(agent == -1 for agent in assignment):
+            missing = [j for j, a in enumerate(assignment) if a == -1]
+            raise ValueError("tasks %s unassigned" % missing)
+        return cls(assignment, len(partition))
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def assignment(self) -> Tuple[int, ...]:
+        return self._assignment
+
+    @property
+    def num_agents(self) -> int:
+        return self._num_agents
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._assignment)
+
+    def agent_of(self, task: int) -> int:
+        """Return the agent that task ``task`` is allocated to."""
+        return self._assignment[task]
+
+    def tasks_of(self, agent: int) -> Tuple[int, ...]:
+        """Return ``S_agent``, the tasks allocated to ``agent``."""
+        return tuple(j for j, a in enumerate(self._assignment) if a == agent)
+
+    def partition(self) -> List[Tuple[int, ...]]:
+        """Return the paper's partition form ``[S_1, ..., S_n]``."""
+        return [self.tasks_of(agent) for agent in range(self._num_agents)]
+
+    # -- objectives -------------------------------------------------------------
+    def completion_time(self, agent: int, problem: SchedulingProblem) -> float:
+        """Return ``sum_{j in S_agent} t_agent^j``."""
+        return sum(problem.time(agent, j) for j in self.tasks_of(agent))
+
+    def makespan(self, problem: SchedulingProblem) -> float:
+        """Return ``C_max = max_i completion_time(i)``."""
+        return max(self.completion_time(agent, problem)
+                   for agent in range(self._num_agents))
+
+    def total_work(self, problem: SchedulingProblem) -> float:
+        """Return ``sum_i completion_time(i)`` — MinWork's objective."""
+        return sum(problem.time(self._assignment[j], j)
+                   for j in range(self.num_tasks))
+
+    def valuation(self, agent: int, problem: SchedulingProblem) -> float:
+        """Return agent ``i``'s valuation ``V_i = -sum_{j in S_i} t_i^j``.
+
+        ``problem`` must hold the agent's *true* times for this to be the
+        paper's valuation (Definition 2, item 3).
+        """
+        return -self.completion_time(agent, problem)
+
+    # -- dunder plumbing ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return (self._assignment, self._num_agents) == (
+            other._assignment, other._num_agents
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._assignment, self._num_agents))
+
+    def __repr__(self) -> str:
+        return "Schedule(%r, num_agents=%d)" % (
+            list(self._assignment), self._num_agents
+        )

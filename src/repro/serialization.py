@@ -1,0 +1,226 @@
+"""JSON serialization of instances, schedules, and outcomes.
+
+A downstream user of the library needs to persist and exchange three
+kinds of artifacts: problem instances (to rerun experiments), schedules
+and payments (the outcome a market actually executes), and full outcome
+records including transcripts and cost metrics (for audits and reports).
+This module provides stable, versioned JSON encodings for all of them.
+
+Cryptographic material (polynomials, shares, commitments) is deliberately
+*not* serializable: persisting secret shares would break the privacy
+model, and public commitments are only meaningful inside a live protocol
+run (the auditor consumes them in-process via
+:func:`repro.core.audit.audit_protocol_run`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .core.outcome import AuctionTranscript, DMWOutcome
+from .network.metrics import NetworkMetrics
+from .scheduling.problem import SchedulingProblem, Task
+from .scheduling.schedule import Schedule
+
+#: Bumped whenever an encoding changes shape.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised on malformed or wrong-version documents."""
+
+
+def _check(document: Dict[str, Any], expected_type: str) -> None:
+    if not isinstance(document, dict):
+        raise SerializationError("expected a JSON object")
+    if document.get("type") != expected_type:
+        raise SerializationError(
+            "expected type %r, got %r" % (expected_type,
+                                          document.get("type"))
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            "unsupported format version %r" % document.get("version")
+        )
+
+
+# -- problems -----------------------------------------------------------------
+
+def problem_to_dict(problem: SchedulingProblem) -> Dict[str, Any]:
+    """Encode an instance (time matrix + task requirements)."""
+    return {
+        "type": "scheduling_problem",
+        "version": FORMAT_VERSION,
+        "times": [list(row) for row in problem.times],
+        "requirements": [task.processing_requirement
+                         for task in problem.tasks],
+    }
+
+
+def problem_from_dict(document: Dict[str, Any]) -> SchedulingProblem:
+    """Decode an instance encoded by :func:`problem_to_dict`."""
+    _check(document, "scheduling_problem")
+    tasks = [Task(index=j, processing_requirement=r)
+             for j, r in enumerate(document["requirements"])]
+    return SchedulingProblem(document["times"], tasks)
+
+
+# -- schedules -----------------------------------------------------------------
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Encode a schedule as its assignment vector."""
+    return {
+        "type": "schedule",
+        "version": FORMAT_VERSION,
+        "assignment": list(schedule.assignment),
+        "num_agents": schedule.num_agents,
+    }
+
+
+def schedule_from_dict(document: Dict[str, Any]) -> Schedule:
+    _check(document, "schedule")
+    return Schedule(document["assignment"], document["num_agents"])
+
+
+# -- outcomes -------------------------------------------------------------------
+
+def _transcript_to_dict(transcript: AuctionTranscript) -> Dict[str, Any]:
+    return {
+        "task": transcript.task,
+        "first_price": transcript.first_price,
+        "winner": transcript.winner,
+        "second_price": transcript.second_price,
+        "valid_aggregate_publishers":
+            list(transcript.valid_aggregate_publishers),
+        "valid_disclosers": list(transcript.valid_disclosers),
+    }
+
+
+def _transcript_from_dict(document: Dict[str, Any]) -> AuctionTranscript:
+    return AuctionTranscript(
+        task=document["task"],
+        first_price=document["first_price"],
+        winner=document["winner"],
+        second_price=document["second_price"],
+        valid_aggregate_publishers=tuple(
+            document["valid_aggregate_publishers"]),
+        valid_disclosers=tuple(document["valid_disclosers"]),
+    )
+
+
+def outcome_to_dict(outcome: DMWOutcome) -> Dict[str, Any]:
+    """Encode an outcome: result, transcripts, and cost metrics.
+
+    Abort details are flattened to strings (exception objects do not
+    round-trip); metrics keep their full per-kind breakdown.
+    """
+    return {
+        "type": "dmw_outcome",
+        "version": FORMAT_VERSION,
+        "completed": outcome.completed,
+        "schedule": (schedule_to_dict(outcome.schedule)
+                     if outcome.schedule is not None else None),
+        "payments": (list(outcome.payments)
+                     if outcome.payments is not None else None),
+        "transcripts": [_transcript_to_dict(t) for t in outcome.transcripts],
+        "abort": ({
+            "reason": outcome.abort.reason,
+            "phase": outcome.abort.phase,
+            "task": outcome.abort.task,
+            "detected_by": outcome.abort.detected_by,
+            "offender": outcome.abort.offender,
+        } if outcome.abort is not None else None),
+        "network_metrics": outcome.network_metrics.as_dict(),
+        "agent_operations": list(outcome.agent_operations),
+    }
+
+
+def outcome_from_dict(document: Dict[str, Any]) -> DMWOutcome:
+    """Decode an outcome.
+
+    The network metrics are restored as totals (per-kind counts included);
+    an abort record is restored as a plain
+    :class:`~repro.core.exceptions.ProtocolAbort`.
+    """
+    _check(document, "dmw_outcome")
+    from .core.exceptions import ProtocolAbort
+
+    metrics = NetworkMetrics()
+    raw_metrics = document["network_metrics"]
+    metrics.point_to_point_messages = raw_metrics["point_to_point_messages"]
+    metrics.broadcast_events = raw_metrics["broadcast_events"]
+    metrics.field_elements = raw_metrics["field_elements"]
+    metrics.rounds = raw_metrics["rounds"]
+    for key, value in raw_metrics.items():
+        if key.startswith("messages[") and key.endswith("]"):
+            metrics.by_kind[key[len("messages["):-1]] = value
+
+    abort = None
+    if document["abort"] is not None:
+        raw_abort = document["abort"]
+        abort = ProtocolAbort(reason=raw_abort["reason"],
+                              phase=raw_abort["phase"],
+                              task=raw_abort["task"],
+                              detected_by=raw_abort["detected_by"],
+                              offender=raw_abort["offender"])
+
+    return DMWOutcome(
+        completed=document["completed"],
+        schedule=(schedule_from_dict(document["schedule"])
+                  if document["schedule"] is not None else None),
+        payments=(tuple(document["payments"])
+                  if document["payments"] is not None else None),
+        transcripts=[_transcript_from_dict(t)
+                     for t in document["transcripts"]],
+        abort=abort,
+        network_metrics=metrics,
+        agent_operations=list(document["agent_operations"]),
+    )
+
+
+# -- file helpers -----------------------------------------------------------------
+
+_ENCODERS = {
+    SchedulingProblem: problem_to_dict,
+    Schedule: schedule_to_dict,
+    DMWOutcome: outcome_to_dict,
+}
+
+_DECODERS = {
+    "scheduling_problem": problem_from_dict,
+    "schedule": schedule_from_dict,
+    "dmw_outcome": outcome_from_dict,
+}
+
+
+def dumps(artifact) -> str:
+    """Serialize any supported artifact to a JSON string."""
+    for kind, encoder in _ENCODERS.items():
+        if isinstance(artifact, kind):
+            return json.dumps(encoder(artifact), indent=2, sort_keys=True)
+    raise SerializationError("cannot serialize %r" % type(artifact).__name__)
+
+
+def loads(text: str):
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    document = json.loads(text)
+    if not isinstance(document, dict) or "type" not in document:
+        raise SerializationError("not a repro document")
+    decoder = _DECODERS.get(document["type"])
+    if decoder is None:
+        raise SerializationError("unknown document type %r"
+                                 % document["type"])
+    return decoder(document)
+
+
+def save(artifact, path: str) -> None:
+    """Serialize ``artifact`` to a file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(artifact) + "\n")
+
+
+def load(path: str):
+    """Load an artifact serialized by :func:`save`."""
+    with open(path) as handle:
+        return loads(handle.read())

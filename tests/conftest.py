@@ -1,0 +1,64 @@
+"""Shared fixtures: cached cryptographic groups and standard instances."""
+
+import random
+
+import pytest
+
+from repro.core.parameters import DMWParameters
+from repro.crypto.groups import fixture_group
+from repro.scheduling.problem import SchedulingProblem
+
+
+@pytest.fixture(scope="session")
+def group_small():
+    """A cached 56-bit Schnorr group with generators (fast, deterministic)."""
+    return fixture_group("small")
+
+
+@pytest.fixture(scope="session")
+def group_tiny():
+    """A cached 40-bit Schnorr group (for heavier sweeps)."""
+    return fixture_group("tiny")
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic randomness per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def params5(group_small):
+    """Standard DMW parameters: n=5 agents, c=1, W={1,2,3}."""
+    return DMWParameters.generate(5, fault_bound=1,
+                                  group_parameters=group_small)
+
+
+@pytest.fixture(scope="session")
+def params4(group_small):
+    """DMW parameters: n=4 agents, c=1, W={1,2}."""
+    return DMWParameters.generate(4, fault_bound=1,
+                                  group_parameters=group_small)
+
+
+@pytest.fixture()
+def problem53():
+    """A fixed 5-agent, 3-task instance with values in W={1,2,3}."""
+    return SchedulingProblem([
+        [2, 1, 3],
+        [3, 2, 1],
+        [1, 3, 2],
+        [2, 2, 2],
+        [3, 1, 1],
+    ])
+
+
+@pytest.fixture()
+def problem42():
+    """A fixed 4-agent, 2-task instance with values in W={1,2}."""
+    return SchedulingProblem([
+        [2, 1],
+        [1, 2],
+        [2, 2],
+        [1, 1],
+    ])

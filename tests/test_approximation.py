@@ -1,0 +1,43 @@
+"""Tests for repro.analysis.approximation (experiment E8)."""
+
+import pytest
+
+from repro.analysis.approximation import (
+    adversarial_ratios,
+    measure_ratio,
+    random_workload_ratios,
+)
+from repro.scheduling.problem import SchedulingProblem
+
+
+class TestMeasureRatio:
+    def test_ratio_fields(self):
+        problem = SchedulingProblem([[1, 1], [2, 2]])
+        sample = measure_ratio(problem, "hand")
+        assert sample.workload == "hand"
+        assert sample.ratio >= 1.0 - 1e-9
+
+    def test_perfect_instance_ratio_one(self):
+        # One specialist per task: MinWork is optimal.
+        problem = SchedulingProblem([[1, 9], [9, 1]])
+        assert measure_ratio(problem, "x").ratio == pytest.approx(1.0)
+
+
+class TestRandomFamilies:
+    def test_all_ratios_within_n(self):
+        samples = random_workload_ratios(num_agents=3, num_tasks=4, trials=3)
+        assert samples
+        for sample in samples:
+            assert 1.0 - 1e-9 <= sample.ratio <= sample.num_agents + 1e-9
+
+    def test_covers_all_families(self):
+        samples = random_workload_ratios(num_agents=3, num_tasks=3, trials=2)
+        names = {sample.workload for sample in samples}
+        assert names == {"uniform", "machine_correlated", "task_correlated",
+                         "bimodal"}
+
+
+class TestAdversarial:
+    def test_ratio_equals_n(self):
+        for sample in adversarial_ratios((2, 3, 4)):
+            assert sample.ratio == pytest.approx(sample.num_agents, rel=1e-3)

@@ -1,0 +1,142 @@
+"""Tests for the timeout network and DMW over slow links."""
+
+import random
+
+import pytest
+
+from repro.core.agent import DMWAgent
+from repro.core.protocol import DMWProtocol
+from repro.mechanisms.base import truthful_bids
+from repro.mechanisms.minwork import MinWork
+from repro.network.asynchronous import TimeoutNetwork
+from repro.network.latency import LatencyModel
+from repro.scheduling.problem import SchedulingProblem
+
+
+def fast_model(rng, scale=None):
+    return LatencyModel(rng, base=0.001, jitter=0.001,
+                        per_link_scale=scale)
+
+
+@pytest.fixture()
+def problem():
+    return SchedulingProblem([
+        [2, 1],
+        [1, 3],
+        [3, 2],
+        [2, 2],
+        [3, 3],
+    ])
+
+
+def run_dmw_over(network, params, problem, seed=0):
+    master = random.Random(seed)
+    agents = [
+        DMWAgent(i, params,
+                 [int(problem.time(i, j))
+                  for j in range(problem.num_tasks)],
+                 rng=random.Random(master.getrandbits(64)))
+        for i in range(5)
+    ]
+    protocol = DMWProtocol(params, agents, network=network)
+    return protocol.execute(problem.num_tasks)
+
+
+class TestTimeoutNetwork:
+    def test_fast_links_all_arrive(self, rng):
+        network = TimeoutNetwork(3, fast_model(rng), round_timeout=0.1)
+        network.send(0, 1, "x", None)
+        network.publish(2, "y", None)
+        assert network.deliver() == 3
+        assert network.late_messages == 0
+        assert 0 < network.clock <= 0.002
+
+    def test_slow_link_drops_as_late(self, rng):
+        scale = {(0, 1): 1000.0}
+        network = TimeoutNetwork(3, fast_model(rng, scale),
+                                 round_timeout=0.1)
+        network.send(0, 1, "x", None)
+        network.send(0, 2, "y", None)
+        delivered = network.deliver()
+        assert delivered == 1
+        assert network.late_messages == 1
+        assert network.receive(1) == []
+        assert len(network.receive(2)) == 1
+
+    def test_barrier_waits_full_timeout_when_something_is_late(self, rng):
+        scale = {(0, 1): 1000.0}
+        network = TimeoutNetwork(3, fast_model(rng, scale),
+                                 round_timeout=0.25)
+        network.send(0, 1, "x", None)
+        network.deliver()
+        assert network.round_durations[-1] == pytest.approx(0.25)
+        assert network.clock == pytest.approx(0.25)
+
+    def test_late_messages_still_counted_as_sent(self, rng):
+        scale = {(0, 1): 1000.0}
+        network = TimeoutNetwork(2, fast_model(rng, scale),
+                                 round_timeout=0.1)
+        network.send(0, 1, "x", None)
+        network.deliver()
+        assert network.metrics.point_to_point_messages == 1
+
+    def test_timeout_must_be_positive(self, rng):
+        with pytest.raises(ValueError):
+            TimeoutNetwork(2, fast_model(rng), round_timeout=0)
+
+
+class TestDMWOverTimeouts:
+    def test_fast_network_completes_and_matches(self, params5, problem):
+        network = TimeoutNetwork(5, fast_model(random.Random(1)),
+                                 round_timeout=0.1, extra_participants=1)
+        outcome = run_dmw_over(network, params5, problem)
+        assert outcome.completed
+        expected = MinWork().run(truthful_bids(problem))
+        assert outcome.schedule == expected.schedule
+        assert network.clock > 0
+
+    def test_isolated_slow_agent_looks_like_withholding(self, params5,
+                                                        problem):
+        """All of agent 3's outgoing links exceed the timeout: the rest of
+        the system sees a withholding agent and terminates — never a
+        wrong outcome."""
+        scale = {(3, k): 1000.0 for k in range(6) if k != 3}
+        network = TimeoutNetwork(5, fast_model(random.Random(1), scale),
+                                 round_timeout=0.1, extra_participants=1)
+        outcome = run_dmw_over(network, params5, problem)
+        assert not outcome.completed
+        assert outcome.abort.phase == "bidding"
+        assert outcome.abort.offender == 3
+
+    def test_safety_dichotomy_under_random_slow_links(self, params5,
+                                                      problem):
+        expected = MinWork().run(truthful_bids(problem))
+        for seed in range(6):
+            rng = random.Random(seed)
+            scale = {}
+            # Each directed link has a 3% chance of being too slow.
+            for sender in range(5):
+                for recipient in range(6):
+                    if sender != recipient and rng.random() < 0.03:
+                        scale[(sender, recipient)] = 1000.0
+            network = TimeoutNetwork(5, fast_model(rng, scale),
+                                     round_timeout=0.1,
+                                     extra_participants=1)
+            outcome = run_dmw_over(network, params5, problem, seed=seed)
+            if outcome.completed:
+                assert outcome.schedule == expected.schedule
+                assert list(outcome.payments) == list(expected.payments)
+            else:
+                assert all(outcome.utility(i, problem) == 0
+                           for i in range(5))
+
+    def test_clock_reflects_timeout_stalls(self, params5, problem):
+        fast = TimeoutNetwork(5, fast_model(random.Random(1)),
+                              round_timeout=0.5, extra_participants=1)
+        run_dmw_over(fast, params5, problem)
+        scale = {(3, 0): 1000.0}
+        stalled = TimeoutNetwork(5, fast_model(random.Random(1), scale),
+                                 round_timeout=0.5, extra_participants=1)
+        run_dmw_over(stalled, params5, problem)
+        # The stalled network burns at least one full timeout.
+        assert stalled.clock > fast.clock + 0.4

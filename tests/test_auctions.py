@@ -1,0 +1,244 @@
+"""Tests for repro.auctions (the Kikuchi (M+1)st-price substrate)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.auctions import (
+    AuctionError,
+    AuctionParameters,
+    DistributedAuctionBidder,
+    DistributedMPlus1Auction,
+    check_auction_truthfulness,
+    first_price_auction,
+    mplus1_price_auction,
+    run_distributed_auction,
+    vickrey_auction,
+)
+from repro.crypto.secretsharing import Share
+
+
+class TestCentralizedSemantics:
+    def test_vickrey_basics(self):
+        result = vickrey_auction([3, 7, 5])
+        assert result.winners == (1,)
+        assert result.price == 5
+
+    def test_vickrey_tie_lowest_index(self):
+        result = vickrey_auction([7, 7, 5])
+        assert result.winners == (0,)
+        assert result.price == 7
+
+    def test_mplus1_multiple_items(self):
+        result = mplus1_price_auction([3, 9, 5, 7], num_items=2)
+        assert result.winners == (1, 3)
+        assert result.price == 5
+
+    def test_mplus1_threshold_tie(self):
+        result = mplus1_price_auction([5, 5, 5], num_items=1)
+        assert result.winners == (0,)
+        assert result.price == 5
+
+    def test_needs_enough_bidders(self):
+        with pytest.raises(ValueError):
+            mplus1_price_auction([1, 2], num_items=2)
+        with pytest.raises(ValueError):
+            mplus1_price_auction([1, 2], num_items=0)
+
+    def test_utility(self):
+        result = vickrey_auction([3, 7, 5])
+        assert result.utility(1, valuation=7) == 2
+        assert result.utility(0, valuation=3) == 0
+
+
+class TestTruthfulnessChecker:
+    GRID = [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_vickrey_truthful(self):
+        violations = check_auction_truthfulness(
+            vickrey_auction, valuations=[2, 5, 7], bid_grid=self.GRID)
+        assert violations == []
+
+    def test_mplus1_truthful(self):
+        auction = lambda bids: mplus1_price_auction(bids, num_items=2)
+        violations = check_auction_truthfulness(
+            auction, valuations=[2, 5, 7, 4], bid_grid=self.GRID)
+        assert violations == []
+
+    def test_first_price_not_truthful(self):
+        violations = check_auction_truthfulness(
+            first_price_auction, valuations=[3, 8], bid_grid=self.GRID)
+        assert violations  # shading below 8 wins cheaper
+        bidder, deviation, honest, deviating = violations[0]
+        assert deviating > honest
+
+
+class TestAuctionParameters:
+    def test_generate_defaults(self):
+        params = AuctionParameters.generate(6, collusion_bound=1)
+        assert params.num_bidders == 6
+        assert params.bid_values == (1, 2, 3, 4)
+
+    def test_degree_direct_relation(self):
+        params = AuctionParameters.generate(6, collusion_bound=2)
+        degrees = [params.degree_for_bid(b) for b in params.bid_values]
+        assert degrees == sorted(degrees)  # direct, not inverse
+        for bid in params.bid_values:
+            assert params.bid_for_degree(params.degree_for_bid(bid)) == bid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AuctionParameters(modulus=97, pseudonyms=(1,), bid_values=(1,),
+                              collusion_bound=0)
+        with pytest.raises(ValueError):
+            AuctionParameters(modulus=97, pseudonyms=(1, 1), bid_values=(1,),
+                              collusion_bound=0)
+        with pytest.raises(ValueError):
+            AuctionParameters(modulus=97, pseudonyms=(1, 2),
+                              bid_values=(5,), collusion_bound=0)
+        with pytest.raises(ValueError):
+            AuctionParameters.generate(3, collusion_bound=2)
+
+    def test_invalid_bid_rejected(self):
+        params = AuctionParameters.generate(6)
+        with pytest.raises(ValueError):
+            params.degree_for_bid(99)
+        with pytest.raises(ValueError):
+            params.bid_for_degree(0)
+
+
+class TestDistributedAuction:
+    def test_matches_centralized_vickrey(self):
+        valuations = [2, 4, 1, 3, 4, 2]
+        result, _ = run_distributed_auction(valuations, num_items=1,
+                                            rng=random.Random(1))
+        expected = mplus1_price_auction(valuations, 1)
+        assert result.winners == expected.winners
+        assert result.price == expected.price
+
+    def test_matches_centralized_multi_item(self):
+        valuations = [2, 4, 1, 3, 4, 2]
+        for m in (1, 2, 3):
+            result, _ = run_distributed_auction(valuations, num_items=m,
+                                                rng=random.Random(m))
+            expected = mplus1_price_auction(valuations, m)
+            assert result.winners == expected.winners, m
+            assert result.price == expected.price, m
+
+    def test_random_equivalence_sweep(self):
+        rng = random.Random(9)
+        params = AuctionParameters.generate(6)
+        for trial in range(10):
+            valuations = [rng.choice(params.bid_values) for _ in range(6)]
+            m = rng.randrange(1, 4)
+            result, _ = run_distributed_auction(valuations, m,
+                                                parameters=params,
+                                                rng=random.Random(trial))
+            expected = mplus1_price_auction(valuations, m)
+            assert result.winners == expected.winners
+            assert result.price == expected.price
+
+    def test_item_count_bounds(self):
+        with pytest.raises(ValueError):
+            run_distributed_auction([1, 2, 3, 2, 1, 2], num_items=0)
+        with pytest.raises(ValueError):
+            run_distributed_auction([1, 2, 3, 2, 1, 2], num_items=6)
+
+    def test_communication_is_linear_per_round(self):
+        valuations = [2, 4, 1, 3, 4, 2]
+        _, one = run_distributed_auction(valuations, 1,
+                                         rng=random.Random(0))
+        _, three = run_distributed_auction(valuations, 3,
+                                           rng=random.Random(0))
+        # Each extra item adds ~2 broadcast rounds, not a quadratic blowup.
+        assert three.point_to_point_messages < \
+            3 * one.point_to_point_messages
+
+
+class TestDistributedPrivacy:
+    def test_losing_bids_hidden_from_small_coalitions(self):
+        """c colluders pooling their shares cannot confirm a losing bid."""
+        params = AuctionParameters.generate(6, collusion_bound=2)
+        rng = random.Random(4)
+        valuations = [1, 3, 2, 2, 1, 2]
+        bidders = [
+            DistributedAuctionBidder(i, params, v,
+                                     rng=random.Random(rng.getrandbits(64)))
+            for i, v in enumerate(valuations)
+        ]
+        auction = DistributedMPlus1Auction(params, bidders)
+        result, _ = auction.run(num_items=1)
+        assert result.winners == (1,)
+        # Coalition {0, 2} attacks loser 3 (bid 2, degree 4: needs 5
+        # shares to confirm; they hold 2 + the free zero).
+        from repro.crypto.secretsharing import DegreeEncodingScheme
+        coalition = [0, 2]
+        shares = [Share(params.pseudonyms[m],
+                        bidders[m].state.received[3]) for m in coalition]
+        scheme = DegreeEncodingScheme(params.modulus,
+                                      [s.point for s in shares])
+        outcomes = scheme.reconstruction_attack(
+            shares, params.degree_candidates())
+        assert not any(outcomes.values())
+
+    def test_winner_bid_becomes_public(self):
+        """Winners open their polynomials: their bid is inherently public
+        (the delta DMW's f-polynomial trick removes)."""
+        params = AuctionParameters.generate(5, collusion_bound=1)
+        valuations = [1, 3, 2, 1, 2]
+        bidders = [DistributedAuctionBidder(i, params, v)
+                   for i, v in enumerate(valuations)]
+        auction = DistributedMPlus1Auction(params, bidders)
+        result, _ = auction.run(num_items=1)
+        openings = auction.network.published("opening")
+        assert openings
+        opened = openings[0].payload
+        assert params.bid_for_degree(opened.degree) == 3
+
+
+class TestAbortPaths:
+    def test_unverifiable_claimant_detected(self):
+        """A bidder opening a polynomial inconsistent with its shares is
+        rejected; with no other claimant the auction aborts."""
+        params = AuctionParameters.generate(5, collusion_bound=1)
+
+        class LyingWinner(DistributedAuctionBidder):
+            def open_polynomial(self):
+                from repro.crypto.polynomials import Polynomial
+                return Polynomial.random(
+                    params.degree_for_bid(self.valuation),
+                    params.modulus, random.Random(99))
+
+        valuations = [1, 3, 2, 1, 2]
+        bidders = [
+            LyingWinner(i, params, v) if i == 1
+            else DistributedAuctionBidder(i, params, v)
+            for i, v in enumerate(valuations)
+        ]
+        auction = DistributedMPlus1Auction(params, bidders)
+        with pytest.raises(AuctionError):
+            auction.run(num_items=1)
+
+
+class TestDistributedAuctionAccounting:
+    def test_message_kinds(self):
+        valuations = [2, 4, 1, 3, 4, 2]
+        params = AuctionParameters.generate(6)
+        bidders = [DistributedAuctionBidder(i, params, v)
+                   for i, v in enumerate(valuations)]
+        auction = DistributedMPlus1Auction(params, bidders)
+        result, metrics = auction.run(num_items=2)
+        kinds = set(metrics.by_kind)
+        assert kinds == {"share", "summed_share", "opening"}
+        # Shares: n*(n-1) private messages exactly once.
+        assert metrics.by_kind["share"] == 6 * 5
+
+    def test_rounds_grow_with_items(self):
+        valuations = [2, 4, 1, 3, 4, 2]
+        _, one = run_distributed_auction(valuations, 1,
+                                         rng=random.Random(0))
+        _, two = run_distributed_auction(valuations, 2,
+                                         rng=random.Random(0))
+        # Each extra item adds one resolution and one opening round.
+        assert two.rounds == one.rounds + 2

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRun:
+    def test_run_default(self, capsys):
+        assert main(["run", "--agents", "5", "--tasks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule:" in out
+        assert "payments:" in out
+        assert "second price" in out
+
+    def test_run_with_audit(self, capsys):
+        assert main(["run", "-n", "4", "-m", "1", "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "audit: PASS" in out
+
+    def test_run_from_instance_file(self, tmp_path, capsys):
+        instance = tmp_path / "instance.json"
+        instance.write_text(json.dumps([[2, 1], [1, 2], [2, 2], [1, 1],
+                                        [3, 3]]))
+        assert main(["run", "-n", "5", "--instance", str(instance)]) == 0
+        out = capsys.readouterr().out
+        assert "A1: [2, 1]" in out
+
+    def test_instance_shape_mismatch(self, tmp_path):
+        instance = tmp_path / "instance.json"
+        instance.write_text(json.dumps([[1], [1]]))
+        with pytest.raises(SystemExit):
+            main(["run", "-n", "5", "--instance", str(instance)])
+
+    def test_deterministic_given_seed(self, capsys):
+        main(["run", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["run", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestOtherCommands:
+    def test_minwork(self, capsys):
+        assert main(["minwork", "-n", "4", "-m", "2"]) == 0
+        assert "schedule:" in capsys.readouterr().out
+
+    def test_faithfulness(self, capsys):
+        assert main(["faithfulness", "-n", "4", "-m", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "faithfulness violations: 0" in out
+        assert "participation violations: 0" in out
+
+    def test_privacy(self, capsys):
+        assert main(["privacy", "-n", "4", "-m", "1"]) == 0
+        assert "coalition size" in capsys.readouterr().out
+
+    def test_leakage(self, capsys):
+        assert main(["leakage", "-n", "5", "-m", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "leaked bits" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestTraceFlag:
+    def test_run_with_trace(self, capsys):
+        assert main(["run", "-n", "4", "-m", "1", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol trace:" in out
+        assert "auction_resolved" in out
+        assert "payments_dispensed" in out
+
+
+class TestOutputFlag:
+    def test_outcome_written_and_loadable(self, tmp_path, capsys):
+        from repro import serialization
+        path = tmp_path / "outcome.json"
+        assert main(["run", "-n", "4", "-m", "2", "--output",
+                     str(path)]) == 0
+        outcome = serialization.load(str(path))
+        assert outcome.completed
+        assert outcome.schedule.num_tasks == 2
+
+
+class TestReproduceCommand:
+    def test_quick_profile_reproduces_everything(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "SUMMARY" in out
+        assert "no" not in [
+            cell.strip() for line in out.splitlines()
+            for cell in line.split("  ") if cell.strip() == "no"
+        ]
+        assert out.count("yes") >= 6
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "--profile", "galactic"])
+
+
+class TestReproduceReport:
+    def test_report_file_written(self, tmp_path, capsys):
+        path = tmp_path / "report.txt"
+        assert main(["reproduce", "--report", str(path)]) == 0
+        text = path.read_text()
+        assert "SUMMARY" in text
+        assert "Table 1" in text

@@ -1,0 +1,105 @@
+"""Unit tests for repro.network.faults."""
+
+import random
+
+import pytest
+
+from repro.network.faults import FaultPlan, obedient_plan
+from repro.network.message import Message
+from repro.network.simulator import SynchronousNetwork
+
+
+def make_message(sender=0, recipient=1):
+    return Message(sender=sender, recipient=recipient, kind="x", payload="p")
+
+
+class TestFaultPlan:
+    def test_obedient_plan_passes_everything(self):
+        plan = obedient_plan()
+        message = make_message()
+        assert plan.transform(message, 0) is message
+
+    def test_crash_stop_from_round(self):
+        plan = FaultPlan(crashed_from_round={0: 2})
+        assert not plan.sender_is_crashed(0, 1)
+        assert plan.sender_is_crashed(0, 2)
+        assert plan.sender_is_crashed(0, 5)
+        assert not plan.sender_is_crashed(1, 5)
+
+    def test_crashed_sender_messages_dropped(self):
+        plan = FaultPlan(crashed_from_round={0: 0})
+        assert plan.transform(make_message(), 0) is None
+
+    def test_dropped_link(self):
+        plan = FaultPlan(dropped_links={(0, 1)})
+        assert plan.transform(make_message(0, 1), 0) is None
+        assert plan.transform(make_message(1, 0), 0) is not None
+
+    def test_probabilistic_drop_requires_rng(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_probability=0.5)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_probability=1.5, rng=random.Random(0))
+
+    def test_probabilistic_drop_rate(self):
+        plan = FaultPlan(drop_probability=0.5, rng=random.Random(7))
+        survived = sum(
+            1 for _ in range(400)
+            if plan.transform(make_message(), 0) is not None
+        )
+        assert 140 < survived < 260
+
+    def test_corruptor_rewrites(self):
+        def corrupt(message):
+            return Message(sender=message.sender, recipient=message.recipient,
+                           kind=message.kind, payload="corrupted")
+
+        plan = FaultPlan(corruptors={(0, 1): corrupt})
+        assert plan.transform(make_message(0, 1), 0).payload == "corrupted"
+        assert plan.transform(make_message(1, 0), 0).payload == "p"
+
+
+class TestSimulatorIntegration:
+    def test_crashed_agent_sends_nothing(self):
+        plan = FaultPlan(crashed_from_round={0: 0})
+        network = SynchronousNetwork(3, fault_plan=plan)
+        network.send(0, 1, "x", None)
+        network.send(2, 1, "y", None)
+        network.deliver()
+        inbox = network.receive(1)
+        assert [m.sender for m in inbox] == [2]
+
+    def test_crashed_broadcast_not_counted(self):
+        plan = FaultPlan(crashed_from_round={0: 0})
+        network = SynchronousNetwork(3, fault_plan=plan)
+        network.publish(0, "x", None)
+        network.deliver()
+        assert network.metrics.point_to_point_messages == 0
+
+    def test_dropped_link_still_counted_as_sent(self):
+        plan = FaultPlan(dropped_links={(0, 1)})
+        network = SynchronousNetwork(2, fault_plan=plan)
+        network.send(0, 1, "x", None)
+        delivered = network.deliver()
+        assert delivered == 0
+        assert network.metrics.point_to_point_messages == 1
+
+    def test_broadcast_with_one_dropped_link_partially_delivers(self):
+        plan = FaultPlan(dropped_links={(0, 1)})
+        network = SynchronousNetwork(3, fault_plan=plan)
+        network.publish(0, "x", None)
+        network.deliver()
+        assert network.receive(1) == []
+        assert len(network.receive(2)) == 1
+
+    def test_agent_crashing_mid_run(self):
+        plan = FaultPlan(crashed_from_round={0: 1})
+        network = SynchronousNetwork(2, fault_plan=plan)
+        network.send(0, 1, "early", None)
+        network.deliver()   # round 0: delivered
+        network.send(0, 1, "late", None)
+        network.deliver()   # round 1: crashed
+        kinds = [m.kind for m in network.receive(1)]
+        assert kinds == ["early"]

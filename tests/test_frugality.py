@@ -1,0 +1,54 @@
+"""Tests for repro.analysis.frugality."""
+
+import pytest
+
+from repro.analysis.frugality import (
+    FrugalityReport,
+    frugality_by_competition,
+    frugality_of,
+)
+from repro.scheduling.problem import SchedulingProblem
+
+
+class TestFrugalityOf:
+    def test_exact_accounting(self):
+        problem = SchedulingProblem([
+            [1, 5],
+            [3, 2],
+            [4, 7],
+        ])
+        report = frugality_of(problem)
+        # Winning bids: 1 and 2; payments: 3 and 5.
+        assert report.total_cost == 3
+        assert report.total_payment == 8
+        assert report.per_task_margins == (2, 3)
+        assert report.frugality_ratio == pytest.approx(8 / 3)
+        assert report.overpayment == 5
+
+    def test_perfect_competition_no_overpayment(self):
+        problem = SchedulingProblem([
+            [2, 3],
+            [2, 3],
+            [9, 9],
+        ])
+        report = frugality_of(problem)
+        assert report.frugality_ratio == pytest.approx(1.0)
+        assert report.per_task_margins == (0, 0)
+
+    def test_zero_cost_guarded(self):
+        report = FrugalityReport(total_cost=0.0, total_payment=0.0,
+                                 per_task_margins=())
+        with pytest.raises(ValueError):
+            report.frugality_ratio
+
+
+class TestCompetitionSweep:
+    def test_families_ranked_by_competition(self):
+        rows = dict(frugality_by_competition(trials=6, seed=3))
+        # Clustered bids overpay less than dispersed ones.
+        assert rows["task_correlated"] < rows["uniform"]
+        assert all(ratio >= 1.0 - 1e-9 for ratio in rows.values())
+
+    def test_rows_cover_families(self):
+        names = [name for name, _ in frugality_by_competition(trials=2)]
+        assert names == ["task_correlated", "uniform", "bimodal"]

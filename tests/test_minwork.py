@@ -1,0 +1,130 @@
+"""Unit tests for repro.mechanisms.minwork (paper Definition 5)."""
+
+import random
+
+import pytest
+
+from repro.mechanisms.base import truthful_bids
+from repro.mechanisms.minwork import MinWork, minwork_first_and_second_price
+from repro.scheduling.problem import SchedulingProblem
+
+
+class TestAllocation:
+    def test_each_task_to_lowest_bidder(self, problem53):
+        schedule = MinWork().allocate(truthful_bids(problem53))
+        for task in range(problem53.num_tasks):
+            winner = schedule.agent_of(task)
+            column = problem53.task_times(task)
+            assert column[winner] == min(column)
+
+    def test_tie_break_lowest_index(self):
+        problem = SchedulingProblem([[2], [1], [1]])
+        schedule = MinWork().allocate(problem)
+        assert schedule.agent_of(0) == 1
+
+    def test_tie_break_random_uses_rng(self):
+        problem = SchedulingProblem([[1], [1], [1]])
+        winners = set()
+        for seed in range(30):
+            mechanism = MinWork(tie_break="random", rng=random.Random(seed))
+            winners.add(mechanism.allocate(problem).agent_of(0))
+        assert len(winners) > 1  # randomization actually spreads ties
+
+    def test_random_tie_break_requires_rng(self):
+        with pytest.raises(ValueError):
+            MinWork(tie_break="random")
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(ValueError):
+            MinWork(tie_break="coin")
+
+    def test_minimizes_total_work(self, problem53):
+        schedule = MinWork().allocate(problem53)
+        expected = sum(min(problem53.task_times(j))
+                       for j in range(problem53.num_tasks))
+        assert schedule.total_work(problem53) == expected
+
+
+class TestPayments:
+    def test_vickrey_payment_per_task(self):
+        problem = SchedulingProblem([
+            [1, 5],
+            [3, 2],
+            [4, 7],
+        ])
+        result = MinWork().run(problem)
+        # Task 0 -> agent 0, second price 3; task 1 -> agent 1, second 5.
+        assert result.schedule.assignment == (0, 1)
+        assert result.payments == (3.0, 5.0, 0.0)
+
+    def test_losers_paid_nothing(self, problem53):
+        result = MinWork().run(problem53)
+        for agent in range(problem53.num_agents):
+            if not result.schedule.tasks_of(agent):
+                assert result.payments[agent] == 0
+
+    def test_payment_at_least_bid(self, problem53):
+        """Second price >= first price: winners never paid below cost."""
+        result = MinWork().run(problem53)
+        for agent in range(problem53.num_agents):
+            for task in result.schedule.tasks_of(agent):
+                assert result.payments[agent] >= problem53.time(agent, task)
+
+    def test_single_agent_payments_rejected(self):
+        problem = SchedulingProblem([[1, 2]])
+        mechanism = MinWork()
+        schedule = mechanism.allocate(problem)
+        with pytest.raises(ValueError):
+            mechanism.payments(problem, schedule)
+
+    def test_tie_winner_pays_tied_value(self):
+        problem = SchedulingProblem([[2], [2]])
+        result = MinWork().run(problem)
+        assert result.schedule.agent_of(0) == 0
+        assert result.payments[0] == 2
+
+
+class TestUtilities:
+    def test_truthful_utility_nonnegative(self, problem53):
+        result = MinWork().run(truthful_bids(problem53))
+        for agent in range(problem53.num_agents):
+            assert result.utility(agent, problem53) >= 0
+
+    def test_utility_is_payment_minus_cost(self):
+        problem = SchedulingProblem([[1], [4]])
+        result = MinWork().run(problem)
+        assert result.utility(0, problem) == 4 - 1
+        assert result.utilities(problem) == [3, 0]
+
+
+class TestOperationCount:
+    def test_counts_scale_linearly(self):
+        mechanism = MinWork()
+        rng = random.Random(0)
+        small = SchedulingProblem(
+            [[rng.uniform(1, 9) for _ in range(2)] for _ in range(4)])
+        big = SchedulingProblem(
+            [[rng.uniform(1, 9) for _ in range(4)] for _ in range(8)])
+        _, ops_small = mechanism.run_with_cost(small)
+        _, ops_big = mechanism.run_with_cost(big)
+        assert ops_big == 4 * ops_small  # 2x agents * 2x tasks
+
+    def test_count_covers_allocation_and_payment(self, problem53):
+        mechanism = MinWork()
+        _, operations = mechanism.run_with_cost(problem53)
+        n, m = problem53.num_agents, problem53.num_tasks
+        assert operations == 2 * n * m
+
+
+class TestHelper:
+    def test_first_and_second_price(self):
+        winner, first, second = minwork_first_and_second_price((3, 1, 2))
+        assert (winner, first, second) == (1, 1, 2)
+
+    def test_tie_column(self):
+        winner, first, second = minwork_first_and_second_price((2, 2, 5))
+        assert (winner, first, second) == (0, 2, 2)
+
+    def test_needs_two_bids(self):
+        with pytest.raises(ValueError):
+            minwork_first_and_second_price((1,))

@@ -1,0 +1,96 @@
+"""Unit tests for repro.mechanisms.optimal (exact min-makespan)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.mechanisms.optimal import (
+    greedy_makespan_schedule,
+    makespan_approximation_ratio,
+    optimal_makespan_schedule,
+)
+from repro.mechanisms.minwork import MinWork
+from repro.scheduling import workloads
+from repro.scheduling.problem import SchedulingProblem
+from repro.scheduling.schedule import Schedule
+
+
+def brute_force_optimum(problem):
+    best = None
+    for combo in itertools.product(range(problem.num_agents),
+                                   repeat=problem.num_tasks):
+        makespan = Schedule(list(combo), problem.num_agents).makespan(problem)
+        best = makespan if best is None else min(best, makespan)
+    return best
+
+
+class TestOptimal:
+    def test_matches_brute_force_on_random_instances(self):
+        rng = random.Random(9)
+        for _ in range(8):
+            problem = workloads.uniform_random(3, 4, rng)
+            _, optimum = optimal_makespan_schedule(problem)
+            assert optimum == pytest.approx(brute_force_optimum(problem))
+
+    def test_trivial_single_task(self):
+        problem = SchedulingProblem([[5], [3]])
+        schedule, optimum = optimal_makespan_schedule(problem)
+        assert optimum == 3
+        assert schedule.agent_of(0) == 1
+
+    def test_spreads_identical_tasks(self):
+        problem = SchedulingProblem([[1, 1], [1, 1]])
+        _, optimum = optimal_makespan_schedule(problem)
+        assert optimum == 1
+
+    def test_schedule_is_consistent_with_reported_makespan(self):
+        rng = random.Random(10)
+        problem = workloads.uniform_random(3, 5, rng)
+        schedule, optimum = optimal_makespan_schedule(problem)
+        assert schedule.makespan(problem) == pytest.approx(optimum)
+
+    def test_node_limit_raises(self):
+        rng = random.Random(11)
+        problem = workloads.uniform_random(4, 8, rng)
+        with pytest.raises(RuntimeError):
+            optimal_makespan_schedule(problem, node_limit=0)
+
+
+class TestGreedy:
+    def test_greedy_is_feasible(self):
+        rng = random.Random(12)
+        problem = workloads.uniform_random(4, 6, rng)
+        schedule = greedy_makespan_schedule(problem)
+        assert schedule.num_tasks == 6
+
+    def test_greedy_not_worse_than_single_machine(self):
+        rng = random.Random(13)
+        problem = workloads.uniform_random(3, 5, rng)
+        schedule = greedy_makespan_schedule(problem)
+        single = min(sum(problem.agent_times(i)) for i in range(3))
+        assert schedule.makespan(problem) <= single
+
+
+class TestRatio:
+    def test_optimal_schedule_has_ratio_one(self):
+        rng = random.Random(14)
+        problem = workloads.uniform_random(3, 4, rng)
+        schedule, _ = optimal_makespan_schedule(problem)
+        assert makespan_approximation_ratio(problem, schedule) == \
+            pytest.approx(1.0)
+
+    def test_minwork_ratio_bounded_by_n(self):
+        """The n-approximation claim (experiment E8, small scale)."""
+        rng = random.Random(15)
+        for _ in range(5):
+            problem = workloads.uniform_random(3, 4, rng)
+            schedule = MinWork().allocate(problem)
+            ratio = makespan_approximation_ratio(problem, schedule)
+            assert 1.0 - 1e-9 <= ratio <= problem.num_agents + 1e-9
+
+    def test_adversarial_instance_approaches_n(self):
+        problem = workloads.adversarial_for_minwork(4)
+        schedule = MinWork().allocate(problem)
+        ratio = makespan_approximation_ratio(problem, schedule)
+        assert ratio == pytest.approx(4.0, rel=1e-3)

@@ -1,0 +1,83 @@
+"""Unit tests for repro.core.outcome (DMWOutcome/AuctionTranscript)."""
+
+import pytest
+
+from repro.core.exceptions import ProtocolAbort
+from repro.core.outcome import AuctionTranscript, DMWOutcome
+from repro.network.metrics import NetworkMetrics
+from repro.scheduling.problem import SchedulingProblem
+from repro.scheduling.schedule import Schedule
+
+
+@pytest.fixture()
+def problem():
+    return SchedulingProblem([[1, 2], [2, 1], [3, 3]])
+
+
+def completed_outcome():
+    return DMWOutcome(
+        completed=True,
+        schedule=Schedule([0, 1], num_agents=3),
+        payments=(2.0, 2.0, 0.0),
+        transcripts=[
+            AuctionTranscript(task=0, first_price=1, winner=0,
+                              second_price=2,
+                              valid_aggregate_publishers=(0, 1, 2),
+                              valid_disclosers=(0, 1)),
+            AuctionTranscript(task=1, first_price=1, winner=1,
+                              second_price=2,
+                              valid_aggregate_publishers=(0, 1, 2),
+                              valid_disclosers=(0, 1)),
+        ],
+        abort=None,
+        network_metrics=NetworkMetrics(),
+        agent_operations=[{"multiplication_work": w} for w in (5, 9, 7)],
+    )
+
+
+def aborted_outcome():
+    return DMWOutcome(
+        completed=False, schedule=None, payments=None, transcripts=[],
+        abort=ProtocolAbort("boom", phase="bidding", task=0,
+                            detected_by=1, offender=2),
+        network_metrics=NetworkMetrics(),
+        agent_operations=[{"multiplication_work": 1}] * 3,
+    )
+
+
+class TestUtilities:
+    def test_completed_utilities(self, problem):
+        outcome = completed_outcome()
+        # Agent 0: payment 2, cost t_0^0 = 1 -> +1.
+        assert outcome.utility(0, problem) == 1.0
+        # Agent 1: payment 2, cost t_1^1 = 1 -> +1.
+        assert outcome.utility(1, problem) == 1.0
+        # Agent 2: idle.
+        assert outcome.utility(2, problem) == 0.0
+        assert outcome.utilities(problem) == [1.0, 1.0, 0.0]
+
+    def test_aborted_utilities_all_zero(self, problem):
+        outcome = aborted_outcome()
+        assert outcome.utilities(problem) == [0.0, 0.0, 0.0]
+
+    def test_max_agent_work(self):
+        assert completed_outcome().max_agent_work == 9
+
+    def test_max_agent_work_empty(self, problem):
+        outcome = completed_outcome()
+        outcome.agent_operations = []
+        assert outcome.max_agent_work == 0
+
+
+class TestTranscriptFields:
+    def test_transcript_is_frozen(self):
+        transcript = completed_outcome().transcripts[0]
+        with pytest.raises(Exception):
+            transcript.winner = 2
+
+    def test_abort_repr_carries_context(self):
+        abort = aborted_outcome().abort
+        text = repr(abort)
+        assert "bidding" in text
+        assert "detected_by=1" in text
+        assert "offender=2" in text

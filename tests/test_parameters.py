@@ -1,0 +1,131 @@
+"""Unit tests for repro.core.parameters (Phase I)."""
+
+import pytest
+
+from repro.core.exceptions import ParameterError
+from repro.core.parameters import DMWParameters
+
+
+class TestValidation:
+    def test_generated_parameters_valid(self, params5):
+        assert params5.num_agents == 5
+        assert params5.fault_bound == 1
+        assert params5.bid_values == (1, 2, 3)
+        assert params5.sigma == 5  # w_k + c + 1 = 3 + 1 + 1
+
+    def test_needs_two_agents(self, group_small):
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=0,
+                          pseudonyms=(1,), bid_values=(1,))
+
+    def test_fault_bound_range(self, group_small):
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=-1,
+                          pseudonyms=(1, 2, 3), bid_values=(1,))
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=3,
+                          pseudonyms=(1, 2, 3), bid_values=(1,))
+
+    def test_pseudonyms_distinct_nonzero(self, group_small):
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=0,
+                          pseudonyms=(1, 1, 2), bid_values=(1,))
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=0,
+                          pseudonyms=(0, 1, 2), bid_values=(1,))
+
+    def test_pseudonyms_distinct_mod_q(self, group_small):
+        q = group_small.group.q
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=0,
+                          pseudonyms=(1, 1 + q, 2), bid_values=(1,))
+
+    def test_bid_set_ordering(self, group_small):
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=0,
+                          pseudonyms=(1, 2, 3, 4), bid_values=(2, 1))
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=0,
+                          pseudonyms=(1, 2, 3, 4), bid_values=(1, 1, 2))
+
+    def test_bid_set_must_be_positive(self, group_small):
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=0,
+                          pseudonyms=(1, 2, 3, 4), bid_values=(0, 1))
+
+    def test_bid_set_must_be_nonempty(self, group_small):
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=0,
+                          pseudonyms=(1, 2, 3, 4), bid_values=())
+
+    def test_max_bid_bounded_by_n_c(self, group_small):
+        # n=4, c=1: w_k must be <= n - c - 1 = 2.
+        with pytest.raises(ParameterError):
+            DMWParameters(group_parameters=group_small, fault_bound=1,
+                          pseudonyms=(1, 2, 3, 4), bid_values=(1, 2, 3))
+
+    def test_resolvability_constraint(self, group_small):
+        # n=4, c=0, W={3}: sigma=4, sigma-w_1=1 <= 3, fine.
+        DMWParameters(group_parameters=group_small, fault_bound=0,
+                      pseudonyms=(1, 2, 3, 4), bid_values=(3,))
+        # n=4, c=2, W={1}: sigma=4, sigma-w_1=3 <= 3, boundary case fine.
+        DMWParameters(group_parameters=group_small, fault_bound=2,
+                      pseudonyms=(1, 2, 3, 4), bid_values=(1,))
+
+
+class TestDerived:
+    def test_degree_bid_roundtrip(self, params5):
+        for bid in params5.bid_values:
+            degree = params5.degree_for_bid(bid)
+            assert params5.bid_for_degree(degree) == bid
+
+    def test_degree_inversely_related_to_bid(self, params5):
+        degrees = [params5.degree_for_bid(b) for b in params5.bid_values]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_minimum_degree_exceeds_fault_bound(self, params5):
+        # tau = sigma - y >= c + 1 — the collusion-resistance floor.
+        smallest = params5.degree_for_bid(params5.bid_values[-1])
+        assert smallest == params5.fault_bound + 1
+
+    def test_invalid_bid_rejected(self, params5):
+        with pytest.raises(ParameterError):
+            params5.degree_for_bid(99)
+        with pytest.raises(ParameterError):
+            params5.bid_for_degree(0)
+
+    def test_first_price_candidates_ascending(self, params5):
+        candidates = params5.first_price_degree_candidates()
+        assert candidates == sorted(candidates)
+        assert candidates == [params5.sigma - w
+                              for w in reversed(params5.bid_values)]
+
+    def test_disclosure_width(self, params5):
+        # y*=1: 2 rows + c=1 slack = 3.
+        assert params5.disclosure_width(1) == 3
+        # capped at n
+        assert params5.disclosure_width(5) == 5
+
+
+class TestGenerate:
+    def test_default_bid_set_maximal(self, group_small):
+        params = DMWParameters.generate(8, fault_bound=2,
+                                        group_parameters=group_small)
+        assert params.bid_values == (1, 2, 3, 4, 5)
+
+    def test_pseudonyms_sequential(self, group_small):
+        params = DMWParameters.generate(4, fault_bound=1,
+                                        group_parameters=group_small)
+        assert params.pseudonyms == (1, 2, 3, 4)
+
+    def test_impossible_configuration_rejected(self, group_small):
+        with pytest.raises(ParameterError):
+            DMWParameters.generate(3, fault_bound=2,
+                                   group_parameters=group_small)
+
+    def test_custom_bid_values(self, group_small):
+        params = DMWParameters.generate(6, fault_bound=1,
+                                        bid_values=[2, 4],
+                                        group_parameters=group_small)
+        assert params.bid_values == (2, 4)
+        assert params.sigma == 6

@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.payments (the Phase IV unanimity escrow)."""
+
+import pytest
+
+from repro.core.payments import PaymentInfrastructure
+
+
+class TestSubmission:
+    def test_valid_claim_accepted(self):
+        infra = PaymentInfrastructure(3)
+        infra.submit_claim(0, [1.0, 2.0, 0.0])
+
+    def test_invalid_agent_rejected(self):
+        infra = PaymentInfrastructure(3)
+        with pytest.raises(ValueError):
+            infra.submit_claim(3, [1.0, 2.0, 0.0])
+        with pytest.raises(ValueError):
+            infra.submit_claim(-1, [1.0, 2.0, 0.0])
+
+    def test_wrong_length_rejected(self):
+        infra = PaymentInfrastructure(3)
+        with pytest.raises(ValueError):
+            infra.submit_claim(0, [1.0])
+
+    def test_needs_agents(self):
+        with pytest.raises(ValueError):
+            PaymentInfrastructure(0)
+
+
+class TestDecision:
+    def test_unanimous_claims_dispense(self):
+        infra = PaymentInfrastructure(3)
+        for agent in range(3):
+            infra.submit_claim(agent, [1.0, 0.0, 2.0])
+        decision = infra.decide()
+        assert decision.dispensed
+        assert decision.payments == (1.0, 0.0, 2.0)
+        assert decision.conflicting_agents == ()
+
+    def test_missing_claim_blocks(self):
+        infra = PaymentInfrastructure(3)
+        infra.submit_claim(0, [1.0, 0.0, 2.0])
+        infra.submit_claim(2, [1.0, 0.0, 2.0])
+        decision = infra.decide()
+        assert not decision.dispensed
+        assert decision.payments is None
+        assert decision.conflicting_agents == (1,)
+
+    def test_conflicting_claim_blocks(self):
+        infra = PaymentInfrastructure(3)
+        infra.submit_claim(0, [1.0, 0.0, 2.0])
+        infra.submit_claim(1, [9.0, 0.0, 2.0])  # inflated
+        infra.submit_claim(2, [1.0, 0.0, 2.0])
+        decision = infra.decide()
+        assert not decision.dispensed
+        assert decision.conflicting_agents == (1,)
+
+    def test_minority_identified(self):
+        infra = PaymentInfrastructure(4)
+        infra.submit_claim(0, [1.0, 0.0, 0.0, 0.0])
+        infra.submit_claim(1, [1.0, 0.0, 0.0, 0.0])
+        infra.submit_claim(2, [1.0, 0.0, 0.0, 0.0])
+        infra.submit_claim(3, [5.0, 0.0, 0.0, 0.0])
+        decision = infra.decide()
+        assert decision.conflicting_agents == (3,)
+
+    def test_resubmission_overwrites(self):
+        infra = PaymentInfrastructure(2)
+        infra.submit_claim(0, [1.0, 0.0])
+        infra.submit_claim(0, [2.0, 0.0])
+        infra.submit_claim(1, [2.0, 0.0])
+        assert infra.decide().dispensed
+
+    def test_float_normalization(self):
+        infra = PaymentInfrastructure(2)
+        infra.submit_claim(0, [1, 0])      # ints
+        infra.submit_claim(1, [1.0, 0.0])  # floats
+        assert infra.decide().dispensed

@@ -1,0 +1,109 @@
+"""Unit tests for repro.crypto.primes."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import (
+    find_subgroup_generator,
+    generate_schnorr_parameters,
+    is_prime,
+    next_prime,
+    random_prime,
+)
+
+SMALL_PRIMES = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+
+class TestIsPrime:
+    def test_small_range_matches_sieve(self):
+        for n in range(50):
+            assert is_prime(n) == (n in SMALL_PRIMES), n
+
+    def test_negative_and_degenerate(self):
+        assert not is_prime(-7)
+        assert not is_prime(0)
+        assert not is_prime(1)
+
+    def test_known_large_prime(self):
+        assert is_prime(2 ** 61 - 1)  # Mersenne prime
+
+    def test_known_large_composite(self):
+        assert not is_prime(2 ** 61 + 1)
+
+    def test_carmichael_numbers_rejected(self):
+        # Carmichael numbers fool Fermat but not Miller-Rabin.
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(n)
+
+    def test_square_of_prime_rejected(self):
+        p = 1_000_003
+        assert is_prime(p)
+        assert not is_prime(p * p)
+
+    def test_probabilistic_range(self):
+        # Above the deterministic bound: a prime with > 82 bits.
+        p = 2 ** 89 - 1  # Mersenne prime
+        assert is_prime(p, rng=random.Random(1))
+        assert not is_prime(p + 2, rng=random.Random(1))
+
+
+class TestNextPrime:
+    def test_from_composite(self):
+        assert next_prime(8) == 11
+        assert next_prime(9) == 11
+
+    def test_from_prime_is_strictly_greater(self):
+        assert next_prime(7) == 11
+
+    def test_from_small_values(self):
+        assert next_prime(0) == 2
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+
+
+class TestRandomPrime:
+    def test_bit_length_exact(self, rng):
+        for bits in (8, 16, 32, 48):
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_deterministic_given_seed(self):
+        a = random_prime(32, random.Random(42))
+        b = random_prime(32, random.Random(42))
+        assert a == b
+
+    def test_rejects_tiny_bits(self, rng):
+        with pytest.raises(ValueError):
+            random_prime(1, rng)
+
+
+class TestSchnorrParameters:
+    def test_structure(self, rng):
+        p, q = generate_schnorr_parameters(24, 40, rng)
+        assert is_prime(p)
+        assert is_prime(q)
+        assert (p - 1) % q == 0
+        assert q.bit_length() == 24
+        assert p.bit_length() == 40
+
+    def test_rejects_impossible_sizes(self, rng):
+        with pytest.raises(ValueError):
+            generate_schnorr_parameters(24, 25, rng)
+
+    def test_generator_has_order_q(self, rng):
+        p, q = generate_schnorr_parameters(24, 40, rng)
+        g = find_subgroup_generator(p, q, rng)
+        assert g != 1
+        assert pow(g, q, p) == 1
+
+    def test_generator_exclusion(self, rng):
+        p, q = generate_schnorr_parameters(16, 32, rng)
+        g1 = find_subgroup_generator(p, q, rng)
+        g2 = find_subgroup_generator(p, q, rng, exclude=(g1,))
+        assert g1 != g2
+
+    def test_generator_rejects_bad_group(self, rng):
+        with pytest.raises(ValueError):
+            find_subgroup_generator(23, 7, rng)  # 7 does not divide 22

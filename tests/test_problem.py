@@ -1,0 +1,106 @@
+"""Unit tests for repro.scheduling.problem."""
+
+import pytest
+
+from repro.scheduling.problem import SchedulingProblem, Task
+
+
+class TestTask:
+    def test_defaults(self):
+        task = Task(index=3)
+        assert task.processing_requirement == 1.0
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            Task(index=-1)
+
+    def test_invalid_requirement(self):
+        with pytest.raises(ValueError):
+            Task(index=0, processing_requirement=0)
+
+
+class TestSchedulingProblem:
+    def test_shape(self, problem53):
+        assert problem53.num_agents == 5
+        assert problem53.num_tasks == 3
+
+    def test_time_accessors(self, problem53):
+        assert problem53.time(0, 0) == 2
+        assert problem53.time(4, 2) == 1
+        assert problem53.agent_times(1) == (3, 2, 1)
+        assert problem53.task_times(1) == (1, 2, 3, 2, 1)
+
+    def test_times_matrix_immutable_copy(self, problem53):
+        assert problem53.times[0] == (2, 1, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingProblem([])
+        with pytest.raises(ValueError):
+            SchedulingProblem([[]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingProblem([[1, 2], [1]])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulingProblem([[1, 0]])
+        with pytest.raises(ValueError):
+            SchedulingProblem([[1, -2]])
+
+    def test_task_metadata_length_checked(self):
+        with pytest.raises(ValueError):
+            SchedulingProblem([[1, 2]], tasks=[Task(0)])
+
+    def test_with_agent_row(self, problem53):
+        replaced = problem53.with_agent_row(2, [9, 9, 9])
+        assert replaced.agent_times(2) == (9, 9, 9)
+        assert replaced.agent_times(0) == problem53.agent_times(0)
+        # original untouched
+        assert problem53.agent_times(2) == (1, 3, 2)
+
+    def test_with_agent_row_length_checked(self, problem53):
+        with pytest.raises(ValueError):
+            problem53.with_agent_row(0, [1, 2])
+
+    def test_equality_and_hash(self):
+        a = SchedulingProblem([[1, 2], [3, 4]])
+        b = SchedulingProblem([[1, 2], [3, 4]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SchedulingProblem([[1, 2], [3, 5]])
+        assert a != "something else"
+
+    def test_repr(self, problem53):
+        assert "n=5" in repr(problem53)
+
+
+class TestFromSpeeds:
+    def test_unrelated_speeds(self):
+        problem = SchedulingProblem.from_speeds(
+            requirements=[10, 20],
+            speeds=[[2, 4], [5, 10]],
+        )
+        assert problem.time(0, 0) == 5
+        assert problem.time(0, 1) == 5
+        assert problem.time(1, 0) == 2
+        assert problem.time(1, 1) == 2
+
+    def test_related_machines_scalar_speed(self):
+        problem = SchedulingProblem.from_speeds(
+            requirements=[10, 20, 30],
+            speeds=[[2], [10]],
+        )
+        assert problem.agent_times(0) == (5, 10, 15)
+        assert problem.agent_times(1) == (1, 2, 3)
+
+    def test_requirements_recorded_in_tasks(self):
+        problem = SchedulingProblem.from_speeds([4, 8], [[1], [2]])
+        assert problem.tasks[1].processing_requirement == 8
+
+    def test_bad_speed_row(self):
+        with pytest.raises(ValueError):
+            SchedulingProblem.from_speeds([1, 2], [[1, 2, 3]])
+        with pytest.raises(ValueError):
+            SchedulingProblem.from_speeds([1, 2], [[1, 0]])

@@ -1,0 +1,158 @@
+"""Integration tests: the full DMW protocol (experiment E9 and Fig. 2)."""
+
+import random
+
+import pytest
+
+from repro.core.parameters import DMWParameters
+from repro.core.protocol import DMWProtocol, run_dmw
+from repro.core.agent import DMWAgent
+from repro.core.exceptions import ParameterError
+from repro.mechanisms.base import truthful_bids
+from repro.mechanisms.minwork import MinWork
+from repro.scheduling import workloads
+from repro.scheduling.problem import SchedulingProblem
+
+
+class TestEndToEnd:
+    def test_completes_on_honest_run(self, problem53):
+        outcome = run_dmw(problem53)
+        assert outcome.completed
+        assert outcome.abort is None
+        assert outcome.schedule.num_tasks == 3
+        assert len(outcome.transcripts) == 3
+
+    def test_matches_minwork_allocation_and_payments(self, problem53):
+        outcome = run_dmw(problem53)
+        result = MinWork().run(truthful_bids(problem53))
+        assert outcome.schedule == result.schedule
+        assert list(outcome.payments) == list(result.payments)
+
+    def test_equivalence_on_random_instances(self, group_small):
+        rng = random.Random(21)
+        for trial in range(8):
+            n = rng.randrange(4, 7)
+            m = rng.randrange(1, 4)
+            params = DMWParameters.generate(n, fault_bound=1,
+                                            group_parameters=group_small)
+            problem = workloads.random_discrete(n, m, params.bid_values, rng)
+            outcome = run_dmw(problem, parameters=params,
+                              rng=random.Random(trial))
+            result = MinWork().run(truthful_bids(problem))
+            assert outcome.completed, outcome.abort
+            assert outcome.schedule == result.schedule
+            assert list(outcome.payments) == list(result.payments)
+
+    def test_transcript_contents(self, problem53):
+        outcome = run_dmw(problem53)
+        for transcript in outcome.transcripts:
+            column = [int(problem53.time(i, transcript.task))
+                      for i in range(5)]
+            assert transcript.first_price == min(column)
+            assert column[transcript.winner] == min(column)
+            others = [b for i, b in enumerate(column)
+                      if i != transcript.winner]
+            assert transcript.second_price == min(others)
+
+    def test_utilities_nonnegative_for_truthful_agents(self, problem53):
+        outcome = run_dmw(problem53)
+        for agent in range(5):
+            assert outcome.utility(agent, problem53) >= 0
+
+    def test_reproducible_given_seed(self, problem53):
+        a = run_dmw(problem53, rng=random.Random(5))
+        b = run_dmw(problem53, rng=random.Random(5))
+        assert a.schedule == b.schedule
+        assert a.payments == b.payments
+        assert a.network_metrics.point_to_point_messages == \
+            b.network_metrics.point_to_point_messages
+
+
+class TestMessageCensus:
+    """The Fig. 2 sequence: kinds, counts, and ordering."""
+
+    def test_expected_message_kinds(self, problem53):
+        outcome = run_dmw(problem53)
+        kinds = set(outcome.network_metrics.by_kind)
+        assert kinds == {"commitments", "share_bundle", "lambda_psi",
+                         "f_disclosure", "winner_claim", "second_price",
+                         "payment_claim"}
+
+    def test_share_bundle_count(self, problem53):
+        # n agents each send n-1 private bundles per task.
+        outcome = run_dmw(problem53)
+        n, m = 5, 3
+        assert outcome.network_metrics.by_kind["share_bundle"] == \
+            m * n * (n - 1)
+
+    def test_published_kind_counts(self, problem53):
+        # Published kinds expand to (n_participants - 1) unicasts each;
+        # the infrastructure endpoint listens too, so fan-out is n.
+        outcome = run_dmw(problem53)
+        n, m = 5, 3
+        fan_out = n  # n - 1 agents + 1 infrastructure endpoint
+        metrics = outcome.network_metrics
+        assert metrics.by_kind["commitments"] == m * n * fan_out
+        assert metrics.by_kind["lambda_psi"] == m * n * fan_out
+        assert metrics.by_kind["second_price"] == m * n * fan_out
+
+    def test_payment_claims_one_per_agent(self, problem53):
+        outcome = run_dmw(problem53)
+        assert outcome.network_metrics.by_kind["payment_claim"] == 5
+
+    def test_rounds_per_task(self, problem53):
+        # 4 delivery rounds per auction + 1 payments round.
+        outcome = run_dmw(problem53)
+        assert outcome.network_metrics.rounds == 4 * 3 + 1
+
+    def test_communication_quadratic_in_agents(self, group_small):
+        rng = random.Random(3)
+        counts = []
+        for n in (4, 8):
+            params = DMWParameters.generate(n, fault_bound=1,
+                                            group_parameters=group_small)
+            problem = workloads.random_discrete(n, 1, params.bid_values, rng)
+            outcome = run_dmw(problem, parameters=params)
+            counts.append(outcome.network_metrics.point_to_point_messages)
+        # Doubling n should roughly quadruple messages (Theorem 11).
+        assert 3.0 < counts[1] / counts[0] < 5.0
+
+
+class TestValidationAndEdges:
+    def test_agent_count_checked(self, params5, problem53):
+        agents = [DMWAgent(i, params5, [1]) for i in range(3)]
+        with pytest.raises(ParameterError):
+            DMWProtocol(params5, agents)
+
+    def test_agent_order_checked(self, params5):
+        agents = [DMWAgent(i, params5, [1]) for i in range(5)]
+        agents[0], agents[1] = agents[1], agents[0]
+        with pytest.raises(ParameterError):
+            DMWProtocol(params5, agents)
+
+    def test_non_bid_values_rejected(self):
+        problem = SchedulingProblem([[7.0], [7.0], [7.0], [7.0]])
+        with pytest.raises(Exception):
+            run_dmw(problem)
+
+    def test_single_task(self, params4):
+        problem = SchedulingProblem([[1], [2], [2], [1]])
+        outcome = run_dmw(problem, parameters=params4)
+        assert outcome.completed
+        assert outcome.schedule.agent_of(0) == 0
+        assert outcome.payments[0] == 1  # tie: second price equals first
+
+    def test_all_identical_bids(self, params4):
+        problem = SchedulingProblem([[2, 2], [2, 2], [2, 2], [2, 2]])
+        outcome = run_dmw(problem, parameters=params4)
+        assert outcome.completed
+        assert outcome.schedule.assignment == (0, 0)
+        assert outcome.payments == (4.0, 0.0, 0.0, 0.0)
+
+    def test_agent_operations_recorded(self, problem53):
+        outcome = run_dmw(problem53)
+        assert len(outcome.agent_operations) == 5
+        assert all(ops["multiplication_work"] > 0
+                   for ops in outcome.agent_operations)
+        assert outcome.max_agent_work >= \
+            outcome.agent_operations[0]["multiplication_work"]

@@ -1,0 +1,176 @@
+"""Unit tests for repro.mechanisms.randomized (Nisan-Ronen 2-machine)."""
+
+import random
+
+import pytest
+
+from repro.mechanisms.base import truthful_bids, unilateral_deviation
+from repro.mechanisms.optimal import optimal_makespan_schedule
+from repro.mechanisms.randomized import (
+    RandomizedTwoMachines,
+    biased_auction,
+    expected_makespan,
+)
+from repro.scheduling import workloads
+from repro.scheduling.problem import SchedulingProblem
+
+
+class TestBiasedAuction:
+    def test_favored_wins_within_bias(self):
+        winner, payment = biased_auction((4, 3.5), favored=0, beta=4 / 3)
+        assert winner == 0
+        assert payment == pytest.approx(4 / 3 * 3.5)
+
+    def test_unfavored_wins_beyond_bias(self):
+        winner, payment = biased_auction((5, 3), favored=0, beta=4 / 3)
+        assert winner == 1
+        assert payment == pytest.approx(5 / (4 / 3))
+
+    def test_symmetric_favoring(self):
+        winner, _ = biased_auction((5, 6), favored=1, beta=4 / 3)
+        assert winner == 1
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            biased_auction((1, 2), favored=0, beta=0.5)
+
+    def test_threshold_payment_covers_winner_bid(self):
+        # The winner's payment is its threshold: always >= its bid.
+        for bids in ((4, 3.5), (5, 3), (1, 9), (9, 1)):
+            for favored in (0, 1):
+                winner, payment = biased_auction(bids, favored, beta=4 / 3)
+                assert payment >= bids[winner] - 1e-12
+
+
+class TestMechanism:
+    def test_requires_two_machines(self, rng):
+        mechanism = RandomizedTwoMachines(rng=rng)
+        with pytest.raises(ValueError):
+            mechanism.allocate(SchedulingProblem([[1], [1], [1]]))
+
+    def test_requires_randomness_source(self):
+        with pytest.raises(ValueError):
+            RandomizedTwoMachines()
+
+    def test_explicit_coins_are_deterministic(self):
+        problem = SchedulingProblem([[1, 4], [2, 2]])
+        a = RandomizedTwoMachines(coins=[0, 1]).run(problem)
+        b = RandomizedTwoMachines(coins=[0, 1]).run(problem)
+        assert a.schedule == b.schedule
+        assert a.payments == b.payments
+
+    def test_coin_length_checked(self):
+        problem = SchedulingProblem([[1, 4], [2, 2]])
+        with pytest.raises(ValueError):
+            RandomizedTwoMachines(coins=[0]).allocate(problem)
+
+    def test_truthfulness_of_realized_mechanism(self, rng):
+        """Each coin realization is a truthful mechanism (universally
+        truthful): random unilateral misreports never help."""
+        problem = workloads.uniform_random(2, 3, rng)
+        truthful = truthful_bids(problem)
+        for coins in ((0, 0, 0), (1, 0, 1), (1, 1, 1)):
+            mechanism = RandomizedTwoMachines(coins=coins)
+            baseline = mechanism.run(truthful)
+            for agent in (0, 1):
+                honest_utility = baseline.utility(agent, problem)
+                for _ in range(40):
+                    row = [rng.uniform(0.5, 150) for _ in range(3)]
+                    deviated = mechanism.run(
+                        unilateral_deviation(truthful, agent, row))
+                    assert deviated.utility(agent, problem) <= \
+                        honest_utility + 1e-9
+
+
+class TestApproximation:
+    def test_expected_makespan_within_seven_fourths(self, rng):
+        """The 7/4 bound of [30], verified by exact coin enumeration."""
+        for _ in range(6):
+            problem = workloads.uniform_random(2, 4, rng)
+            _, optimum = optimal_makespan_schedule(problem)
+            expectation = expected_makespan(problem)
+            assert expectation <= 1.75 * optimum + 1e-9
+
+    def test_expected_makespan_needs_two_machines(self, rng):
+        with pytest.raises(ValueError):
+            expected_makespan(workloads.uniform_random(3, 2, rng))
+
+
+class TestNMachineGeneralization:
+    def make(self, coins=None, rng=None, beta=4 / 3):
+        from repro.mechanisms.randomized import BiasedRandomNMachines
+        return BiasedRandomNMachines(rng=rng, coins=coins, beta=beta)
+
+    def test_requires_randomness(self):
+        with pytest.raises(ValueError):
+            self.make()
+
+    def test_beta_validated(self, rng):
+        with pytest.raises(ValueError):
+            self.make(rng=rng, beta=0.9)
+
+    def test_coin_values_validated(self):
+        problem = SchedulingProblem([[1, 2], [2, 1]])
+        with pytest.raises(ValueError):
+            self.make(coins=[0, 5]).allocate(problem)
+        with pytest.raises(ValueError):
+            self.make(coins=[0]).allocate(problem)
+
+    def test_needs_two_machines(self, rng):
+        with pytest.raises(ValueError):
+            self.make(rng=rng).allocate(SchedulingProblem([[1, 2]]))
+
+    def test_beta_one_matches_minwork_without_ties(self, rng):
+        """With beta = 1 every realization is the Vickrey auction."""
+        from repro.mechanisms.minwork import MinWork
+        for _ in range(5):
+            problem = workloads.uniform_random(4, 3, rng)
+            mechanism = self.make(coins=[0, 1, 2], beta=1.0)
+            result = mechanism.run(problem)
+            expected = MinWork().run(problem)
+            assert result.schedule == expected.schedule
+            for a, b in zip(result.payments, expected.payments):
+                assert a == pytest.approx(b)
+
+    def test_two_machine_case_matches_original(self, rng):
+        problem = workloads.uniform_random(2, 4, rng)
+        coins = [0, 1, 0, 1]
+        general = self.make(coins=coins).run(problem)
+        original = RandomizedTwoMachines(coins=coins).run(problem)
+        assert general.schedule == original.schedule
+        for a, b in zip(general.payments, original.payments):
+            assert a == pytest.approx(b)
+
+    def test_universal_truthfulness_sampled(self, rng):
+        """Each coin realization is truthful under random misreports."""
+        problem = workloads.uniform_random(4, 2, rng)
+        truthful = truthful_bids(problem)
+        for coins in ((0, 0), (1, 3), (2, 2)):
+            mechanism = self.make(coins=coins)
+            baseline = mechanism.run(truthful)
+            for agent in range(4):
+                honest_utility = baseline.utility(agent, problem)
+                for _ in range(30):
+                    row = [rng.uniform(0.5, 150) for _ in range(2)]
+                    deviated = mechanism.run(
+                        unilateral_deviation(truthful, agent, row))
+                    assert deviated.utility(agent, problem) <= \
+                        honest_utility + 1e-9
+
+    def test_winner_payment_covers_cost(self, rng):
+        problem = workloads.uniform_random(5, 3, rng)
+        mechanism = self.make(rng=random.Random(3))
+        result = mechanism.run(problem)
+        for agent in range(5):
+            tasks = result.schedule.tasks_of(agent)
+            if tasks:
+                cost = sum(problem.time(agent, t) for t in tasks)
+                assert result.payments[agent] >= cost - 1e-9
+
+    def test_makespan_within_n_of_optimal(self, rng):
+        for _ in range(4):
+            problem = workloads.uniform_random(3, 4, rng)
+            mechanism = self.make(rng=random.Random(1))
+            schedule = mechanism.allocate(problem)
+            _, optimum = optimal_makespan_schedule(problem)
+            assert schedule.makespan(problem) <= 3 * optimum + 1e-9

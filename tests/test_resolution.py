@@ -1,0 +1,140 @@
+"""Unit tests for repro.core.resolution (first price, winner, second price)."""
+
+import pytest
+
+from repro.core.bidding import all_share_bundles, encode_bid
+from repro.core.resolution import (
+    ResolutionError,
+    identify_winner,
+    resolve_first_price,
+    resolve_second_price,
+)
+
+
+def build_auction(params, bids, rng):
+    """Encode the bids and compute the honest public values."""
+    q = params.group.q
+    group = params.group
+    packages = [encode_bid(params, bid, rng) for bid in bids]
+    bundles = [all_share_bundles(params, package) for package in packages]
+    lambdas = {}
+    for index in range(params.num_agents):
+        alpha = params.pseudonyms[index]
+        e_sum = sum(p.e.evaluate(alpha) for p in packages) % q
+        lambdas[index] = group.exp(params.z1, e_sum)
+    rows = {
+        discloser: {
+            sender: (bundles[sender][discloser].f_value,
+                     bundles[sender][discloser].h_value)
+            for sender in range(params.num_agents)
+        }
+        for discloser in range(params.num_agents)
+    }
+    return packages, bundles, lambdas, rows
+
+
+class TestFirstPrice:
+    @pytest.mark.parametrize("bids,expected", [
+        ([1, 2, 3, 2, 1], 1),
+        ([3, 3, 3, 3, 3], 3),
+        ([2, 3, 3, 3, 3], 2),
+        ([3, 3, 3, 3, 1], 1),
+    ])
+    def test_resolves_minimum_bid(self, params5, rng, bids, expected):
+        _, _, lambdas, _ = build_auction(params5, bids, rng)
+        first_price, degree = resolve_first_price(params5, lambdas)
+        assert first_price == expected
+        assert degree == params5.sigma - expected
+
+    def test_subset_of_lambdas_suffices(self, params5, rng):
+        # min bid 3 -> degree 2 -> needs only 3 valid points.
+        _, _, lambdas, _ = build_auction(params5, [3, 3, 3, 3, 3], rng)
+        del lambdas[0]
+        del lambdas[4]
+        first_price, _ = resolve_first_price(params5, lambdas)
+        assert first_price == 3
+
+    def test_too_few_lambdas_raises(self, params5, rng):
+        _, _, lambdas, _ = build_auction(params5, [1, 2, 3, 2, 1], rng)
+        # min bid 1 -> degree sigma-1=4 -> needs all 5 points.
+        del lambdas[2]
+        with pytest.raises(ResolutionError):
+            resolve_first_price(params5, lambdas)
+
+    def test_corrupt_lambda_breaks_resolution(self, params5, rng):
+        _, _, lambdas, _ = build_auction(params5, [1, 1, 1, 1, 1], rng)
+        lambdas[0] = params5.group.mul(lambdas[0], params5.z1)
+        with pytest.raises(ResolutionError):
+            resolve_first_price(params5, lambdas)
+
+
+class TestWinner:
+    def test_unique_winner(self, params5, rng):
+        _, _, lambdas, rows = build_auction(params5, [2, 1, 3, 2, 3], rng)
+        first_price, _ = resolve_first_price(params5, lambdas)
+        assert first_price == 1
+        assert identify_winner(params5, first_price, rows) == 1
+
+    def test_tie_broken_by_smallest_pseudonym(self, params5, rng):
+        _, _, lambdas, rows = build_auction(params5, [2, 1, 3, 1, 3], rng)
+        first_price, _ = resolve_first_price(params5, lambdas)
+        assert identify_winner(params5, first_price, rows) == 1
+
+    def test_all_tied(self, params5, rng):
+        _, _, lambdas, rows = build_auction(params5, [2, 2, 2, 2, 2], rng)
+        first_price, _ = resolve_first_price(params5, lambdas)
+        assert identify_winner(params5, first_price, rows) == 0
+
+    def test_needs_enough_rows(self, params5, rng):
+        _, _, lambdas, rows = build_auction(params5, [2, 1, 3, 2, 3], rng)
+        first_price, _ = resolve_first_price(params5, lambdas)
+        short = {0: rows[0]}  # y*=1 needs 2 rows
+        with pytest.raises(ResolutionError):
+            identify_winner(params5, first_price, short)
+
+    def test_uses_lowest_pseudonym_rows(self, params5, rng):
+        # Extra rows beyond y*+1 are ignored: result identical.
+        _, _, lambdas, rows = build_auction(params5, [3, 1, 3, 2, 3], rng)
+        first_price, _ = resolve_first_price(params5, lambdas)
+        subset = {k: rows[k] for k in (0, 1)}
+        assert identify_winner(params5, first_price, subset) == \
+            identify_winner(params5, first_price, rows)
+
+    def test_wrong_first_price_raises(self, params5, rng):
+        _, _, _, rows = build_auction(params5, [3, 3, 3, 3, 3], rng)
+        # Nobody bid 1, so no f-polynomial has degree 1.
+        with pytest.raises(ResolutionError):
+            identify_winner(params5, 1, rows)
+
+
+class TestSecondPrice:
+    def excluded_lambdas(self, params, packages, winner):
+        group = params.group
+        q = group.q
+        values = {}
+        for index in range(params.num_agents):
+            alpha = params.pseudonyms[index]
+            e_sum = sum(p.e.evaluate(alpha)
+                        for k, p in enumerate(packages) if k != winner) % q
+            values[index] = group.exp(params.z1, e_sum)
+        return values
+
+    @pytest.mark.parametrize("bids,winner,expected", [
+        ([1, 2, 3, 2, 3], 0, 2),
+        ([1, 1, 3, 2, 3], 0, 1),   # tie on minimum: second price == first
+        ([3, 3, 3, 3, 2], 4, 3),
+        ([2, 3, 3, 3, 3], 0, 3),
+    ])
+    def test_second_price_correct(self, params5, rng, bids, winner, expected):
+        packages, _, _, _ = build_auction(params5, bids, rng)
+        values = self.excluded_lambdas(params5, packages, winner)
+        second_price, _ = resolve_second_price(params5, values)
+        assert second_price == expected
+
+    def test_short_values_raise(self, params5, rng):
+        packages, _, _, _ = build_auction(params5, [1, 1, 3, 2, 3], rng)
+        values = self.excluded_lambdas(params5, packages, 0)
+        # second price 1 -> degree 4 -> needs 5 points.
+        del values[3]
+        with pytest.raises(ResolutionError):
+            resolve_second_price(params5, values)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.scheduling.schedule."""
+
+import pytest
+
+from repro.scheduling.problem import SchedulingProblem
+from repro.scheduling.schedule import Schedule
+
+
+@pytest.fixture()
+def problem():
+    return SchedulingProblem([
+        [1, 2, 3],
+        [4, 5, 6],
+    ])
+
+
+class TestConstruction:
+    def test_assignment_recorded(self):
+        schedule = Schedule([0, 1, 0], num_agents=2)
+        assert schedule.assignment == (0, 1, 0)
+        assert schedule.num_tasks == 3
+        assert schedule.num_agents == 2
+
+    def test_invalid_agent_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule([0, 2], num_agents=2)
+        with pytest.raises(ValueError):
+            Schedule([-1], num_agents=2)
+
+    def test_zero_agents_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule([], num_agents=0)
+
+    def test_from_partition_roundtrip(self):
+        schedule = Schedule([0, 1, 0, 1], num_agents=2)
+        rebuilt = Schedule.from_partition(schedule.partition(), 4)
+        assert rebuilt == schedule
+
+    def test_from_partition_detects_double_assignment(self):
+        with pytest.raises(ValueError):
+            Schedule.from_partition([[0, 1], [1]], num_tasks=2)
+
+    def test_from_partition_detects_missing_task(self):
+        with pytest.raises(ValueError):
+            Schedule.from_partition([[0], []], num_tasks=2)
+
+    def test_from_partition_detects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Schedule.from_partition([[0, 5]], num_tasks=2)
+
+
+class TestQueries:
+    def test_agent_of_and_tasks_of(self):
+        schedule = Schedule([0, 1, 0], num_agents=3)
+        assert schedule.agent_of(1) == 1
+        assert schedule.tasks_of(0) == (0, 2)
+        assert schedule.tasks_of(2) == ()
+
+    def test_partition_covers_all_agents(self):
+        schedule = Schedule([1, 1], num_agents=3)
+        partition = schedule.partition()
+        assert len(partition) == 3
+        assert partition[1] == (0, 1)
+        assert partition[0] == ()
+
+
+class TestObjectives:
+    def test_completion_time(self, problem):
+        schedule = Schedule([0, 0, 1], num_agents=2)
+        assert schedule.completion_time(0, problem) == 1 + 2
+        assert schedule.completion_time(1, problem) == 6
+
+    def test_makespan(self, problem):
+        schedule = Schedule([0, 0, 1], num_agents=2)
+        assert schedule.makespan(problem) == 6
+
+    def test_total_work(self, problem):
+        schedule = Schedule([0, 1, 0], num_agents=2)
+        assert schedule.total_work(problem) == 1 + 5 + 3
+
+    def test_valuation_is_negated_completion(self, problem):
+        schedule = Schedule([0, 0, 1], num_agents=2)
+        assert schedule.valuation(0, problem) == -3
+        assert schedule.valuation(1, problem) == -6
+
+    def test_idle_agent_has_zero_valuation(self, problem):
+        schedule = Schedule([0, 0, 0], num_agents=2)
+        assert schedule.valuation(1, problem) == 0
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = Schedule([0, 1], num_agents=2)
+        b = Schedule([0, 1], num_agents=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Schedule([0, 1], num_agents=3)
+        assert a != Schedule([1, 0], num_agents=2)
+        assert a != 42
+
+    def test_repr(self):
+        assert "num_agents=2" in repr(Schedule([0], num_agents=2))

@@ -1,0 +1,143 @@
+"""Unit tests for repro.crypto.secretsharing."""
+
+import random
+
+import pytest
+
+from repro.crypto.secretsharing import (
+    DegreeEncodingScheme,
+    ShamirScheme,
+    Share,
+)
+
+Q = 2 ** 31 - 1
+POINTS = list(range(1, 11))
+
+
+class TestShamir:
+    def test_share_reconstruct_roundtrip(self, rng):
+        scheme = ShamirScheme(Q, threshold=4)
+        secret = 123456789
+        shares = scheme.share(secret, POINTS, rng)
+        assert scheme.reconstruct(shares[:4]) == secret
+        assert scheme.reconstruct(shares[3:7]) == secret
+
+    def test_too_few_shares_rejected(self, rng):
+        scheme = ShamirScheme(Q, threshold=4)
+        shares = scheme.share(7, POINTS, rng)
+        with pytest.raises(ValueError):
+            scheme.reconstruct(shares[:3])
+
+    def test_below_threshold_reveals_nothing(self):
+        # With threshold-1 shares, every secret is equally consistent:
+        # the same 3 shares arise from sharings of different secrets.
+        scheme = ShamirScheme(Q, threshold=4)
+        shares_a = scheme.share(1, POINTS, random.Random(0))
+        # Construct a sharing of a different secret agreeing on 3 points:
+        # possible because 3 < threshold constraints leave freedom.
+        found = False
+        for seed in range(200):
+            shares_b = scheme.share(2, POINTS, random.Random(seed))
+            if all(a.value != b.value
+                   for a, b in zip(shares_a[:3], shares_b[:3])):
+                found = True
+                break
+        assert found  # shares alone do not pin down the secret
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            ShamirScheme(Q, threshold=0)
+        scheme = ShamirScheme(Q, threshold=3)
+        with pytest.raises(ValueError):
+            scheme.share(1, [1, 2], rng)  # fewer points than threshold
+        with pytest.raises(ValueError):
+            scheme.share(1, [1, 1, 2], rng)  # duplicate points
+        with pytest.raises(ValueError):
+            scheme.share(1, [0, 1, 2], rng)  # zero point
+
+
+class TestDegreeEncoding:
+    def test_share_resolve_roundtrip(self, rng):
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        for degree in range(1, 9):
+            sharing = scheme.share_degree(degree, rng)
+            assert sharing.encoded_degree == degree
+            assert scheme.resolve(list(sharing.shares)) == degree
+
+    def test_degree_bounds_enforced(self, rng):
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        with pytest.raises(ValueError):
+            scheme.share_degree(0, rng)
+        with pytest.raises(ValueError):
+            scheme.share_degree(len(POINTS), rng)
+
+    def test_sum_resolves_to_max(self, rng):
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        sharings = [scheme.share_degree(d, rng) for d in (2, 5, 3)]
+        summed = scheme.sum_shares([s.shares for s in sharings])
+        assert scheme.resolve(summed) == 5
+
+    def test_sum_validates_point_alignment(self, rng):
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        sharing = scheme.share_degree(3, rng)
+        misaligned = list(sharing.shares)
+        misaligned[0] = Share(point=99, value=misaligned[0].value)
+        with pytest.raises(ValueError):
+            scheme.sum_shares([misaligned])
+
+    def test_sum_of_nothing_rejected(self):
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        with pytest.raises(ValueError):
+            scheme.sum_shares([])
+
+    def test_candidates_filter(self, rng):
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        sharing = scheme.share_degree(4, rng)
+        assert scheme.resolve(list(sharing.shares), candidates=[2, 3]) is None
+        assert scheme.resolve(list(sharing.shares), candidates=[3, 4]) == 4
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(ValueError):
+            DegreeEncodingScheme(Q, [1, 1, 2])
+        with pytest.raises(ValueError):
+            DegreeEncodingScheme(Q, [0, 1])
+
+
+class TestReconstructionAttack:
+    """The Theorem 10 collusion primitive."""
+
+    def test_enough_shares_expose_degree(self, rng):
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        sharing = scheme.share_degree(4, rng)
+        # Coalition of 5 shares + free (0,0) point: 6 points, can confirm
+        # degree 4 (needs 4+2).
+        coalition = list(sharing.shares[:5])
+        outcomes = scheme.reconstruction_attack(coalition, [3, 4, 5])
+        assert outcomes[4] is True
+        assert outcomes[3] is False  # too low: inconsistent
+
+    def test_too_few_shares_are_blind(self, rng):
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        sharing = scheme.share_degree(4, rng)
+        coalition = list(sharing.shares[:3])  # 3 shares < degree
+        outcomes = scheme.reconstruction_attack(coalition, [4, 5, 6])
+        assert outcomes[4] is False
+        assert outcomes[5] is False
+
+    def test_exactly_interpolating_count_cannot_confirm(self, rng):
+        # degree+1 points (with the free zero) interpolate but cannot
+        # *check*: no surplus point, so no confirmation.
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        sharing = scheme.share_degree(4, rng)
+        coalition = list(sharing.shares[:4])  # 4 shares + zero = 5 points
+        outcomes = scheme.reconstruction_attack(coalition, [4])
+        assert outcomes[4] is False
+
+    def test_higher_candidates_also_consistent(self, rng):
+        # Degrees above the true one stay consistent — the attack learns a
+        # lower bound on the bid (upper bound on degree is what exposes).
+        scheme = DegreeEncodingScheme(Q, POINTS)
+        sharing = scheme.share_degree(3, rng)
+        coalition = list(sharing.shares[:6])
+        outcomes = scheme.reconstruction_attack(coalition, [3, 4, 5])
+        assert outcomes[3] and outcomes[4]

@@ -1,0 +1,129 @@
+"""Tests for repro.serialization (JSON round-trips)."""
+
+import json
+import random
+
+import pytest
+
+from repro import serialization
+from repro.core.protocol import run_dmw
+from repro.core.parameters import DMWParameters
+from repro.scheduling.problem import SchedulingProblem, Task
+from repro.scheduling.schedule import Schedule
+from repro.scheduling import workloads
+
+
+class TestProblemRoundTrip:
+    def test_roundtrip(self, problem53):
+        text = serialization.dumps(problem53)
+        restored = serialization.loads(text)
+        assert restored == problem53
+
+    def test_requirements_preserved(self):
+        problem = SchedulingProblem.from_speeds([4, 8], [[1], [2]])
+        restored = serialization.loads(serialization.dumps(problem))
+        assert restored.tasks[1].processing_requirement == 8
+
+    def test_is_valid_json(self, problem53):
+        document = json.loads(serialization.dumps(problem53))
+        assert document["type"] == "scheduling_problem"
+        assert document["version"] == serialization.FORMAT_VERSION
+
+
+class TestScheduleRoundTrip:
+    def test_roundtrip(self):
+        schedule = Schedule([0, 2, 1], num_agents=3)
+        restored = serialization.loads(serialization.dumps(schedule))
+        assert restored == schedule
+
+
+class TestOutcomeRoundTrip:
+    @pytest.fixture()
+    def outcome(self, params5, problem53):
+        return run_dmw(problem53, parameters=params5,
+                       rng=random.Random(0))
+
+    def test_completed_outcome(self, outcome, problem53):
+        restored = serialization.loads(serialization.dumps(outcome))
+        assert restored.completed
+        assert restored.schedule == outcome.schedule
+        assert restored.payments == outcome.payments
+        assert len(restored.transcripts) == len(outcome.transcripts)
+        for a, b in zip(restored.transcripts, outcome.transcripts):
+            assert (a.task, a.first_price, a.winner, a.second_price) == \
+                (b.task, b.first_price, b.winner, b.second_price)
+
+    def test_metrics_preserved(self, outcome):
+        restored = serialization.loads(serialization.dumps(outcome))
+        assert restored.network_metrics.as_dict() == \
+            outcome.network_metrics.as_dict()
+
+    def test_utilities_computable_after_roundtrip(self, outcome, problem53):
+        restored = serialization.loads(serialization.dumps(outcome))
+        for agent in range(5):
+            assert restored.utility(agent, problem53) == \
+                outcome.utility(agent, problem53)
+
+    def test_aborted_outcome(self, params5):
+        problem = SchedulingProblem([[1], [1], [1], [1], [1]])
+        from repro.core.deviant import WithholdSharesAgent
+        from repro.analysis.faithfulness import run_with_agents, \
+            honest_factory
+
+        def withholder(index, parameters, true_values, rng):
+            return WithholdSharesAgent(index, parameters, true_values,
+                                       victims=[1], rng=rng)
+
+        outcome = run_with_agents(params5,
+                                  [withholder] + [honest_factory] * 4,
+                                  problem)
+        assert not outcome.completed
+        restored = serialization.loads(serialization.dumps(outcome))
+        assert not restored.completed
+        assert restored.abort.phase == outcome.abort.phase
+        assert restored.abort.offender == outcome.abort.offender
+        assert restored.schedule is None
+
+
+class TestFiles:
+    def test_save_load(self, tmp_path, problem53):
+        path = tmp_path / "problem.json"
+        serialization.save(problem53, str(path))
+        assert serialization.load(str(path)) == problem53
+
+
+class TestErrors:
+    def test_unknown_artifact(self):
+        with pytest.raises(serialization.SerializationError):
+            serialization.dumps(object())
+
+    def test_unknown_document_type(self):
+        with pytest.raises(serialization.SerializationError):
+            serialization.loads('{"type": "mystery", "version": 1}')
+
+    def test_not_a_document(self):
+        with pytest.raises(serialization.SerializationError):
+            serialization.loads('[1, 2, 3]')
+
+    def test_wrong_version(self, problem53):
+        document = json.loads(serialization.dumps(problem53))
+        document["version"] = 99
+        with pytest.raises(serialization.SerializationError):
+            serialization.loads(json.dumps(document))
+
+    def test_type_mismatch(self, problem53):
+        document = json.loads(serialization.dumps(problem53))
+        document["type"] = "schedule"
+        with pytest.raises(Exception):
+            serialization.loads(json.dumps(document))
+
+
+class TestNaiveOutcomeRoundTrip:
+    def test_naive_outcome_serializes(self, problem53):
+        from repro.core.naive import run_naive
+        outcome = run_naive(problem53)
+        restored = serialization.loads(serialization.dumps(outcome))
+        assert restored.completed
+        assert restored.schedule == outcome.schedule
+        assert restored.payments == outcome.payments
+        assert restored.transcripts == []

@@ -1,0 +1,44 @@
+"""Tests for repro.analysis.tables."""
+
+import pytest
+
+from repro.analysis.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_integral_float(self):
+        assert format_cell(3.0) == "3"
+
+    def test_fractional_float(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_string_passthrough(self):
+        assert format_cell("dmw") == "dmw"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(["name", "value"],
+                             [["a", 1], ["longer", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns aligned: 'value' header starts at the same offset as 1/22.
+        offset = lines[0].index("value")
+        assert lines[2][offset] == "1"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_empty_rows(self):
+        table = render_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2

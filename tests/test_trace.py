@@ -1,0 +1,135 @@
+"""Tests for repro.core.trace (structured protocol traces)."""
+
+import random
+
+import pytest
+
+from repro.analysis.faithfulness import honest_factory
+from repro.core.agent import DMWAgent
+from repro.core.deviant import WrongAggregatesAgent
+from repro.core.parameters import DMWParameters
+from repro.core.protocol import DMWProtocol
+from repro.core.trace import NULL_TRACE, ProtocolTrace, TraceEvent
+from repro.scheduling.problem import SchedulingProblem
+
+
+def run_traced(params, problem, deviant_index=None, seed=0):
+    master = random.Random(seed)
+    agents = []
+    for index in range(params.num_agents):
+        rng = random.Random(master.getrandbits(64))
+        values = [int(problem.time(index, j))
+                  for j in range(problem.num_tasks)]
+        if index == deviant_index:
+            agents.append(WrongAggregatesAgent(index, params, values,
+                                               rng=rng))
+        else:
+            agents.append(DMWAgent(index, params, values, rng=rng))
+    trace = ProtocolTrace()
+    protocol = DMWProtocol(params, agents, trace=trace)
+    outcome = protocol.execute(problem.num_tasks)
+    return outcome, trace
+
+
+@pytest.fixture()
+def problem():
+    return SchedulingProblem([
+        [3, 2],
+        [2, 3],
+        [3, 3],
+        [2, 2],
+        [3, 3],
+    ])
+
+
+class TestTraceObject:
+    def test_record_and_query(self):
+        trace = ProtocolTrace()
+        trace.record("phase", task=0, name="bidding")
+        trace.record("phase", task=1, name="bidding")
+        trace.record("abort", reason="x")
+        assert len(trace) == 3
+        assert len(trace.events(kind="phase")) == 2
+        assert len(trace.events(task=1)) == 1
+        assert trace.kinds() == ["phase", "phase", "abort"]
+
+    def test_render(self):
+        trace = ProtocolTrace()
+        trace.record("winner", task=2, agent=4)
+        text = trace.render()
+        assert "task 2" in text
+        assert "winner" in text
+        assert "agent=4" in text
+
+    def test_null_trace_discards(self):
+        NULL_TRACE.record("anything", task=0)
+        assert len(NULL_TRACE) == 0
+
+    def test_event_sequence_monotone(self):
+        trace = ProtocolTrace()
+        for index in range(5):
+            trace.record("e")
+        sequences = [event.sequence for event in trace]
+        assert sequences == list(range(5))
+
+
+class TestProtocolIntegration:
+    def test_honest_run_event_structure(self, params5, problem):
+        outcome, trace = run_traced(params5, problem)
+        assert outcome.completed
+        # One start + one resolution per task, one payments event, no
+        # complaints or aborts.
+        assert len(trace.events(kind="auction_start")) == 2
+        assert len(trace.events(kind="auction_resolved")) == 2
+        assert len(trace.events(kind="payments_dispensed")) == 1
+        assert trace.events(kind="complaints") == []
+        assert trace.events(kind="abort") == []
+
+    def test_resolution_details_match_outcome(self, params5, problem):
+        outcome, trace = run_traced(params5, problem)
+        for transcript in outcome.transcripts:
+            events = trace.events(kind="auction_resolved",
+                                  task=transcript.task)
+            assert len(events) == 1
+            detail = events[0].detail
+            assert detail["first_price"] == transcript.first_price
+            assert detail["winner"] == transcript.winner
+            assert detail["second_price"] == transcript.second_price
+
+    def test_deviant_run_records_complaints(self, params5, problem):
+        # Min bid 2 leaves resolution slack, so the run completes after
+        # complaints exclude the corrupted aggregates.
+        outcome, trace = run_traced(params5, problem, deviant_index=4)
+        assert outcome.completed
+        complaint_events = trace.events(kind="complaints")
+        assert complaint_events
+        assert all(4 in event.detail["accused"]
+                   for event in complaint_events)
+
+    def test_aborted_run_records_abort(self, params5):
+        problem = SchedulingProblem([[1], [2], [3], [2], [3]])
+        outcome, trace = run_traced(params5, problem, deviant_index=2)
+        assert not outcome.completed
+        aborts = trace.events(kind="abort")
+        assert len(aborts) == 1
+        assert aborts[0].detail["phase"] == "allocating"
+        # No payments event after an abort.
+        assert trace.events(kind="payments_dispensed") == []
+
+    def test_complaints_precede_resolution(self, params5, problem):
+        _, trace = run_traced(params5, problem, deviant_index=4)
+        for task in range(2):
+            kinds = [event.kind for event in trace.events(task=task)]
+            if "complaints" in kinds and "auction_resolved" in kinds:
+                assert kinds.index("complaints") < \
+                    kinds.index("auction_resolved")
+
+    def test_tracing_off_by_default(self, params5, problem):
+        master = random.Random(0)
+        agents = [DMWAgent(i, params5,
+                           [int(problem.time(i, j)) for j in range(2)],
+                           rng=random.Random(master.getrandbits(64)))
+                  for i in range(5)]
+        protocol = DMWProtocol(params5, agents)
+        protocol.execute(2)
+        assert len(protocol.trace) == 0  # the shared NULL_TRACE

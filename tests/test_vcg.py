@@ -1,0 +1,60 @@
+"""Unit tests for repro.mechanisms.vcg."""
+
+import random
+
+import pytest
+
+from repro.mechanisms.minwork import MinWork
+from repro.mechanisms.vcg import VCG, makespan_objective, total_work_objective
+from repro.scheduling import workloads
+from repro.scheduling.problem import SchedulingProblem
+
+
+class TestTotalWorkVCG:
+    def test_allocation_matches_minwork(self):
+        """VCG on total work IS MinWork — a strong cross-check."""
+        rng = random.Random(4)
+        for _ in range(5):
+            problem = workloads.uniform_random(3, 3, rng)
+            assert VCG().allocate(problem) == MinWork().allocate(problem)
+
+    def test_payments_match_minwork(self):
+        rng = random.Random(5)
+        for _ in range(5):
+            problem = workloads.uniform_random(3, 3, rng)
+            vcg_payments = VCG().run(problem).payments
+            minwork_payments = MinWork().run(problem).payments
+            for a, b in zip(vcg_payments, minwork_payments):
+                assert a == pytest.approx(b)
+
+    def test_payments_with_ties(self):
+        problem = SchedulingProblem([[2, 3], [2, 3], [5, 3]])
+        vcg_payments = VCG().run(problem).payments
+        minwork_payments = MinWork().run(problem).payments
+        for a, b in zip(vcg_payments, minwork_payments):
+            assert a == pytest.approx(b)
+
+    def test_single_agent_rejected_for_payments(self):
+        problem = SchedulingProblem([[1]])
+        mechanism = VCG()
+        schedule = mechanism.allocate(problem)
+        with pytest.raises(ValueError):
+            mechanism.payments(problem, schedule)
+
+
+class TestMakespanVCG:
+    def test_allocation_minimizes_makespan(self):
+        problem = SchedulingProblem([
+            [1, 1, 1],
+            [1.5, 1.5, 1.5],
+        ])
+        schedule = VCG(objective=makespan_objective).allocate(problem)
+        # Optimal makespan splits tasks; putting all on agent 0 gives 3.
+        assert schedule.makespan(problem) < 3
+
+    def test_total_work_objective_function(self):
+        problem = SchedulingProblem([[1, 2], [3, 4]])
+        from repro.scheduling.schedule import Schedule
+        schedule = Schedule([0, 1], num_agents=2)
+        assert total_work_objective(schedule, problem) == 5
+        assert makespan_objective(schedule, problem) == 4

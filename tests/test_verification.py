@@ -1,0 +1,177 @@
+"""Unit tests for repro.core.verification (eqs. (7)-(9), (11), (13))."""
+
+import pytest
+
+from repro.core.bidding import ShareBundle, all_share_bundles, encode_bid
+from repro.core.verification import (
+    gamma_value,
+    phi_value,
+    verify_f_disclosure,
+    verify_lambda_psi,
+    verify_share_bundle,
+)
+
+
+@pytest.fixture()
+def setup(params5, rng):
+    """Packages and bundles for all 5 agents bidding (1, 2, 3, 2, 1)."""
+    bids = [1, 2, 3, 2, 1]
+    packages = [encode_bid(params5, bid, rng) for bid in bids]
+    bundles = [all_share_bundles(params5, package) for package in packages]
+    return bids, packages, bundles
+
+
+class TestShareVerification:
+    def test_honest_bundles_verify(self, params5, setup):
+        _, packages, bundles = setup
+        for sender in range(5):
+            for receiver in range(5):
+                assert verify_share_bundle(
+                    params5, packages[sender].commitments,
+                    params5.pseudonyms[receiver],
+                    bundles[sender][receiver],
+                )
+
+    def test_corrupted_e_detected(self, params5, setup):
+        _, packages, bundles = setup
+        bundle = bundles[0][1]
+        q = params5.group.q
+        corrupted = ShareBundle((bundle.e_value + 1) % q, bundle.f_value,
+                                bundle.g_value, bundle.h_value)
+        assert not verify_share_bundle(params5, packages[0].commitments,
+                                       params5.pseudonyms[1], corrupted)
+
+    def test_corrupted_f_detected(self, params5, setup):
+        _, packages, bundles = setup
+        bundle = bundles[0][1]
+        q = params5.group.q
+        corrupted = ShareBundle(bundle.e_value, (bundle.f_value + 1) % q,
+                                bundle.g_value, bundle.h_value)
+        assert not verify_share_bundle(params5, packages[0].commitments,
+                                       params5.pseudonyms[1], corrupted)
+
+    def test_corrupted_blinding_detected(self, params5, setup):
+        _, packages, bundles = setup
+        bundle = bundles[2][3]
+        q = params5.group.q
+        for field in ("g_value", "h_value"):
+            values = {
+                "e_value": bundle.e_value, "f_value": bundle.f_value,
+                "g_value": bundle.g_value, "h_value": bundle.h_value,
+            }
+            values[field] = (values[field] + 1) % q
+            corrupted = ShareBundle(**values)
+            assert not verify_share_bundle(params5, packages[2].commitments,
+                                           params5.pseudonyms[3], corrupted)
+
+    def test_swapped_commitments_detected(self, params5, setup):
+        # Bundle from agent 0 checked against agent 1's commitments fails.
+        _, packages, bundles = setup
+        assert not verify_share_bundle(params5, packages[1].commitments,
+                                       params5.pseudonyms[2],
+                                       bundles[0][2])
+
+
+class TestGammaPhi:
+    def test_gamma_opens_to_e_and_h(self, params5, setup):
+        _, packages, _ = setup
+        group = params5.group
+        alpha = params5.pseudonyms[2]
+        expected = group.mul(
+            group.exp(params5.z1, packages[0].e.evaluate(alpha)),
+            group.exp(params5.z2, packages[0].h.evaluate(alpha)),
+        )
+        assert gamma_value(params5, packages[0].commitments, alpha) == expected
+
+    def test_phi_opens_to_f_and_h(self, params5, setup):
+        _, packages, _ = setup
+        group = params5.group
+        alpha = params5.pseudonyms[4]
+        expected = group.mul(
+            group.exp(params5.z1, packages[1].f.evaluate(alpha)),
+            group.exp(params5.z2, packages[1].h.evaluate(alpha)),
+        )
+        assert phi_value(params5, packages[1].commitments, alpha) == expected
+
+
+class TestLambdaPsi:
+    def aggregates_for(self, params5, packages, index):
+        group = params5.group
+        q = group.q
+        alpha = params5.pseudonyms[index]
+        e_sum = sum(p.e.evaluate(alpha) for p in packages) % q
+        h_sum = sum(p.h.evaluate(alpha) for p in packages) % q
+        return (group.exp(params5.z1, e_sum), group.exp(params5.z2, h_sum))
+
+    def test_honest_aggregates_verify(self, params5, setup):
+        _, packages, _ = setup
+        commitments = [p.commitments for p in packages]
+        for index in range(5):
+            lam, psi = self.aggregates_for(params5, packages, index)
+            assert verify_lambda_psi(params5, commitments,
+                                     params5.pseudonyms[index], lam, psi)
+
+    def test_corrupted_lambda_detected(self, params5, setup):
+        _, packages, _ = setup
+        commitments = [p.commitments for p in packages]
+        lam, psi = self.aggregates_for(params5, packages, 0)
+        bad = params5.group.mul(lam, params5.z1)
+        assert not verify_lambda_psi(params5, commitments,
+                                     params5.pseudonyms[0], bad, psi)
+
+    def test_excluding_variant(self, params5, setup):
+        """Eq. (15): dividing out the winner still verifies with
+        exclude=winner."""
+        _, packages, _ = setup
+        group = params5.group
+        commitments = [p.commitments for p in packages]
+        winner = 0
+        index = 2
+        alpha = params5.pseudonyms[index]
+        lam, psi = self.aggregates_for(params5, packages, index)
+        lam_prime = group.div(lam, group.exp(params5.z1,
+                                             packages[winner].e.evaluate(alpha)))
+        psi_prime = group.div(psi, group.exp(params5.z2,
+                                             packages[winner].h.evaluate(alpha)))
+        assert verify_lambda_psi(params5, commitments, alpha,
+                                 lam_prime, psi_prime, exclude=winner)
+        # But not with the full product:
+        assert not verify_lambda_psi(params5, commitments, alpha,
+                                     lam_prime, psi_prime)
+
+
+class TestDisclosure:
+    def test_honest_disclosure_verifies(self, params5, setup):
+        _, packages, bundles = setup
+        discloser = 1
+        row = {
+            sender: (bundles[sender][discloser].f_value,
+                     bundles[sender][discloser].h_value)
+            for sender in range(5)
+        }
+        assert verify_f_disclosure(params5, [p.commitments for p in packages],
+                                   params5.pseudonyms[discloser], row)
+
+    def test_tampered_entry_detected(self, params5, setup):
+        _, packages, bundles = setup
+        discloser = 1
+        q = params5.group.q
+        row = {
+            sender: (bundles[sender][discloser].f_value,
+                     bundles[sender][discloser].h_value)
+            for sender in range(5)
+        }
+        f_value, h_value = row[3]
+        row[3] = ((f_value + 1) % q, h_value)
+        assert not verify_f_disclosure(params5,
+                                       [p.commitments for p in packages],
+                                       params5.pseudonyms[discloser], row)
+
+    def test_incomplete_row_rejected(self, params5, setup):
+        _, packages, bundles = setup
+        discloser = 1
+        row = {0: (bundles[0][discloser].f_value,
+                   bundles[0][discloser].h_value)}
+        assert not verify_f_disclosure(params5,
+                                       [p.commitments for p in packages],
+                                       params5.pseudonyms[discloser], row)

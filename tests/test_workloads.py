@@ -1,0 +1,156 @@
+"""Unit tests for repro.scheduling.workloads."""
+
+import random
+
+import pytest
+
+from repro.scheduling import workloads
+from repro.scheduling.problem import SchedulingProblem
+
+
+class TestUniformRandom:
+    def test_shape_and_range(self, rng):
+        problem = workloads.uniform_random(4, 7, rng, low=2, high=9)
+        assert problem.num_agents == 4
+        assert problem.num_tasks == 7
+        for i in range(4):
+            for j in range(7):
+                assert 2 <= problem.time(i, j) <= 9
+
+    def test_deterministic_given_seed(self):
+        a = workloads.uniform_random(3, 3, random.Random(1))
+        b = workloads.uniform_random(3, 3, random.Random(1))
+        assert a == b
+
+    def test_invalid_bounds(self, rng):
+        with pytest.raises(ValueError):
+            workloads.uniform_random(2, 2, rng, low=0)
+        with pytest.raises(ValueError):
+            workloads.uniform_random(2, 2, rng, low=5, high=4)
+
+
+class TestMachineCorrelated:
+    def test_rows_are_proportional(self, rng):
+        problem = workloads.machine_correlated(3, 5, rng)
+        # t_i^j = r_j / s_i: the ratio between two agents' times is
+        # constant across tasks.
+        base = problem.time(0, 0) / problem.time(1, 0)
+        for task in range(5):
+            ratio = problem.time(0, task) / problem.time(1, task)
+            assert ratio == pytest.approx(base)
+
+
+class TestTaskCorrelated:
+    def test_noise_bounded(self, rng):
+        problem = workloads.task_correlated(4, 6, rng, noise=0.1)
+        for task in range(6):
+            column = problem.task_times(task)
+            assert max(column) <= min(column) * (1.1 / 0.9) + 1e-9
+
+    def test_invalid_noise(self, rng):
+        with pytest.raises(ValueError):
+            workloads.task_correlated(2, 2, rng, noise=1.0)
+
+
+class TestBimodal:
+    def test_only_two_levels(self, rng):
+        problem = workloads.bimodal(4, 6, rng, fast=1, slow=9)
+        values = {problem.time(i, j) for i in range(4) for j in range(6)}
+        assert values <= {1.0, 9.0}
+
+
+class TestAdversarial:
+    def test_structure(self):
+        problem = workloads.adversarial_for_minwork(4)
+        assert problem.num_agents == 4
+        assert problem.num_tasks == 4
+        assert problem.time(0, 0) < problem.time(1, 0)
+
+    def test_needs_two_agents(self):
+        with pytest.raises(ValueError):
+            workloads.adversarial_for_minwork(1)
+
+
+class TestDiscretize:
+    def test_values_land_in_bid_set(self, rng):
+        continuous = workloads.uniform_random(4, 5, rng)
+        discrete = workloads.discretize_to_bid_set(continuous, [1, 2, 3])
+        values = {discrete.time(i, j) for i in range(4) for j in range(5)}
+        assert values <= {1.0, 2.0, 3.0}
+
+    def test_order_preserved_weakly(self, rng):
+        continuous = workloads.uniform_random(4, 5, rng)
+        discrete = workloads.discretize_to_bid_set(continuous, [1, 2, 3, 4])
+        for j in range(5):
+            column = continuous.task_times(j)
+            mapped = discrete.task_times(j)
+            for a in range(4):
+                for b in range(4):
+                    if column[a] < column[b]:
+                        assert mapped[a] <= mapped[b]
+
+    def test_constant_matrix_maps_to_lowest(self):
+        constant = SchedulingProblem([[5, 5], [5, 5]])
+        discrete = workloads.discretize_to_bid_set(constant, [2, 7])
+        assert discrete.time(0, 0) == 2
+
+    def test_extremes_map_to_extremes(self):
+        problem = SchedulingProblem([[1, 100], [50, 60]])
+        discrete = workloads.discretize_to_bid_set(problem, [1, 2, 3])
+        assert discrete.time(0, 0) == 1
+        assert discrete.time(0, 1) == 3
+
+    def test_invalid_bid_set(self, rng):
+        problem = workloads.uniform_random(2, 2, rng)
+        with pytest.raises(ValueError):
+            workloads.discretize_to_bid_set(problem, [])
+        with pytest.raises(ValueError):
+            workloads.discretize_to_bid_set(problem, [0, 1])
+
+
+class TestRandomDiscrete:
+    def test_values_from_bid_set(self, rng):
+        problem = workloads.random_discrete(5, 4, [1, 3, 5], rng)
+        values = {problem.time(i, j) for i in range(5) for j in range(4)}
+        assert values <= {1.0, 3.0, 5.0}
+
+    def test_invalid_bid_set(self, rng):
+        with pytest.raises(ValueError):
+            workloads.random_discrete(2, 2, [], rng)
+        with pytest.raises(ValueError):
+            workloads.random_discrete(2, 2, [-1, 2], rng)
+
+
+class TestHeavyTailed:
+    def test_positive_and_skewed(self, rng):
+        problem = workloads.heavy_tailed(5, 40, rng)
+        values = sorted(problem.time(i, j) for i in range(5)
+                        for j in range(40))
+        assert values[0] > 0
+        # Heavy tail: the max dwarfs the median.
+        assert values[-1] > 5 * values[len(values) // 2]
+
+    def test_invalid_sigma(self, rng):
+        with pytest.raises(ValueError):
+            workloads.heavy_tailed(2, 2, rng, sigma=0)
+
+
+class TestClusteredSpecialists:
+    def test_specialists_are_fast_on_their_cluster(self, rng):
+        problem = workloads.clustered_specialists(4, 10, rng,
+                                                  num_clusters=2,
+                                                  fast=1, slow=9)
+        values = {problem.time(i, j) for i in range(4) for j in range(10)}
+        assert values <= {1.0, 9.0}
+        # Agents 0 and 2 share a specialty; their rows agree.
+        assert problem.agent_times(0) == problem.agent_times(2)
+
+    def test_invalid_clusters(self, rng):
+        with pytest.raises(ValueError):
+            workloads.clustered_specialists(2, 2, rng, num_clusters=0)
+
+    def test_single_cluster_everyone_fast(self, rng):
+        problem = workloads.clustered_specialists(3, 4, rng,
+                                                  num_clusters=1)
+        values = {problem.time(i, j) for i in range(3) for j in range(4)}
+        assert values == {1.0}
