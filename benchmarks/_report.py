@@ -7,9 +7,27 @@ measured output verbatim.  Benchmarks run their measurement exactly once
 (``benchmark.pedantic(..., rounds=1)``) — the quantity of interest is the
 *measured counts*, not the wall-clock of the measuring harness (wall-clock
 scaling has its own bench, ``bench_scaling.py``).
+
+Machine-readable output
+-----------------------
+Next to the human-readable ``.txt`` reports, benchmarks emit JSON records
+via :func:`write_json_record` into ``benchmarks/results/BENCH_<bench>.json``.
+Each file holds a list of records with the fixed schema::
+
+    {"bench": str, "params": {...}, "wall_clock_s": float | None,
+     "counters": {...} | None}
+
+``params`` identifies the measured configuration (``n``, ``m``, group
+size, ...), ``wall_clock_s`` is the best measured wall-clock in seconds
+(``None`` for count-only benches), and ``counters`` carries whatever
+counted quantities the bench tracks (operation-counter snapshots, message
+censuses).  CI's regression gate (``benchmarks/check_regression.py``)
+consumes these files; see ``docs/PERFORMANCE.md``.
 """
 
+import json
 import os
+import time
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "results")
@@ -29,3 +47,72 @@ def write_report(name, text):
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def json_path(bench):
+    """Return the path of a bench's machine-readable record file."""
+    return os.path.join(RESULTS_DIR, "BENCH_%s.json" % bench)
+
+
+def write_json_record(bench, params, wall_clock_s=None, counters=None):
+    """Record one ``{bench, params, wall_clock_s, counters}`` measurement.
+
+    Records accumulate (and are replaced on matching ``params``) in
+    ``benchmarks/results/BENCH_<bench>.json`` so a parametrised bench
+    writes one file holding every configuration.  Returns the file path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = json_path(bench)
+    records = []
+    if os.path.exists(path):
+        with open(path) as handle:
+            records = json.load(handle)
+    records = [record for record in records if record["params"] != params]
+    records.append({
+        "bench": bench,
+        "params": params,
+        "wall_clock_s": wall_clock_s,
+        "counters": counters,
+    })
+    records.sort(key=lambda record: json.dumps(record["params"],
+                                               sort_keys=True))
+    with open(path, "w") as handle:
+        json.dump(records, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def best_wall_clock(fn, rounds=3, warmup=1):
+    """Return ``(best_seconds, last_result)`` over ``rounds`` timed runs.
+
+    ``warmup`` untimed runs come first so process-wide precomputation
+    (fixed-base generator tables) is excluded, mirroring how a long-lived
+    deployment amortises it.
+    """
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def calibration_loop(iterations=200000):
+    """Time a fixed big-int multiply loop (machine-speed yardstick).
+
+    The regression gate compares *normalised* wall-clocks
+    (``wall_clock_s / calibration_s``) so a committed baseline from one
+    machine remains meaningful on another (e.g. a CI runner).
+    """
+    value = (1 << 61) - 1
+    modulus = (1 << 89) - 1
+    accumulator = 1
+    start = time.perf_counter()
+    for _ in range(iterations):
+        accumulator = (accumulator * value) % modulus
+    return time.perf_counter() - start

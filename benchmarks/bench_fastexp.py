@@ -1,0 +1,131 @@
+"""Per-primitive and end-to-end speedups of the execution fast paths.
+
+Measures each :mod:`repro.crypto.fastexp` primitive against the naive
+implementation it replaces (at the ``small`` fixture sizes the protocol
+actually uses), plus a full DMW run with the fast paths on versus
+:func:`repro.crypto.fastexp.naive_mode`.  The outcome and every agent's
+operation-counter snapshot must be identical between the two runs — the
+fast paths change wall-clock only (see ``docs/PERFORMANCE.md``).
+"""
+
+import random
+import time
+
+from _report import run_once, write_json_record, write_report
+
+from repro.core import DMWParameters
+from repro.core.protocol import run_dmw
+from repro.crypto import fastexp
+from repro.crypto.groups import fixture_group
+from repro.crypto.modular import mod_inv
+from repro.scheduling import workloads
+
+
+def _best_of(fn, repeats, rounds=3):
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            result = fn()
+        elapsed = (time.perf_counter() - start) / repeats
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def measure_primitives():
+    parameters = fixture_group("small")
+    group = parameters.group
+    rng = random.Random(2024)
+    rows = []
+
+    # Fixed-base exponentiation: z1^e via the windowed table vs pow().
+    exponents = [rng.randrange(1, group.q) for _ in range(64)]
+    table = fastexp.fixed_base_table(parameters.z1, group.p,
+                                     group.q.bit_length())
+    naive_t, naive_v = _best_of(
+        lambda: [pow(parameters.z1, e, group.p) for e in exponents], 20)
+    fast_t, fast_v = _best_of(
+        lambda: [table.pow(e) for e in exponents], 20)
+    assert naive_v == fast_v
+    rows.append(("fixed_base_pow", naive_t / 64, fast_t / 64))
+
+    # Straus multi-exponentiation vs a per-term pow() product.
+    bases = [rng.randrange(2, group.p) for _ in range(13)]
+    exps = [rng.randrange(1, group.q) for _ in range(13)]
+
+    def naive_product():
+        result = 1
+        for base, exponent in zip(bases, exps):
+            result = (result * pow(base, exponent, group.p)) % group.p
+        return result
+
+    naive_t, naive_v = _best_of(naive_product, 200)
+    fast_t, fast_v = _best_of(
+        lambda: fastexp.multi_exp(bases, exps, group.p), 200)
+    assert naive_v == fast_v
+    rows.append(("multi_exp_13_terms", naive_t, fast_t))
+
+    # Straus with precomputed digit tables (the cached-evaluation path).
+    tables = fastexp.straus_tables(bases, group.p, window=5)
+    fast_t, fast_v = _best_of(
+        lambda: fastexp.multi_exp_with_tables(tables, exps, group.p,
+                                              window=5), 200)
+    assert naive_v == fast_v
+    rows.append(("multi_exp_cached_tables", naive_t, fast_t))
+
+    # Montgomery batch inversion vs per-element inversion.
+    values = [rng.randrange(1, group.q) for _ in range(24)]
+    naive_t, naive_v = _best_of(
+        lambda: [mod_inv(value, group.q) for value in values], 200)
+    fast_t, fast_v = _best_of(
+        lambda: fastexp.batch_mod_inv(values, group.q), 200)
+    assert naive_v == fast_v
+    rows.append(("batch_mod_inv_24", naive_t, fast_t))
+    return rows
+
+
+def measure_protocol():
+    parameters = DMWParameters.generate(8, fault_bound=1, group_size="small")
+    problem = workloads.random_discrete(8, 2, parameters.bid_values,
+                                        random.Random(0))
+
+    def run():
+        return run_dmw(problem, parameters=parameters, rng=random.Random(1))
+
+    fast_t, fast_outcome = _best_of(run, 1, rounds=3)
+    with fastexp.naive_mode():
+        naive_t, naive_outcome = _best_of(run, 1, rounds=3)
+    assert fast_outcome.completed and naive_outcome.completed
+    assert (fast_outcome.schedule.assignment
+            == naive_outcome.schedule.assignment)
+    assert fast_outcome.payments == naive_outcome.payments
+    assert fast_outcome.agent_operations == naive_outcome.agent_operations
+    return ("dmw_run_n8_m2", naive_t, fast_t)
+
+
+def test_fastexp_speedups(benchmark):
+    rows = run_once(benchmark, measure_primitives)
+    rows.append(measure_protocol())
+
+    lines = ["Execution fast paths: naive vs fast wall-clock", ""]
+    lines.append("%-26s %12s %12s %9s" % ("primitive", "naive (us)",
+                                          "fast (us)", "speedup"))
+    for name, naive_t, fast_t in rows:
+        speedup = naive_t / fast_t
+        lines.append("%-26s %12.2f %12.2f %8.2fx"
+                     % (name, naive_t * 1e6, fast_t * 1e6, speedup))
+        write_json_record(
+            "fastexp", {"primitive": name},
+            wall_clock_s=round(fast_t, 9),
+            counters={"naive_wall_clock_s": round(naive_t, 9),
+                      "speedup": round(speedup, 3)},
+        )
+        # Every primitive must at least not lose to the naive path; the
+        # end-to-end run must show a real win.
+        assert speedup > 0.9, (name, speedup)
+    end_to_end = dict((row[0], row[1] / row[2]) for row in rows)
+    assert end_to_end["dmw_run_n8_m2"] > 1.5
+
+    write_report("fastexp", "\n".join(lines))

@@ -3,16 +3,32 @@
 Complements the *counted* costs of the Table 1 benches with end-to-end
 wall-clock timings of honest protocol runs at several sizes, plus the
 centralized baseline for contrast.
+
+Besides the pytest-benchmark timings, every configuration writes a
+machine-readable record to ``benchmarks/results/BENCH_scaling.json``
+(best-of-three wall clock plus the summed per-agent operation counters);
+``benchmarks/check_regression.py`` gates CI on those records against the
+committed baseline in ``benchmarks/baseline/``.
 """
 
 import random
 
 import pytest
 
+from _report import best_wall_clock, calibration_loop, write_json_record
+
 from repro.core import DMWParameters
 from repro.core.protocol import run_dmw
 from repro.mechanisms import MinWork, truthful_bids
 from repro.scheduling import workloads
+
+
+def _summed_operations(outcome):
+    totals = {}
+    for snapshot in outcome.agent_operations:
+        for key, value in snapshot.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
 
 
 def dmw_runner(n, m, group_size="small"):
@@ -30,19 +46,35 @@ def dmw_runner(n, m, group_size="small"):
     return run
 
 
+def _record(sweep, run, **params):
+    best, outcome = best_wall_clock(run, rounds=3, warmup=1)
+    record_params = dict(params)
+    record_params["sweep"] = sweep
+    write_json_record(
+        "scaling", record_params, wall_clock_s=round(best, 6),
+        counters=_summed_operations(outcome),
+    )
+    write_json_record("scaling_calibration", {"machine": "local"},
+                      wall_clock_s=round(calibration_loop(), 6))
+
+
 @pytest.mark.parametrize("n", [4, 8, 12])
 def test_dmw_scaling_in_agents(benchmark, n):
     benchmark.pedantic(dmw_runner(n, 2), rounds=3, iterations=1)
+    _record("agents", dmw_runner(n, 2), n=n, m=2, group_size="small")
 
 
 @pytest.mark.parametrize("m", [1, 4, 8])
 def test_dmw_scaling_in_tasks(benchmark, m):
     benchmark.pedantic(dmw_runner(6, m), rounds=3, iterations=1)
+    _record("tasks", dmw_runner(6, m), n=6, m=m, group_size="small")
 
 
 @pytest.mark.parametrize("group_size", ["tiny", "small", "medium"])
 def test_dmw_scaling_in_group_size(benchmark, group_size):
     benchmark.pedantic(dmw_runner(6, 2, group_size), rounds=3, iterations=1)
+    _record("group_size", dmw_runner(6, 2, group_size), n=6, m=2,
+            group_size=group_size)
 
 
 @pytest.mark.parametrize("n", [4, 8, 12])

@@ -1,0 +1,162 @@
+"""Compare fresh benchmark records against the committed baseline.
+
+Reads the machine-readable ``BENCH_*.json`` records emitted by the
+benchmark suite (see ``benchmarks/_report.py``) and compares them to the
+baseline committed under ``benchmarks/baseline/``:
+
+* **scaling** records carry wall-clock times.  Raw seconds do not
+  transfer between machines, so both sides are normalised by their own
+  ``scaling_calibration`` record (a fixed big-integer multiplication
+  loop timed on the same machine as the benchmarks; see
+  ``_report.calibration_loop``).  A fresh normalised wall-clock more
+  than ``--threshold`` (default 25%) above baseline fails the gate.
+
+* **table1_computation** records carry counted modular-operation
+  totals.  These are deterministic (the fast paths must charge the
+  paper's analytic schedule bit-for-bit — ``docs/PERFORMANCE.md``), so
+  *any* drift is a failure, not a tolerance band.
+
+Exit status 0 iff every gate holds.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--baseline benchmarks/baseline] [--results benchmarks/results] \
+        [--threshold 0.25]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def _load(directory, bench):
+    path = os.path.join(directory, "BENCH_%s.json" % bench)
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _params_key(record):
+    return tuple(sorted(record["params"].items()))
+
+
+def _by_params(records):
+    return dict((_params_key(record), record) for record in records)
+
+
+def _calibration(directory):
+    records = _load(directory, "scaling_calibration")
+    if not records:
+        return None
+    return records[0]["wall_clock_s"]
+
+
+def check_scaling(baseline_dir, results_dir, threshold, failures, lines):
+    baseline = _load(baseline_dir, "scaling")
+    fresh = _load(results_dir, "scaling")
+    if baseline is None:
+        lines.append("scaling: no baseline committed; skipping")
+        return
+    if fresh is None:
+        failures.append("scaling: baseline exists but no fresh results "
+                        "(run benchmarks/bench_scaling.py first)")
+        return
+    base_cal = _calibration(baseline_dir)
+    fresh_cal = _calibration(results_dir)
+    if not base_cal or not fresh_cal:
+        failures.append("scaling: missing calibration record "
+                        "(baseline=%r fresh=%r)" % (base_cal, fresh_cal))
+        return
+    lines.append("calibration loop: baseline %.4fs, fresh %.4fs"
+                 % (base_cal, fresh_cal))
+    fresh_by_params = _by_params(fresh)
+    for record in baseline:
+        key = _params_key(record)
+        new = fresh_by_params.get(key)
+        label = ", ".join("%s=%s" % item for item in key)
+        if new is None:
+            failures.append("scaling[%s]: record missing from fresh results"
+                            % label)
+            continue
+        if not record.get("wall_clock_s"):
+            continue
+        base_norm = record["wall_clock_s"] / base_cal
+        new_norm = new["wall_clock_s"] / fresh_cal
+        ratio = new_norm / base_norm
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            failures.append(
+                "scaling[%s]: normalised wall-clock %.2fx baseline "
+                "(%.4fs vs %.4fs raw; threshold %.0f%%)"
+                % (label, ratio, new["wall_clock_s"],
+                   record["wall_clock_s"], threshold * 100))
+        lines.append("scaling[%s]: %.2fx normalised (%s)"
+                     % (label, ratio, status))
+
+
+def check_table1(baseline_dir, results_dir, failures, lines):
+    baseline = _load(baseline_dir, "table1_computation")
+    fresh = _load(results_dir, "table1_computation")
+    if baseline is None:
+        lines.append("table1_computation: no baseline committed; skipping")
+        return
+    if fresh is None:
+        failures.append("table1_computation: baseline exists but no fresh "
+                        "results (run bench_table1_computation.py first)")
+        return
+    fresh_by_params = _by_params(fresh)
+    for record in baseline:
+        key = _params_key(record)
+        new = fresh_by_params.get(key)
+        label = ", ".join("%s=%s" % item for item in key)
+        if new is None:
+            failures.append("table1_computation[%s]: record missing from "
+                            "fresh results" % label)
+            continue
+        # Counted totals are deterministic: exact equality, no tolerance.
+        if new["counters"] != record["counters"]:
+            failures.append(
+                "table1_computation[%s]: counted totals drifted: "
+                "baseline %s != fresh %s"
+                % (label, record["counters"], new["counters"]))
+        else:
+            lines.append("table1_computation[%s]: counters identical"
+                         % label)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail on benchmark regressions against the committed "
+                    "baseline.")
+    here = os.path.dirname(os.path.abspath(__file__))
+    parser.add_argument("--baseline", default=os.path.join(here, "baseline"))
+    parser.add_argument("--results", default=os.path.join(here, "results"))
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional wall-clock regression "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args(argv)
+
+    failures = []
+    lines = []
+    check_scaling(args.baseline, args.results, args.threshold,
+                  failures, lines)
+    check_table1(args.baseline, args.results, failures, lines)
+
+    for line in lines:
+        print(line)
+    if failures:
+        print()
+        for failure in failures:
+            print("FAIL: %s" % failure)
+        return 1
+    print()
+    print("regression gate: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

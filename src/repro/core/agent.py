@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..crypto.fastexp import PublicValueCache
 from ..crypto.modular import OperationCounter
 from .bidding import (
     AgentCommitments,
@@ -92,12 +93,22 @@ class DMWAgent:
             parameters.validate_bid(value)
         self.rng = rng or random.Random(index)
         self.counter = OperationCounter()
+        # Memo for publicly derivable values (Gamma/Phi, commitment
+        # evaluations, Lagrange weights).  The protocol replaces it with
+        # one cache shared across the execution's agents — the values are
+        # public, and each agent's counter is still charged the full
+        # analytic schedule on every (cached or not) access.
+        self.cache = PublicValueCache()
         self._tasks: Dict[int, _TaskState] = {}
 
     # -- small helpers -----------------------------------------------------------
     @property
     def pseudonym(self) -> int:
         return self.parameters.pseudonyms[self.index]
+
+    def adopt_cache(self, cache: PublicValueCache) -> None:
+        """Install the execution-scoped public-value cache (protocol hook)."""
+        self.cache = cache
 
     def _state(self, task: int) -> _TaskState:
         return self._tasks.setdefault(task, _TaskState())
@@ -172,7 +183,7 @@ class DMWAgent:
                 )
             valid = verify_share_bundle(
                 self.parameters, state.commitments[sender], self.pseudonym,
-                state.received_bundles[sender], self.counter,
+                state.received_bundles[sender], self.counter, self.cache,
             )
             if not valid:
                 return self._abort(
@@ -195,12 +206,9 @@ class DMWAgent:
         for bundle in state.received_bundles.values():
             e_total = (e_total + bundle.e_value) % q
             h_total = (h_total + bundle.h_value) % q
-        state.lambda_value = self.parameters.group.exp(
-            self.parameters.z1, e_total, self.counter
-        )
-        state.psi_value = self.parameters.group.exp(
-            self.parameters.z2, h_total, self.counter
-        )
+        group_parameters = self.parameters.group_parameters
+        state.lambda_value = group_parameters.exp_z1(e_total, self.counter)
+        state.psi_value = group_parameters.exp_z2(h_total, self.counter)
         return state.lambda_value, state.psi_value
 
     def _verify_one_aggregate(self, task: int, publisher: int,
@@ -214,6 +222,7 @@ class DMWAgent:
             self.parameters, commitments,
             self.parameters.pseudonyms[publisher],
             lambda_value, psi_value, exclude=exclude, counter=self.counter,
+            cache=self.cache,
         )
 
     def _checked_publishers(self, published: Dict[int, Tuple[int, int]]
@@ -280,7 +289,7 @@ class DMWAgent:
         state = self._state(task)
         first_price, _ = resolve_first_price(self.parameters,
                                              state.valid_lambdas,
-                                             self.counter)
+                                             self.counter, self.cache)
         state.first_price = first_price
         return first_price
 
@@ -335,6 +344,7 @@ class DMWAgent:
         return verify_f_disclosure(
             self.parameters, commitments,
             self.parameters.pseudonyms[discloser], row, self.counter,
+            self.cache,
         )
 
     def validate_disclosures(self, task: int,
@@ -384,7 +394,8 @@ class DMWAgent:
         state.winner = identify_winner(self.parameters, state.first_price,
                                        state.valid_disclosures,
                                        claimants=state.winner_claimants,
-                                       counter=self.counter)
+                                       counter=self.counter,
+                                       cache=self.cache)
         return state.winner
 
     def publish_excluded_aggregates(self, task: int
@@ -398,14 +409,15 @@ class DMWAgent:
         state = self._state(task)
         winner_bundle = state.received_bundles[state.winner]
         group = self.parameters.group
+        group_parameters = self.parameters.group_parameters
         lambda_prime = group.div(
             state.lambda_value,
-            group.exp(self.parameters.z1, winner_bundle.e_value, self.counter),
+            group_parameters.exp_z1(winner_bundle.e_value, self.counter),
             self.counter,
         )
         psi_prime = group.div(
             state.psi_value,
-            group.exp(self.parameters.z2, winner_bundle.h_value, self.counter),
+            group_parameters.exp_z2(winner_bundle.h_value, self.counter),
             self.counter,
         )
         return lambda_prime, psi_prime

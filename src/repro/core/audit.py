@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..crypto.fastexp import PublicValueCache
 from ..crypto.modular import OperationCounter
 from .bidding import AgentCommitments
 from .outcome import DMWOutcome
@@ -83,6 +84,10 @@ class TranscriptAuditor:
     def __init__(self, parameters: DMWParameters) -> None:
         self.parameters = parameters
         self.counter = OperationCounter()
+        # The auditor re-derives everything from public data, so it gets
+        # the same public-value memoisation as the participants (its own
+        # cache: the auditor never shares state with the audited agents).
+        self.cache = PublicValueCache()
         self._findings: List[AuditFinding] = []
 
     # -- helpers ---------------------------------------------------------------
@@ -142,7 +147,8 @@ class TranscriptAuditor:
                                                                 {}).items():
                 if verify_lambda_psi(parameters, ordered,
                                      parameters.pseudonyms[publisher],
-                                     lam, psi, counter=self.counter):
+                                     lam, psi, counter=self.counter,
+                                     cache=self.cache):
                     valid_lambdas[publisher] = lam
                 else:
                     self._flag(task, "lambda_psi",
@@ -152,7 +158,8 @@ class TranscriptAuditor:
             try:
                 first_price, _ = resolve_first_price(parameters,
                                                      valid_lambdas,
-                                                     self.counter)
+                                                     self.counter,
+                                                     self.cache)
             except ResolutionError as error:
                 self._flag(task, "first_price", str(error))
                 continue
@@ -162,7 +169,7 @@ class TranscriptAuditor:
             for discloser, row in disclosures_by_task.get(task, {}).items():
                 if verify_f_disclosure(parameters, ordered,
                                        parameters.pseudonyms[discloser],
-                                       row, self.counter):
+                                       row, self.counter, self.cache):
                     valid_rows[discloser] = row
                 else:
                     self._flag(task, "f_disclosure",
@@ -174,7 +181,8 @@ class TranscriptAuditor:
             try:
                 winner = identify_winner(parameters, first_price, valid_rows,
                                          claimants=claimants or None,
-                                         counter=self.counter)
+                                         counter=self.counter,
+                                         cache=self.cache)
             except ResolutionError as error:
                 self._flag(task, "winner", str(error))
                 continue
@@ -184,7 +192,8 @@ class TranscriptAuditor:
                 if verify_lambda_psi(parameters, ordered,
                                      parameters.pseudonyms[publisher],
                                      lam, psi, exclude=winner,
-                                     counter=self.counter):
+                                     counter=self.counter,
+                                     cache=self.cache):
                     valid_excluded[publisher] = lam
                 else:
                     self._flag(task, "second_price",
@@ -193,7 +202,8 @@ class TranscriptAuditor:
             try:
                 second_price, _ = resolve_second_price(parameters,
                                                        valid_excluded,
-                                                       self.counter)
+                                                       self.counter,
+                                                       self.cache)
             except ResolutionError as error:
                 self._flag(task, "second_price", str(error))
                 continue

@@ -38,6 +38,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..crypto.fastexp import PublicValueCache
 from ..network.faults import FaultPlan
 from ..network.simulator import SynchronousNetwork
 from ..scheduling.problem import SchedulingProblem
@@ -589,6 +590,16 @@ class DMWProtocol:
             5-7 rounds total instead of ``4m + 1``, identical messages
             and outcomes.
         """
+        # One execution-scoped public-value cache, shared by every agent:
+        # the cached quantities (commitment evaluations, Lagrange weights,
+        # resolution results) are functions of *published* data only, so
+        # sharing leaks nothing, and each agent's OperationCounter is still
+        # charged the full analytic schedule on every hit (see
+        # docs/PERFORMANCE.md).  A fresh cache per execute() call keeps
+        # auctions from different executions fully isolated.
+        shared_cache = PublicValueCache()
+        for agent in self.agents:
+            agent.adopt_cache(shared_cache)
         if parallel:
             abort = self._run_parallel_auctions(range(num_tasks))
             if abort is not None:

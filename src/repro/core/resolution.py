@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..crypto.fastexp import PublicValueCache
 from ..crypto.interpolation import resolve_degree, resolve_degree_in_exponent
 from ..crypto.modular import NULL_COUNTER, OperationCounter
 from .exceptions import DMWError
@@ -36,7 +37,8 @@ class ResolutionError(DMWError):
 
 def resolve_first_price(parameters: DMWParameters,
                         lambda_values: Dict[int, int],
-                        counter: OperationCounter = NULL_COUNTER
+                        counter: OperationCounter = NULL_COUNTER,
+                        cache: Optional[PublicValueCache] = None
                         ) -> Tuple[int, int]:
     """Resolve the first price from the valid published ``Lambda`` values.
 
@@ -45,6 +47,10 @@ def resolve_first_price(parameters: DMWParameters,
     lambda_values:
         ``agent index -> Lambda_i`` for agents whose published values passed
         eq. (11).  Invalid/withheld publishers are simply absent.
+    cache:
+        Optional per-execution :class:`PublicValueCache`: every honest
+        agent resolves the same public inputs, so the resolution result is
+        memoised (the analytic cost is still charged per agent).
 
     Returns
     -------
@@ -68,7 +74,7 @@ def resolve_first_price(parameters: DMWParameters,
         )
     degree = resolve_degree_in_exponent(parameters.group, points, values,
                                         candidates=candidates,
-                                        counter=counter)
+                                        counter=counter, cache=cache)
     if degree is None:
         raise ResolutionError(
             "no candidate degree passed first-price resolution (corrupted "
@@ -81,7 +87,8 @@ def identify_winner(parameters: DMWParameters,
                     first_price: int,
                     disclosed_rows: Dict[int, Dict[int, tuple]],
                     claimants: Optional[Sequence[int]] = None,
-                    counter: OperationCounter = NULL_COUNTER) -> int:
+                    counter: OperationCounter = NULL_COUNTER,
+                    cache: Optional[PublicValueCache] = None) -> int:
     """Eq. (14): find the (unique, lowest-pseudonym) winner.
 
     Parameters
@@ -123,7 +130,8 @@ def identify_winner(parameters: DMWParameters,
     def has_degree_y_star(agent: int) -> bool:
         values = [disclosed_rows[k][agent][0] for k in disclosers]
         resolved = resolve_degree(points, values, parameters.group.q,
-                                  candidates=[first_price], counter=counter)
+                                  candidates=[first_price], counter=counter,
+                                  cache=cache)
         return resolved == first_price
 
     if claimants is not None:
@@ -145,7 +153,8 @@ def identify_winner(parameters: DMWParameters,
 
 def resolve_second_price(parameters: DMWParameters,
                          lambda_values_excluding_winner: Dict[int, int],
-                         counter: OperationCounter = NULL_COUNTER
+                         counter: OperationCounter = NULL_COUNTER,
+                         cache: Optional[PublicValueCache] = None
                          ) -> Tuple[int, int]:
     """Resolve ``y**`` from the winner-excluded aggregates (steps III.4).
 
@@ -153,4 +162,4 @@ def resolve_second_price(parameters: DMWParameters,
     verified ``Lambda'_i`` values.
     """
     return resolve_first_price(parameters, lambda_values_excluding_winner,
-                               counter)
+                               counter, cache)

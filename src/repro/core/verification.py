@@ -4,12 +4,23 @@ Every check here is something *any* agent can compute from public
 commitments plus the values it received or that were published — the
 protocol's entire security rests on honest agents running these and
 terminating on failure.
+
+Because the inputs are public, the derived quantities (``Gamma_{i,k}``,
+``Phi_{i,k}``, commitment evaluations) are identical for every verifier.
+Each check therefore accepts an optional per-execution
+:class:`~repro.crypto.fastexp.PublicValueCache` so the ``O(n^2)``
+verification loops compute each public value exactly once per execution;
+the *counted* cost charged to each agent's
+:class:`~repro.crypto.modular.OperationCounter` is the paper's analytic
+schedule regardless (cache hits replay it), keeping Theorem 12 accounting
+exact.  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from ..crypto.fastexp import PublicValueCache
 from ..crypto.modular import NULL_COUNTER, OperationCounter
 from .bidding import AgentCommitments, ShareBundle
 from .parameters import DMWParameters
@@ -19,7 +30,8 @@ def verify_share_bundle(parameters: DMWParameters,
                         commitments: AgentCommitments,
                         pseudonym: int,
                         bundle: ShareBundle,
-                        counter: OperationCounter = NULL_COUNTER) -> bool:
+                        counter: OperationCounter = NULL_COUNTER,
+                        cache: Optional[PublicValueCache] = None) -> bool:
     """Step III.1: check a received bundle against public commitments.
 
     Verifies, at the receiver's pseudonym ``alpha``:
@@ -34,34 +46,36 @@ def verify_share_bundle(parameters: DMWParameters,
     product_value = (bundle.e_value * bundle.f_value) % q
     return (
         commitments.o_vector.verify_share(pseudonym, product_value,
-                                          bundle.g_value, counter)
+                                          bundle.g_value, counter, cache)
         and commitments.q_vector.verify_share(pseudonym, bundle.e_value,
-                                              bundle.h_value, counter)
+                                              bundle.h_value, counter, cache)
         and commitments.r_vector.verify_share(pseudonym, bundle.f_value,
-                                              bundle.h_value, counter)
+                                              bundle.h_value, counter, cache)
     )
 
 
 def gamma_value(parameters: DMWParameters, commitments: AgentCommitments,
                 pseudonym: int,
-                counter: OperationCounter = NULL_COUNTER) -> int:
+                counter: OperationCounter = NULL_COUNTER,
+                cache: Optional[PublicValueCache] = None) -> int:
     """Return ``Gamma_{i,k} = prod_l Q_{k,l}^{alpha_i^l}``.
 
     Publicly computable; equals ``z1^{e_k(alpha_i)} z2^{h_k(alpha_i)}``
     when agent ``k`` is honest.
     """
-    return commitments.q_vector.evaluate(pseudonym, counter)
+    return commitments.q_vector.evaluate(pseudonym, counter, cache)
 
 
 def phi_value(parameters: DMWParameters, commitments: AgentCommitments,
               pseudonym: int,
-              counter: OperationCounter = NULL_COUNTER) -> int:
+              counter: OperationCounter = NULL_COUNTER,
+              cache: Optional[PublicValueCache] = None) -> int:
     """Return ``Phi_{i,k} = prod_l R_{k,l}^{alpha_i^l}``.
 
     Publicly computable; equals ``z1^{f_k(alpha_i)} z2^{h_k(alpha_i)}``
     when agent ``k`` is honest.
     """
-    return commitments.r_vector.evaluate(pseudonym, counter)
+    return commitments.r_vector.evaluate(pseudonym, counter, cache)
 
 
 def verify_lambda_psi(parameters: DMWParameters,
@@ -70,7 +84,8 @@ def verify_lambda_psi(parameters: DMWParameters,
                       lambda_value: int,
                       psi_value_: int,
                       exclude: Optional[int] = None,
-                      counter: OperationCounter = NULL_COUNTER) -> bool:
+                      counter: OperationCounter = NULL_COUNTER,
+                      cache: Optional[PublicValueCache] = None) -> bool:
     """Eq. (11) (and its eq.-(15) excluding variant).
 
     Checks ``prod_k Gamma_{i,k} = Lambda_i * Psi_i`` at the publisher's
@@ -85,7 +100,8 @@ def verify_lambda_psi(parameters: DMWParameters,
             continue
         product = group.mul(
             product,
-            gamma_value(parameters, commitments, publisher_pseudonym, counter),
+            gamma_value(parameters, commitments, publisher_pseudonym, counter,
+                        cache),
             counter,
         )
     return product == group.mul(lambda_value, psi_value_, counter)
@@ -95,7 +111,8 @@ def verify_f_disclosure(parameters: DMWParameters,
                         all_commitments: Sequence[AgentCommitments],
                         discloser_pseudonym: int,
                         disclosed: Dict[int, tuple],
-                        counter: OperationCounter = NULL_COUNTER) -> bool:
+                        counter: OperationCounter = NULL_COUNTER,
+                        cache: Optional[PublicValueCache] = None) -> bool:
     """Verify one agent's winner-identification disclosure (eq. (13)).
 
     ``disclosed`` maps each agent index ``l`` to the pair
@@ -103,18 +120,14 @@ def verify_f_disclosure(parameters: DMWParameters,
     Each pair must open ``Phi_{k,l}``; a complete and valid row lets anyone
     run plain degree resolution on every ``f_l``.
     """
-    group = parameters.group
     if set(disclosed) != set(range(len(all_commitments))):
         return False
     for index, commitments in enumerate(all_commitments):
         f_value, h_value = disclosed[index]
         expected = phi_value(parameters, commitments, discloser_pseudonym,
-                             counter)
-        opened = group.mul(
-            group.exp(parameters.z1, f_value, counter),
-            group.exp(parameters.z2, h_value, counter),
-            counter,
-        )
+                             counter, cache)
+        opened = parameters.group_parameters.open_value(f_value, h_value,
+                                                        counter)
         if opened != expected:
             return False
     return True

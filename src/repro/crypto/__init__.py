@@ -9,6 +9,14 @@ degree-encoded secret-sharing scheme (:mod:`.secretsharing`).
 """
 
 from .commitments import PedersenCommitter, PolynomialCommitment
+from .fastexp import (
+    FixedBaseTable,
+    PublicValueCache,
+    batch_mod_inv,
+    fixed_base_table,
+    multi_exp,
+    naive_mode,
+)
 from .groups import GroupParameters, SchnorrGroup, fixture_group
 from .interpolation import (
     interpolate_at_zero,
@@ -46,15 +54,19 @@ __all__ = [
     "NULL_COUNTER",
     "DegreeEncodedSharing",
     "DegreeEncodingScheme",
+    "FixedBaseTable",
     "GroupParameters",
     "OperationCounter",
     "PedersenCommitter",
     "Polynomial",
     "PolynomialCommitment",
+    "PublicValueCache",
     "SchnorrGroup",
     "ShamirScheme",
     "Share",
+    "batch_mod_inv",
     "find_subgroup_generator",
+    "fixed_base_table",
     "fixture_group",
     "generate_schnorr_parameters",
     "interpolate_at_zero",
@@ -67,6 +79,8 @@ __all__ = [
     "mod_inv",
     "mod_mul",
     "mod_sub",
+    "multi_exp",
+    "naive_mode",
     "next_prime",
     "random_prime",
     "resolve_degree",

@@ -21,8 +21,10 @@ evaluation used by those checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
+from . import fastexp
+from .fastexp import PublicValueCache, multi_exp
 from .groups import GroupParameters
 from .modular import NULL_COUNTER, OperationCounter
 from .polynomials import Polynomial
@@ -36,13 +38,14 @@ class PedersenCommitter:
 
     def commit(self, value: int, blinding: int,
                counter: OperationCounter = NULL_COUNTER) -> int:
-        """Commit to ``value`` with blinding factor ``blinding``."""
-        group = self.parameters.group
-        return group.mul(
-            group.exp(self.parameters.z1, value, counter),
-            group.exp(self.parameters.z2, blinding, counter),
-            counter,
-        )
+        """Commit to ``value`` with blinding factor ``blinding``.
+
+        Execution goes through the generators' fixed-base tables
+        (:meth:`~repro.crypto.groups.GroupParameters.open_value`); the
+        counted cost is the naive two-exponentiations-plus-multiplication
+        schedule either way.
+        """
+        return self.parameters.open_value(value, blinding, counter)
 
     def verify(self, commitment: int, value: int, blinding: int,
                counter: OperationCounter = NULL_COUNTER) -> bool:
@@ -97,41 +100,87 @@ class PolynomialCommitment:
         return len(self.elements)
 
     def evaluate(self, point: int,
-                 counter: OperationCounter = NULL_COUNTER) -> int:
+                 counter: OperationCounter = NULL_COUNTER,
+                 cache: Optional[PublicValueCache] = None) -> int:
         """Homomorphically evaluate the committed polynomials at ``point``.
 
         Returns ``prod_{l=1}^{sigma} C_l^(point^l) =
         z1^{value(point)} z2^{blinding(point)}`` — the right-hand side of
         eqs. (7)-(9).
+
+        Execution uses Straus multi-exponentiation (one shared squaring
+        chain for all ``sigma`` terms) and, when ``cache`` is given, a
+        per-execution memo keyed by ``(modulus, elements, point)``; the
+        counted cost is the per-term square-and-multiply schedule in every
+        case (replayed against ``counter`` on cache hits).
         """
         group = self.parameters.group
-        result = 1
+        if not fastexp.enabled():
+            result = 1
+            power = 1
+            for element in self.elements:
+                power = (power * point) % group.q
+                result = group.mul(result, group.exp(element, power, counter),
+                                   counter)
+            return result
+        q = group.q
+        reduced_point = point % q
+        key = None
+        if cache is not None:
+            key = (group.p, self.elements, reduced_point)
+            entry = cache.get_evaluation(key)
+            if entry is not None:
+                value, exp_count, exp_work = entry
+                counter.count_exp_batch(exp_count, exp_work)
+                counter.count_mul(exp_count)
+                return value
+        powers = []
+        exp_work = 0
         power = 1
-        for element in self.elements:
-            power = (power * point) % group.q
-            result = group.mul(result, group.exp(element, power, counter), counter)
-        return result
+        for _ in self.elements:
+            power = (power * reduced_point) % q
+            powers.append(power)
+            if power > 1:
+                exp_work += power.bit_length() + power.bit_count() - 2
+        exp_count = len(self.elements)
+        counter.count_exp_batch(exp_count, exp_work)
+        counter.count_mul(exp_count)
+        if cache is not None:
+            # The same commitment vector is evaluated at up to n distinct
+            # pseudonyms per execution; keeping its Straus digit tables in
+            # the execution cache amortises the table build across all of
+            # them (window 5 is the sweet spot at fixture sizes).
+            table_key = (group.p, self.elements)
+            tables = cache.get_tables(table_key)
+            if tables is None:
+                tables = fastexp.straus_tables(self.elements, group.p,
+                                               window=5)
+                cache.put_tables(table_key, tables)
+            value = fastexp.multi_exp_with_tables(tables, powers, group.p,
+                                                  window=5)
+        else:
+            value = multi_exp(self.elements, powers, group.p)
+        if key is not None:
+            cache.put_evaluation(key, (value, exp_count, exp_work))
+        return value
 
     def verify_share(self, point: int, value: int, blinding: int,
-                     counter: OperationCounter = NULL_COUNTER) -> bool:
+                     counter: OperationCounter = NULL_COUNTER,
+                     cache: Optional[PublicValueCache] = None) -> bool:
         """Check a received share pair against this commitment.
 
         Verifies ``z1^value * z2^blinding == evaluate(point)`` — i.e. that
         ``value = f(point)`` and ``blinding = r(point)`` for the committed
         ``f`` and blinding polynomial ``r``.
         """
-        group = self.parameters.group
-        left = group.mul(
-            group.exp(self.parameters.z1, value, counter),
-            group.exp(self.parameters.z2, blinding, counter),
-            counter,
-        )
-        return left == self.evaluate(point, counter)
+        left = self.parameters.open_value(value, blinding, counter)
+        return left == self.evaluate(point, counter, cache)
 
 
 def product_of_commitment_evaluations(commitments: Sequence[PolynomialCommitment],
                                       point: int,
-                                      counter: OperationCounter = NULL_COUNTER
+                                      counter: OperationCounter = NULL_COUNTER,
+                                      cache: Optional[PublicValueCache] = None
                                       ) -> int:
     """Return ``prod_k commitments[k].evaluate(point)``.
 
@@ -144,5 +193,6 @@ def product_of_commitment_evaluations(commitments: Sequence[PolynomialCommitment
     group = commitments[0].parameters.group
     result = 1
     for commitment in commitments:
-        result = group.mul(result, commitment.evaluate(point, counter), counter)
+        result = group.mul(result, commitment.evaluate(point, counter, cache),
+                           counter)
     return result

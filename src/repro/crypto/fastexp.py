@@ -1,0 +1,395 @@
+"""Execution fast paths for the DMW hot loop (counted model unchanged).
+
+The paper costs everything in *modular multiplications* under a fixed
+analytic schedule — square-and-multiply exponentiation, one inversion per
+Lagrange basis term (Theorem 12, Table 1).  This module makes the
+*measured* implementation dramatically faster while keeping that *counted*
+model bit-for-bit identical:
+
+* :class:`FixedBaseTable` — windowed fixed-base precomputation for the
+  public generators ``z1``/``z2``, built once per ``(base, modulus)`` and
+  shared process-wide (:func:`fixed_base_table`);
+* :func:`multi_exp` — Straus/Shamir simultaneous multi-exponentiation for
+  commitment-vector evaluations ``prod_l C_l^{alpha^l}`` and the
+  degree-resolution products ``prod_k Lambda_k^{rho_k}``;
+* :func:`batch_mod_inv` — Montgomery's batch-inversion trick (one real
+  inversion plus ``3(k-1)`` multiplications for ``k`` inverses);
+* :class:`PublicValueCache` — a per-execution memo for publicly derivable
+  values (``Gamma_{i,k}``, ``Phi_{i,k}``, commitment evaluations, Lagrange
+  weight vectors) so the ``O(n^2)`` Phase-III verification loops compute
+  each public value exactly once per execution.
+
+Counting discipline
+-------------------
+Every fast-path call site charges the caller's
+:class:`~repro.crypto.modular.OperationCounter` with the *naive* schedule
+(the one the reference implementation would have executed), regardless of
+how the value is actually produced — including on cache hits, where the
+memoised schedule is replayed against the requesting agent's counter.
+This keeps the Table-1/Theorem-12 benches unchanged while wall-clock
+drops; see ``docs/PERFORMANCE.md`` for the full counted-vs-measured
+contract.
+
+Cache scoping
+-------------
+A :class:`PublicValueCache` is keyed purely by content (commitment
+elements, evaluation point, modulus), so a stale hit is mathematically
+impossible.  Scoping is nonetheless strict: the protocol creates one
+fresh cache per :meth:`~repro.core.protocol.DMWProtocol.execute` call and
+shares it across that execution's agents — caches never survive an
+auction run nor leak between executions.
+
+Use :func:`naive_mode` to disable every fast path and fall back to the
+reference implementations (the equivalence property tests in
+``tests/test_fastexp.py`` assert byte-identical outcomes, transcripts and
+counter totals between the two paths).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from functools import lru_cache
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .modular import NULL_COUNTER, OperationCounter
+
+#: Module-wide switch consulted by every fast-path call site.
+_ENABLED = True
+
+
+def enabled() -> bool:
+    """Return True when the execution fast paths are active."""
+    return _ENABLED
+
+
+@contextlib.contextmanager
+def naive_mode() -> Iterator[None]:
+    """Disable every fast path within the block (reference semantics).
+
+    Used by the equivalence property tests and the ablation benchmarks;
+    nesting is safe and the previous state is always restored.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# ---------------------------------------------------------------------------
+# Fixed-base windowed exponentiation
+# ---------------------------------------------------------------------------
+
+class FixedBaseTable:
+    """Windowed precomputation table for one fixed base.
+
+    Stores ``base^(d * 2^(w*j)) mod modulus`` for every window digit ``d``
+    and window index ``j``, so an exponentiation by an ``exponent_bits``-bit
+    exponent costs at most ``ceil(exponent_bits / w)`` table lookups and
+    multiplications — no squarings at all.  Building the table costs
+    ``ceil(exponent_bits / w) * (2^w - 1)`` multiplications, amortised over
+    the thousands of ``z1``/``z2`` exponentiations a protocol run performs.
+    """
+
+    __slots__ = ("base", "modulus", "window", "mask", "rows")
+
+    def __init__(self, base: int, modulus: int, exponent_bits: int,
+                 window: int = 8) -> None:
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.window = window
+        self.mask = (1 << window) - 1
+        num_rows = max(1, -(-exponent_bits // window))
+        rows = []
+        radix_power = self.base
+        for _ in range(num_rows):
+            row = [1] * (1 << window)
+            acc = 1
+            for digit in range(1, 1 << window):
+                acc = (acc * radix_power) % modulus
+                row[digit] = acc
+            rows.append(row)
+            # base^(2^window) for the next row: row[mask] * radix_power.
+            radix_power = (row[self.mask] * radix_power) % modulus
+        self.rows = rows
+
+    def pow(self, exponent: int) -> int:
+        """Return ``base ** exponent mod modulus`` (``exponent >= 0``).
+
+        Exponents beyond the table range fall back to built-in ``pow``.
+        """
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        if exponent >> (self.window * len(self.rows)):
+            return pow(self.base, exponent, self.modulus)
+        result = 1
+        mask = self.mask
+        window = self.window
+        modulus = self.modulus
+        rows = self.rows
+        row_index = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                result = (result * rows[row_index][digit]) % modulus
+            exponent >>= window
+            row_index += 1
+        return result
+
+
+@lru_cache(maxsize=128)
+def fixed_base_table(base: int, modulus: int, exponent_bits: int,
+                     window: int = 8) -> FixedBaseTable:
+    """Process-wide cached :class:`FixedBaseTable` factory.
+
+    The cache key is the full ``(base, modulus, exponent_bits, window)``
+    tuple, so distinct groups never share tables; the public generators of
+    the fixture groups are reused across every protocol execution in a
+    process, which is where the amortisation comes from.
+    """
+    return FixedBaseTable(base, modulus, exponent_bits, window)
+
+
+# ---------------------------------------------------------------------------
+# Straus/Shamir simultaneous multi-exponentiation
+# ---------------------------------------------------------------------------
+
+def straus_tables(bases: Sequence[int], modulus: int,
+                  window: int = 4) -> Tuple[List[int], ...]:
+    """Precompute the per-base digit tables Straus's algorithm walks.
+
+    ``tables[i][d - 1] == bases[i] ** d mod modulus`` for every window
+    digit ``d`` in ``1 .. 2^window - 1``.  Building costs
+    ``t * (2^window - 2)`` multiplications for ``t`` bases; reusing the
+    result across many exponent vectors (e.g. evaluating one commitment
+    vector at every agent's pseudonym) amortises that away — which is why
+    :meth:`~repro.crypto.commitments.PolynomialCommitment.evaluate` keeps
+    these tables in the execution's :class:`PublicValueCache`.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    table_size = (1 << window) - 1
+    tables: List[List[int]] = []
+    for base in bases:
+        base %= modulus
+        row = [base]
+        acc = base
+        for _ in range(table_size - 1):
+            acc = (acc * base) % modulus
+            row.append(acc)
+        tables.append(row)  # row[d - 1] == base^d
+    return tuple(tables)
+
+
+def multi_exp_with_tables(tables: Sequence[Sequence[int]],
+                          exponents: Sequence[int], modulus: int,
+                          window: int = 4) -> int:
+    """Straus main loop over precomputed :func:`straus_tables`.
+
+    One shared squaring chain for all terms; each window position costs
+    ``window`` squarings plus at most one table-lookup multiplication per
+    base.  Exponents must be non-negative.
+    """
+    if len(tables) != len(exponents):
+        raise ValueError("tables and exponents must have equal length")
+    max_bits = 0
+    for exponent in exponents:
+        if exponent < 0:
+            raise ValueError("exponents must be non-negative")
+        bits = exponent.bit_length()
+        if bits > max_bits:
+            max_bits = bits
+    if max_bits == 0:
+        return 1 % modulus
+    mask = (1 << window) - 1
+    num_windows = -(-max_bits // window)
+    result = 1
+    for window_index in range(num_windows - 1, -1, -1):
+        if result != 1:
+            for _ in range(window):
+                result = (result * result) % modulus
+        shift = window_index * window
+        for exponent, row in zip(exponents, tables):
+            digit = (exponent >> shift) & mask
+            if digit:
+                result = (result * row[digit - 1]) % modulus
+    return result
+
+
+def multi_exp(bases: Sequence[int], exponents: Sequence[int], modulus: int,
+              window: int = 4) -> int:
+    """Return ``prod_i bases[i] ** exponents[i] mod modulus`` (uncounted).
+
+    Straus's algorithm: one shared squaring chain for all terms plus one
+    small digit table per base (:func:`straus_tables`).  For ``t`` terms
+    with ``b``-bit exponents the cost is ``b`` squarings plus roughly
+    ``t * (2^w - 1 + b / w)`` multiplications, versus ``t * 1.5 b`` for
+    ``t`` independent square-and-multiply exponentiations.
+
+    Exponents must be non-negative; zero-exponent terms are skipped.  The
+    *counted* cost of the call sites that use this helper remains the
+    per-term square-and-multiply schedule (see module docstring).
+    """
+    if len(bases) != len(exponents):
+        raise ValueError("bases and exponents must have equal length")
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    pairs = [(base % modulus, exponent)
+             for base, exponent in zip(bases, exponents) if exponent]
+    for _, exponent in pairs:
+        if exponent < 0:
+            raise ValueError("exponents must be non-negative")
+    if not pairs:
+        return 1 % modulus
+    if len(pairs) == 1:
+        return pow(pairs[0][0], pairs[0][1], modulus)
+    tables = straus_tables([base for base, _ in pairs], modulus, window)
+    return multi_exp_with_tables(tables, [e for _, e in pairs], modulus,
+                                 window)
+
+
+# ---------------------------------------------------------------------------
+# Montgomery batch inversion
+# ---------------------------------------------------------------------------
+
+def batch_mod_inv(values: Sequence[int], modulus: int,
+                  counter: OperationCounter = NULL_COUNTER) -> List[int]:
+    """Invert every value mod ``modulus`` with one real inversion.
+
+    Montgomery's trick: multiply the values into a running prefix product,
+    invert the total once, then walk backwards multiplying by the stored
+    prefixes.  The *counted* cost is one ``inv`` per value — the analytic
+    model's "one inversion per Lagrange basis term" schedule — regardless
+    of the execution shortcut.
+
+    Raises
+    ------
+    ZeroDivisionError
+        With the same messages :func:`~repro.crypto.modular.mod_inv` uses,
+        identifying the first non-invertible element.
+    """
+    from .modular import mod_inv
+
+    values = list(values)
+    if not _ENABLED or len(values) < 2:
+        return [mod_inv(value, modulus, counter) for value in values]
+    reduced = [value % modulus for value in values]
+    for value in reduced:
+        if value == 0:
+            raise ZeroDivisionError("0 has no inverse modulo %d" % modulus)
+    counter.count_inv(len(values))
+    prefixes: List[int] = []
+    acc = 1
+    for value in reduced:
+        prefixes.append(acc)
+        acc = (acc * value) % modulus
+    try:
+        inv_acc = pow(acc, -1, modulus)
+    except ValueError:
+        # Surface the same per-element diagnostic mod_inv raises.
+        for value in reduced:
+            if math.gcd(value, modulus) != 1:
+                raise ZeroDivisionError(
+                    "%d is not invertible modulo %d (gcd=%d)"
+                    % (value, modulus, math.gcd(value, modulus))
+                )
+        raise  # pragma: no cover - unreachable
+    inverses = [0] * len(reduced)
+    for index in range(len(reduced) - 1, -1, -1):
+        inverses[index] = (inv_acc * prefixes[index]) % modulus
+        inv_acc = (inv_acc * reduced[index]) % modulus
+    return inverses
+
+
+# ---------------------------------------------------------------------------
+# Per-execution public-value memoisation
+# ---------------------------------------------------------------------------
+
+class PublicValueCache:
+    """Memo for publicly derivable values within one DMW execution.
+
+    Two namespaces:
+
+    * *commitment evaluations* — ``(modulus, commitment elements, point)``
+      -> ``(value, exponent schedule)``; serves ``Gamma_{i,k}``,
+      ``Phi_{i,k}`` and every eq. (7)-(9) right-hand side;
+    * *interpolation weights* — ``(point tuple, modulus)`` -> the combined
+      Lagrange-at-zero weight vector used by plaintext winner
+      identification (eq. (14)).
+
+    The cache stores no secrets: every entry is computable by any observer
+    of the bulletin board.  Counter replay is the *caller's* job (the call
+    sites charge the naive schedule on hit and miss alike); the cache only
+    stores values plus whatever schedule data the caller needs to replay.
+
+    Scoping rule: one cache per protocol execution, created by
+    :meth:`~repro.core.protocol.DMWProtocol.execute` and shared by that
+    execution's agents; never reused across executions.
+    """
+
+    __slots__ = ("_evaluations", "_weights", "_tables", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._evaluations: Dict[tuple, tuple] = {}
+        self._weights: Dict[tuple, tuple] = {}
+        self._tables: Dict[tuple, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- commitment evaluations ---------------------------------------------
+    def get_evaluation(self, key: tuple) -> Optional[tuple]:
+        entry = self._evaluations.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put_evaluation(self, key: tuple, entry: tuple) -> None:
+        self._evaluations[key] = entry
+
+    # -- Straus digit tables -------------------------------------------------
+    def get_tables(self, key: tuple) -> Optional[tuple]:
+        """Precomputed :func:`straus_tables` for one commitment vector.
+
+        Table reuse is *not* counted as a hit/miss: the tables are an
+        execution artefact with no analytic-model counterpart (their build
+        cost is uncounted, like every other fast-path internal).
+        """
+        return self._tables.get(key)
+
+    def put_tables(self, key: tuple, entry: tuple) -> None:
+        self._tables[key] = entry
+
+    # -- Lagrange weight vectors --------------------------------------------
+    def get_weights(self, key: tuple) -> Optional[tuple]:
+        entry = self._weights.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put_weights(self, key: tuple, entry: tuple) -> None:
+        self._weights[key] = entry
+
+    # -- reporting -----------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Return hit/miss/entry counts (benchmark & test introspection)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evaluations": len(self._evaluations),
+            "weight_vectors": len(self._weights),
+            "straus_tables": len(self._tables),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PublicValueCache(%r)" % (self.stats(),)

@@ -21,12 +21,23 @@ return *degrees* and internally use ``degree + 1`` interpolation points,
 keeping the protocol self-consistent.  A resolution test at a candidate
 degree below the true degree passes accidentally with probability ``1/q``,
 the same failure probability the paper cites.
+
+Execution fast paths (see :mod:`repro.crypto.fastexp` and
+``docs/PERFORMANCE.md``): inversions are batched with Montgomery's trick,
+the exponent-space test products use Straus multi-exponentiation, and both
+the Lagrange weight vectors and whole resolutions can be memoised in a
+per-execution :class:`~repro.crypto.fastexp.PublicValueCache`.  The
+*counted* cost — one ``inv`` per Lagrange basis term, square-and-multiply
+exponentiation — is charged on the paper's analytic schedule regardless,
+including on cache hits (replayed against the caller's counter).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from . import fastexp
+from .fastexp import PublicValueCache, batch_mod_inv, multi_exp
 from .modular import (
     NULL_COUNTER,
     OperationCounter,
@@ -43,13 +54,17 @@ def lagrange_weights_at_zero(points: Sequence[int], modulus: int,
     ``L_k(0) = prod_{i != k} alpha_i / (alpha_i - alpha_k) (mod modulus)``,
     i.e. the ``rho_k`` of eq. (12).  ``modulus`` must be prime and the points
     distinct, non-zero, and distinct mod ``modulus``.
+
+    The denominators are inverted in one Montgomery batch; the counted cost
+    stays one ``inv`` per basis term.
     """
     reduced = [point % modulus for point in points]
     if len(set(reduced)) != len(reduced):
         raise ValueError("interpolation points must be distinct mod modulus")
     if any(point == 0 for point in reduced):
         raise ValueError("interpolation points must be non-zero")
-    weights = []
+    numerators = []
+    denominators = []
     for k, alpha_k in enumerate(reduced):
         numerator, denominator = 1, 1
         for i, alpha_i in enumerate(reduced):
@@ -59,16 +74,27 @@ def lagrange_weights_at_zero(points: Sequence[int], modulus: int,
             denominator = mod_mul(
                 denominator, (alpha_i - alpha_k) % modulus, modulus, counter
             )
-        weights.append(
-            mod_mul(numerator, mod_inv(denominator, modulus, counter),
-                    modulus, counter)
-        )
-    return weights
+        numerators.append(numerator)
+        denominators.append(denominator)
+    inverses = batch_mod_inv(denominators, modulus, counter)
+    return [mod_mul(numerator, inverse, modulus, counter)
+            for numerator, inverse in zip(numerators, inverses)]
+
+
+def _interpolation_charge(size: int, counter: OperationCounter) -> None:
+    """Charge the naive :func:`interpolate_at_zero` schedule for ``size``
+    points without recomputing: ``size^2 + 2 size + 1`` multiplications,
+    ``2 size`` inversions, ``size`` additions (see the step-by-step
+    accounting in the function body)."""
+    counter.count_mul(size * size + 2 * size + 1)
+    counter.count_inv(2 * size)
+    counter.count_add(size)
 
 
 def interpolate_at_zero(points: Sequence[int], values: Sequence[int],
                         modulus: int,
-                        counter: OperationCounter = NULL_COUNTER) -> int:
+                        counter: OperationCounter = NULL_COUNTER,
+                        cache: Optional[PublicValueCache] = None) -> int:
     """Return ``f^{(s)}(0)``, the paper's s-th Lagrange interpolation.
 
     This evaluates, at 0, the unique degree-``s-1`` polynomial through the
@@ -79,14 +105,68 @@ def interpolate_at_zero(points: Sequence[int], values: Sequence[int],
     which costs ``Theta(s^2)`` multiplications — the figure Theorem 12
     builds on — with the denominator order of eq. (2), ``alpha_i - alpha_k``
     (the §2.4 listing transposes it, which only flips a sign).
+
+    When ``cache`` is given, the point-set-dependent part (the combined
+    weights ``phi(0) / (denominator_k * alpha_k)``) is memoised per
+    ``(points, modulus)``, so repeated interpolations over the same share
+    row cost ``s`` raw multiplications; the naive Theta(s^2) schedule is
+    still charged to ``counter`` on every call.
     """
     if len(points) != len(values):
         raise ValueError("points and values must have equal length")
     if not points:
         raise ValueError("at least one interpolation point is required")
     reduced_points = [point % modulus for point in points]
-    # Step 1: psi_k = f(alpha_k) / prod_{i != k} (alpha_i - alpha_k)
-    psi = []
+    if not fastexp.enabled():
+        # Reference path: exactly the counted §2.4 listing.
+        # Step 1: psi_k = f(alpha_k) / prod_{i != k} (alpha_i - alpha_k)
+        psi = []
+        for k, alpha_k in enumerate(reduced_points):
+            denominator = 1
+            for i, alpha_i in enumerate(reduced_points):
+                if i == k:
+                    continue
+                denominator = mod_mul(
+                    denominator, (alpha_i - alpha_k) % modulus, modulus,
+                    counter
+                )
+            psi.append(
+                mod_mul(values[k] % modulus,
+                        mod_inv(denominator, modulus, counter), modulus,
+                        counter)
+            )
+        # Step 2: phi(0) = prod_k alpha_k
+        phi = 1
+        for alpha_k in reduced_points:
+            phi = mod_mul(phi, alpha_k, modulus, counter)
+        # Step 3: f^{(s)}(0) = phi(0) * sum_k psi_k / alpha_k
+        total = 0
+        for alpha_k, psi_k in zip(reduced_points, psi):
+            total = mod_add(
+                total,
+                mod_mul(psi_k, mod_inv(alpha_k, modulus, counter), modulus,
+                        counter),
+                modulus, counter,
+            )
+        return mod_mul(phi, total, modulus, counter)
+    size = len(reduced_points)
+    key = None
+    if cache is not None:
+        key = ("rho", modulus, tuple(reduced_points))
+        entry = cache.get_weights(key)
+        if entry is not None:
+            # Replay the naive schedule, then take the memoised shortcut:
+            # f(0) = sum_k values[k] * rho_k with rho_k combining phi,
+            # the step-1 denominator, and the step-3 alpha division.
+            _interpolation_charge(size, counter)
+            total = 0
+            for value, rho in zip(values, entry):
+                total += (value % modulus) * rho
+            return total % modulus
+    # Fast path, first computation: same counted schedule as the reference
+    # listing (s^2 + 2s + 1 muls, 2s invs, s adds) with the 2s inversions
+    # executed as two Montgomery batches.
+    denominators = []
     for k, alpha_k in enumerate(reduced_points):
         denominator = 1
         for i, alpha_i in enumerate(reduced_points):
@@ -95,28 +175,36 @@ def interpolate_at_zero(points: Sequence[int], values: Sequence[int],
             denominator = mod_mul(
                 denominator, (alpha_i - alpha_k) % modulus, modulus, counter
             )
-        psi.append(
-            mod_mul(values[k] % modulus,
-                    mod_inv(denominator, modulus, counter), modulus, counter)
-        )
-    # Step 2: phi(0) = prod_k alpha_k
+        denominators.append(denominator)
+    inverse_denominators = batch_mod_inv(denominators, modulus, counter)
+    psi = [mod_mul(values[k] % modulus, inverse_denominators[k], modulus,
+                   counter)
+           for k in range(size)]
     phi = 1
     for alpha_k in reduced_points:
         phi = mod_mul(phi, alpha_k, modulus, counter)
-    # Step 3: f^{(s)}(0) = phi(0) * sum_k psi_k / alpha_k
+    inverse_alphas = batch_mod_inv(reduced_points, modulus, counter)
     total = 0
-    for alpha_k, psi_k in zip(reduced_points, psi):
+    for psi_k, inverse_alpha in zip(psi, inverse_alphas):
         total = mod_add(
             total,
-            mod_mul(psi_k, mod_inv(alpha_k, modulus, counter), modulus, counter),
+            mod_mul(psi_k, inverse_alpha, modulus, counter),
             modulus, counter,
         )
-    return mod_mul(phi, total, modulus, counter)
+    result = mod_mul(phi, total, modulus, counter)
+    if key is not None:
+        rho = tuple(
+            (phi * inverse_denominators[k] * inverse_alphas[k]) % modulus
+            for k in range(size)
+        )
+        cache.put_weights(key, rho)
+    return result
 
 
 def resolve_degree(points: Sequence[int], values: Sequence[int], modulus: int,
                    candidates: Optional[Sequence[int]] = None,
-                   counter: OperationCounter = NULL_COUNTER) -> Optional[int]:
+                   counter: OperationCounter = NULL_COUNTER,
+                   cache: Optional[PublicValueCache] = None) -> Optional[int]:
     """Resolve the degree of a zero-constant-term polynomial from shares.
 
     Parameters
@@ -132,6 +220,10 @@ def resolve_degree(points: Sequence[int], values: Sequence[int], modulus: int,
         ``1 .. len(points) - 1``.
     counter:
         Operation meter.
+    cache:
+        Optional per-execution :class:`PublicValueCache`; memoises the
+        Lagrange weight vectors shared by every interpolation over the
+        same point prefix.
 
     Returns
     -------
@@ -145,17 +237,48 @@ def resolve_degree(points: Sequence[int], values: Sequence[int], modulus: int,
         if needed > len(points):
             continue
         value = interpolate_at_zero(points[:needed], values[:needed],
-                                    modulus, counter)
+                                    modulus, counter, cache)
         if value == 0:
             return degree
     return None
+
+
+def _exponent_product(group, values: Sequence[int], weights: Sequence[int],
+                      counter: OperationCounter,
+                      tables: Optional[Sequence[Sequence[int]]] = None) -> int:
+    """Return ``prod_k values[k] ** weights[k] mod p`` (the eq. (12) test).
+
+    Executed with Straus multi-exponentiation when the fast path is on;
+    counted as per-term square-and-multiply plus one multiplication per
+    term either way.  ``tables`` may hold precomputed window-5
+    :func:`~repro.crypto.fastexp.straus_tables` rows for a prefix-compatible
+    base list (the incremental resolution reuses one table set across all
+    candidate degrees).
+    """
+    if not fastexp.enabled():
+        product = 1
+        for value, weight in zip(values, weights):
+            product = group.mul(product, group.exp(value, weight, counter),
+                                counter)
+        return product
+    q = group.q
+    reduced = [weight % q for weight in weights]
+    for weight in reduced:
+        counter.count_exp(weight)
+    counter.count_mul(len(reduced))
+    if tables is not None:
+        return fastexp.multi_exp_with_tables(list(tables[:len(reduced)]),
+                                             reduced, group.p, window=5)
+    return multi_exp(list(values), reduced, group.p)
 
 
 def resolve_degree_in_exponent(group, points: Sequence[int],
                                exponent_values: Sequence[int],
                                candidates: Optional[Sequence[int]] = None,
                                counter: OperationCounter = NULL_COUNTER,
-                               incremental: bool = True) -> Optional[int]:
+                               incremental: bool = True,
+                               cache: Optional[PublicValueCache] = None
+                               ) -> Optional[int]:
     """Degree resolution on committed shares (eq. (12)).
 
     Parameters
@@ -169,6 +292,8 @@ def resolve_degree_in_exponent(group, points: Sequence[int],
         The published ``Lambda_k = z1^{E(alpha_k)}``.
     candidates:
         Candidate degrees (ascending); defaults to ``1 .. len(points) - 1``.
+    counter:
+        Operation meter.
     incremental:
         When True (default) the Lagrange weights are *updated* as each new
         point joins the interpolation set — ``O(s)`` multiplications per
@@ -176,6 +301,11 @@ def resolve_degree_in_exponent(group, points: Sequence[int],
         assumes.  ``False`` recomputes the weights from scratch at every
         candidate (``O(n^3)`` weight work), kept for the cost-model
         ablation benchmark.
+    cache:
+        Optional per-execution :class:`PublicValueCache`.  All honest
+        agents resolve the *same* public ``(points, Lambda)`` inputs, so
+        the whole resolution is memoised by content and replayed (result
+        plus recorded counter deltas) for every subsequent agent.
 
     Returns
     -------
@@ -187,6 +317,45 @@ def resolve_degree_in_exponent(group, points: Sequence[int],
     if candidates is None:
         candidates = range(1, len(points))
     candidates = list(candidates)
+    if cache is not None and fastexp.enabled():
+        key = ("resolve-exp", group.p, group.q, tuple(points),
+               tuple(exponent_values), tuple(candidates), incremental)
+        entry = cache.get_weights(key)
+        if entry is not None:
+            degree, recorded = entry
+            counter.merge(recorded)
+            return degree
+        recorded = OperationCounter()
+        degree = _resolve_degree_in_exponent(group, points, exponent_values,
+                                             candidates, recorded,
+                                             incremental)
+        cache.put_weights(key, (degree, recorded))
+        counter.merge(recorded)
+        return degree
+    return _resolve_degree_in_exponent(group, points, exponent_values,
+                                       candidates, counter, incremental)
+
+
+def _resolve_degree_in_exponent(group, points: Sequence[int],
+                                exponent_values: Sequence[int],
+                                candidates: List[int],
+                                counter: OperationCounter,
+                                incremental: bool) -> Optional[int]:
+    """Uncached body of :func:`resolve_degree_in_exponent`."""
+    # One Straus digit-table row per Lambda base, grown lazily with the
+    # interpolation prefix and shared across every candidate-degree test
+    # (the bases never change within one resolution, only the weights do).
+    base_tables: Optional[List[List[int]]] = ([] if fastexp.enabled()
+                                              else None)
+
+    def tables_for(size: int) -> Optional[List[List[int]]]:
+        if base_tables is None:
+            return None
+        while len(base_tables) < size:
+            base_tables.extend(fastexp.straus_tables(
+                [exponent_values[len(base_tables)]], group.p, window=5))
+        return base_tables
+
     if not incremental:
         for degree in candidates:
             needed = degree + 1
@@ -194,17 +363,18 @@ def resolve_degree_in_exponent(group, points: Sequence[int],
                 continue
             weights = lagrange_weights_at_zero(points[:needed], group.q,
                                                counter)
-            product = 1
-            for value, weight in zip(exponent_values[:needed], weights):
-                product = group.mul(product, group.exp(value, weight, counter),
-                                    counter)
+            product = _exponent_product(group, exponent_values[:needed],
+                                        weights, counter,
+                                        tables_for(needed))
             if product == 1:
                 return degree
         return None
     # Incremental scan: maintain the weights for the current point prefix.
     # Adding alpha_new multiplies every existing weight by
     # alpha_new / (alpha_new - alpha_k) and computes the new point's own
-    # weight as prod_i alpha_i / (alpha_i - alpha_new).
+    # weight as prod_i alpha_i / (alpha_i - alpha_new).  The per-step
+    # divisor inversions run as one Montgomery batch (counted one ``inv``
+    # each, the Theorem 12 schedule).
     q = group.q
     candidate_set = set(candidates)
     max_candidate = max(candidate_set) if candidate_set else 0
@@ -214,14 +384,14 @@ def resolve_degree_in_exponent(group, points: Sequence[int],
     weights: list = []
     for size in range(1, min(len(points), max_candidate + 1) + 1):
         alpha_new = reduced[size - 1]
+        differences = [(alpha_new - reduced[k]) % q for k in range(size - 1)]
+        inverse_differences = batch_mod_inv(differences, q, counter)
         new_numerator, new_denominator = 1, 1
         for k in range(size - 1):
             alpha_k = reduced[k]
             weights[k] = mod_mul(
                 weights[k],
-                mod_mul(alpha_new,
-                        mod_inv((alpha_new - alpha_k) % q, q, counter),
-                        q, counter),
+                mod_mul(alpha_new, inverse_differences[k], q, counter),
                 q, counter,
             )
             new_numerator = mod_mul(new_numerator, alpha_k, q, counter)
@@ -233,10 +403,8 @@ def resolve_degree_in_exponent(group, points: Sequence[int],
         degree = size - 1
         if degree not in candidate_set:
             continue
-        product = 1
-        for value, weight in zip(exponent_values[:size], weights):
-            product = group.mul(product, group.exp(value, weight, counter),
-                                counter)
+        product = _exponent_product(group, exponent_values[:size], weights,
+                                    counter, tables_for(size))
         if product == 1:
             return degree
     return None

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 import contextlib
+import math
 
 
 class OperationCounter:
@@ -80,9 +81,22 @@ class OperationCounter:
         """Record one exponentiation by ``exponent`` (non-negative)."""
         self.exponentiations += 1
         if exponent > 1:
+            # bit_count() == bin(exponent).count("1"), just ~5x faster;
+            # the analytic square-and-multiply schedule is unchanged.
             squarings = exponent.bit_length() - 1
-            multiplies = bin(exponent).count("1") - 1
+            multiplies = exponent.bit_count() - 1
             self.multiplication_work += squarings + multiplies
+
+    def count_exp_batch(self, count: int, work: int) -> None:
+        """Record ``count`` exponentiations totalling ``work`` multiplications.
+
+        Bulk equivalent of ``count`` :meth:`count_exp` calls whose combined
+        square-and-multiply schedules sum to ``work``; fast-path call sites
+        use it to charge a precomputed schedule in one step (the totals are
+        identical to the per-call accounting).
+        """
+        self.exponentiations += count
+        self.multiplication_work += work
 
     # -- reporting ---------------------------------------------------------
     def snapshot(self) -> Dict[str, int]:
@@ -123,6 +137,15 @@ class _NullCounter(OperationCounter):
         pass
 
     def count_exp(self, exponent: int) -> None:
+        pass
+
+    def count_exp_batch(self, count: int, work: int) -> None:
+        pass
+
+    def merge(self, other: "OperationCounter") -> None:
+        # The null counter discards merged totals too: fast-path caches
+        # replay memoised schedules via merge(), and those replays must
+        # not accumulate in the shared NULL_COUNTER singleton.
         pass
 
 
@@ -192,19 +215,17 @@ def mod_inv(a: int, modulus: int, counter: OperationCounter = NULL_COUNTER) -> i
     a %= modulus
     if a == 0:
         raise ZeroDivisionError("0 has no inverse modulo %d" % modulus)
-    # Extended Euclid; Python>=3.8 also offers pow(a, -1, modulus) but the
-    # explicit loop keeps the error message and the cost model in one place.
-    old_r, r = a, modulus
-    old_s, s = 1, 0
-    while r:
-        quotient = old_r // r
-        old_r, r = r, old_r - quotient * r
-        old_s, s = s, old_s - quotient * s
-    if old_r != 1:
+    # Native pow(a, -1, modulus) (CPython >= 3.8) is several times faster
+    # than a Python-level extended Euclid; the gcd-based error path keeps
+    # the original diagnostics, and the *counted* cost stays one ``inv``
+    # (the paper's Section 2.4 model) either way.
+    try:
+        return pow(a, -1, modulus)
+    except ValueError:
         raise ZeroDivisionError(
-            "%d is not invertible modulo %d (gcd=%d)" % (a, modulus, old_r)
-        )
-    return old_s % modulus
+            "%d is not invertible modulo %d (gcd=%d)"
+            % (a, modulus, math.gcd(a, modulus))
+        ) from None
 
 
 def mod_div(a: int, b: int, modulus: int, counter: OperationCounter = NULL_COUNTER) -> int:
