@@ -15,14 +15,17 @@ via :func:`write_json_record` into ``benchmarks/results/BENCH_<bench>.json``.
 Each file holds a list of records with the fixed schema::
 
     {"bench": str, "params": {...}, "wall_clock_s": float | None,
-     "counters": {...} | None}
+     "counters": {...} | None, "obs": {...} | None}
 
 ``params`` identifies the measured configuration (``n``, ``m``, group
 size, ...), ``wall_clock_s`` is the best measured wall-clock in seconds
 (``None`` for count-only benches), and ``counters`` carries whatever
 counted quantities the bench tracks (operation-counter snapshots, message
-censuses).  CI's regression gate (``benchmarks/check_regression.py``)
-consumes these files; see ``docs/PERFORMANCE.md``.
+censuses).  ``obs`` is an optional observability summary (fastexp
+public-value-cache hit/miss statistics and hit rates, produced by
+:func:`obs_summary`); being deterministic, the cache statistics are gated
+exactly by ``check_regression.py``.  CI's regression gate consumes these
+files; see ``docs/PERFORMANCE.md`` and ``docs/OBSERVABILITY.md``.
 """
 
 import json
@@ -54,8 +57,25 @@ def json_path(bench):
     return os.path.join(RESULTS_DIR, "BENCH_%s.json" % bench)
 
 
-def write_json_record(bench, params, wall_clock_s=None, counters=None):
-    """Record one ``{bench, params, wall_clock_s, counters}`` measurement.
+def obs_summary(outcome):
+    """Build the ``obs`` record section from a finished DMW outcome.
+
+    Currently carries the execution-scoped fastexp cache statistics
+    (hit/miss counts per namespace plus the overall hit rate); extend
+    here, not in individual benches, so the record schema stays uniform.
+    """
+    stats = dict(getattr(outcome, "cache_stats", {}) or {})
+    if not stats:
+        return None
+    total = stats.get("hits", 0) + stats.get("misses", 0)
+    hit_rate = (stats.get("hits", 0) / total) if total else 0.0
+    return {"cache": stats, "cache_hit_rate": round(hit_rate, 6)}
+
+
+def write_json_record(bench, params, wall_clock_s=None, counters=None,
+                      obs=None):
+    """Record one ``{bench, params, wall_clock_s, counters, obs}``
+    measurement.
 
     Records accumulate (and are replaced on matching ``params``) in
     ``benchmarks/results/BENCH_<bench>.json`` so a parametrised bench
@@ -68,12 +88,15 @@ def write_json_record(bench, params, wall_clock_s=None, counters=None):
         with open(path) as handle:
             records = json.load(handle)
     records = [record for record in records if record["params"] != params]
-    records.append({
+    record = {
         "bench": bench,
         "params": params,
         "wall_clock_s": wall_clock_s,
         "counters": counters,
-    })
+    }
+    if obs is not None:
+        record["obs"] = obs
+    records.append(record)
     records.sort(key=lambda record: json.dumps(record["params"],
                                                sort_keys=True))
     with open(path, "w") as handle:

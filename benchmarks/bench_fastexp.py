@@ -11,7 +11,7 @@ fast paths change wall-clock only (see ``docs/PERFORMANCE.md``).
 import random
 import time
 
-from _report import run_once, write_json_record, write_report
+from _report import obs_summary, run_once, write_json_record, write_report
 
 from repro.core import DMWParameters
 from repro.core.protocol import run_dmw
@@ -102,12 +102,14 @@ def measure_protocol():
             == naive_outcome.schedule.assignment)
     assert fast_outcome.payments == naive_outcome.payments
     assert fast_outcome.agent_operations == naive_outcome.agent_operations
-    return ("dmw_run_n8_m2", naive_t, fast_t)
+    return ("dmw_run_n8_m2", naive_t, fast_t), fast_outcome
 
 
 def test_fastexp_speedups(benchmark):
     rows = run_once(benchmark, measure_primitives)
-    rows.append(measure_protocol())
+    protocol_row, protocol_outcome = measure_protocol()
+    rows.append(protocol_row)
+    obs_by_name = {protocol_row[0]: obs_summary(protocol_outcome)}
 
     lines = ["Execution fast paths: naive vs fast wall-clock", ""]
     lines.append("%-26s %12s %12s %9s" % ("primitive", "naive (us)",
@@ -121,6 +123,7 @@ def test_fastexp_speedups(benchmark):
             wall_clock_s=round(fast_t, 9),
             counters={"naive_wall_clock_s": round(naive_t, 9),
                       "speedup": round(speedup, 3)},
+            obs=obs_by_name.get(name),
         )
         # Every primitive must at least not lose to the naive path; the
         # end-to-end run must show a real win.

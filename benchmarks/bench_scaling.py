@@ -15,7 +15,8 @@ import random
 
 import pytest
 
-from _report import best_wall_clock, calibration_loop, write_json_record
+from _report import (best_wall_clock, calibration_loop, obs_summary,
+                     write_json_record)
 
 from repro.core import DMWParameters
 from repro.core.protocol import run_dmw
@@ -53,6 +54,7 @@ def _record(sweep, run, **params):
     write_json_record(
         "scaling", record_params, wall_clock_s=round(best, 6),
         counters=_summed_operations(outcome),
+        obs=obs_summary(outcome),
     )
     write_json_record("scaling_calibration", {"machine": "local"},
                       wall_clock_s=round(calibration_loop(), 6))

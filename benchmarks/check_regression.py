@@ -16,6 +16,15 @@ baseline committed under ``benchmarks/baseline/``:
   paper's analytic schedule bit-for-bit — ``docs/PERFORMANCE.md``), so
   *any* drift is a failure, not a tolerance band.
 
+* **scaling** records additionally carry an ``obs`` section with the
+  execution's fastexp public-value-cache statistics
+  (``docs/OBSERVABILITY.md``).  Cache hits/misses are deterministic
+  functions of the configuration, so they are gated exactly too —
+  a dropped hit count means a memoisation opportunity silently
+  disappeared even if wall-clock stayed inside the threshold.  The
+  gate skips configurations whose baseline predates the ``obs``
+  section.
+
 Exit status 0 iff every gate holds.
 
 Usage::
@@ -128,6 +137,39 @@ def check_table1(baseline_dir, results_dir, failures, lines):
                          % label)
 
 
+def check_cache_stats(baseline_dir, results_dir, failures, lines):
+    """Gate the deterministic fastexp cache statistics exactly."""
+    baseline = _load(baseline_dir, "scaling")
+    fresh = _load(results_dir, "scaling")
+    if baseline is None or fresh is None:
+        return  # the scaling gates already reported the situation
+    fresh_by_params = _by_params(fresh)
+    for record in baseline:
+        base_obs = record.get("obs")
+        if not base_obs or "cache" not in base_obs:
+            continue  # baseline predates the obs section for this config
+        key = _params_key(record)
+        label = ", ".join("%s=%s" % item for item in key)
+        new = fresh_by_params.get(key)
+        if new is None:
+            continue  # missing record already failed the scaling gate
+        new_obs = new.get("obs") or {}
+        if "cache" not in new_obs:
+            failures.append(
+                "cache[%s]: baseline has cache statistics but fresh "
+                "record has none (observability wiring lost?)" % label)
+            continue
+        # Hit/miss counts are deterministic: exact equality, no band.
+        if new_obs["cache"] != base_obs["cache"]:
+            failures.append(
+                "cache[%s]: cache statistics drifted: baseline %s != "
+                "fresh %s" % (label, base_obs["cache"], new_obs["cache"]))
+        else:
+            lines.append(
+                "cache[%s]: statistics identical (hit rate %.1f%%)"
+                % (label, 100 * new_obs.get("cache_hit_rate", 0.0)))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail on benchmark regressions against the committed "
@@ -145,6 +187,7 @@ def main(argv=None):
     check_scaling(args.baseline, args.results, args.threshold,
                   failures, lines)
     check_table1(args.baseline, args.results, failures, lines)
+    check_cache_stats(args.baseline, args.results, failures, lines)
 
     for line in lines:
         print(line)

@@ -47,6 +47,7 @@ from .core.agent import DMWAgent
 from .core.audit import audit_protocol_run
 from .core.protocol import DMWProtocol
 from .core.trace import ProtocolTrace
+from .obs import SpanRecorder, registry_for_run, run_report, write_run_report
 from .mechanisms import MinWork, truthful_bids
 from .scheduling import workloads
 from .scheduling.problem import SchedulingProblem
@@ -80,6 +81,35 @@ def _print_instance(problem: SchedulingProblem) -> None:
         print("  A%d: %s" % (agent + 1, [int(v) for v in row]))
 
 
+def _emit_observability(args, outcome, agents, trace, recorder, parameters,
+                        audit_report) -> None:
+    """Write the requested observability artefacts for one ``run``."""
+    if not (args.report or args.metrics or args.trace_json):
+        return
+    registry = registry_for_run(outcome, agents=agents, trace=trace,
+                                recorder=recorder, audit_report=audit_report)
+    if args.report:
+        document = run_report(outcome, agents=agents, trace=trace,
+                              recorder=recorder, registry=registry,
+                              parameters=parameters,
+                              audit_report=audit_report)
+        write_run_report(args.report, document)
+        print("run report written to %s" % args.report)
+    if args.trace_json:
+        with open(args.trace_json, "w") as handle:
+            json.dump(trace.to_list(), handle, indent=2)
+            handle.write("\n")
+        print("trace written to %s" % args.trace_json)
+    if args.metrics:
+        text = registry.to_prometheus()
+        if args.metrics == "-":
+            print("\n" + text, end="")
+        else:
+            with open(args.metrics, "w") as handle:
+                handle.write(text)
+            print("metrics written to %s" % args.metrics)
+
+
 def cmd_run(args) -> int:
     parameters = _build_parameters(args)
     rng = random.Random(args.seed)
@@ -94,15 +124,24 @@ def cmd_run(args) -> int:
                  rng=random.Random(master.getrandbits(64)))
         for index in range(parameters.num_agents)
     ]
-    trace = ProtocolTrace() if args.trace else None
-    protocol = DMWProtocol(parameters, agents, trace=trace)
+    observing = bool(args.report or args.metrics or args.trace_json)
+    trace = (ProtocolTrace()
+             if (args.trace or args.trace_json or args.report) else None)
+    recorder = SpanRecorder() if observing else None
+    protocol = DMWProtocol(parameters, agents, trace=trace,
+                           observer=recorder)
     outcome = protocol.execute(problem.num_tasks)
     if args.trace:
         print("\nprotocol trace:")
         print(trace.render())
+        if recorder is not None:
+            print("\nspan timeline:")
+            print(recorder.render_timeline())
     if not outcome.completed:
         print("\nABORTED: %s (phase %s)" % (outcome.abort.reason,
                                             outcome.abort.phase))
+        _emit_observability(args, outcome, agents, trace, recorder,
+                            parameters, None)
         return 1
     print("\nschedule:", list(outcome.schedule.assignment))
     print("payments:", list(outcome.payments))
@@ -117,17 +156,21 @@ def cmd_run(args) -> int:
                                  outcome.max_agent_work))
     if args.output:
         from . import serialization
-        serialization.save(outcome, args.output)
+        serialization.save(outcome, args.output, trace=trace)
         print("outcome written to %s" % args.output)
+    audit_report = None
     if args.audit:
-        report = audit_protocol_run(protocol, outcome)
+        audit_report = audit_protocol_run(protocol, outcome)
         print("audit: %s (%d findings)"
-              % ("PASS" if report.ok else "FAIL", len(report.findings)))
-        for finding in report.findings:
+              % ("PASS" if audit_report.ok else "FAIL",
+                 len(audit_report.findings)))
+        for finding in audit_report.findings:
             print("  [%s] task=%s: %s" % (finding.check, finding.task,
                                           finding.detail))
-        if not report.ok:
-            return 1
+    _emit_observability(args, outcome, agents, trace, recorder, parameters,
+                        audit_report)
+    if audit_report is not None and not audit_report.ok:
+        return 1
     return 0
 
 
@@ -281,6 +324,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print the structured protocol trace")
     run_parser.add_argument("--output", default=None,
                             help="write the outcome as JSON to this path")
+    run_parser.add_argument("--report", default=None, metavar="PATH",
+                            help="write a versioned JSON run report "
+                                 "(spans, totals, metrics) to PATH")
+    run_parser.add_argument("--trace-json", default=None, metavar="PATH",
+                            help="write the structured event trace as "
+                                 "JSON to PATH")
+    run_parser.add_argument("--metrics", default=None, metavar="PATH",
+                            help="write Prometheus text-format metrics to "
+                                 "PATH ('-' for stdout)")
     run_parser.set_defaults(handler=cmd_run)
 
     minwork_parser = subparsers.add_parser(

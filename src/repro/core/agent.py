@@ -42,6 +42,7 @@ from .resolution import (
     resolve_second_price,
 )
 from .verification import (
+    CheckStats,
     verify_f_disclosure,
     verify_lambda_psi,
     verify_share_bundle,
@@ -99,6 +100,9 @@ class DMWAgent:
         # public, and each agent's counter is still charged the full
         # analytic schedule on every (cached or not) access.
         self.cache = PublicValueCache()
+        # Pass/fail tallies of every verification equation this agent
+        # evaluates (read by repro.obs; never touches the counted model).
+        self.check_stats = CheckStats()
         self._tasks: Dict[int, _TaskState] = {}
 
     # -- small helpers -----------------------------------------------------------
@@ -184,6 +188,7 @@ class DMWAgent:
             valid = verify_share_bundle(
                 self.parameters, state.commitments[sender], self.pseudonym,
                 state.received_bundles[sender], self.counter, self.cache,
+                stats=self.check_stats,
             )
             if not valid:
                 return self._abort(
@@ -222,7 +227,7 @@ class DMWAgent:
             self.parameters, commitments,
             self.parameters.pseudonyms[publisher],
             lambda_value, psi_value, exclude=exclude, counter=self.counter,
-            cache=self.cache,
+            cache=self.cache, stats=self.check_stats,
         )
 
     def _checked_publishers(self, published: Dict[int, Tuple[int, int]]
@@ -344,7 +349,7 @@ class DMWAgent:
         return verify_f_disclosure(
             self.parameters, commitments,
             self.parameters.pseudonyms[discloser], row, self.counter,
-            self.cache,
+            self.cache, stats=self.check_stats,
         )
 
     def validate_disclosures(self, task: int,

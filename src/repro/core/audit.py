@@ -42,7 +42,7 @@ from .resolution import (
     resolve_first_price,
     resolve_second_price,
 )
-from .verification import verify_f_disclosure, verify_lambda_psi
+from .verification import CheckStats, verify_f_disclosure, verify_lambda_psi
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,10 @@ class AuditReport:
         The outcome the auditor derived independently from public data.
     operations:
         The auditor's own counted modular work (for cost reporting).
+    check_stats:
+        Pass/fail tallies of every verification equation the auditor
+        evaluated (``{"equation:pass|fail": count}``; consumed by the
+        observability layer).
     """
 
     ok: bool
@@ -76,6 +80,7 @@ class AuditReport:
     reconstructed_assignment: Optional[Tuple[int, ...]] = None
     reconstructed_payments: Optional[Tuple[float, ...]] = None
     operations: Dict[str, int] = field(default_factory=dict)
+    check_stats: Dict[str, int] = field(default_factory=dict)
 
 
 class TranscriptAuditor:
@@ -88,6 +93,7 @@ class TranscriptAuditor:
         # the same public-value memoisation as the participants (its own
         # cache: the auditor never shares state with the audited agents).
         self.cache = PublicValueCache()
+        self.check_stats = CheckStats()
         self._findings: List[AuditFinding] = []
 
     # -- helpers ---------------------------------------------------------------
@@ -148,7 +154,8 @@ class TranscriptAuditor:
                 if verify_lambda_psi(parameters, ordered,
                                      parameters.pseudonyms[publisher],
                                      lam, psi, counter=self.counter,
-                                     cache=self.cache):
+                                     cache=self.cache,
+                                     stats=self.check_stats):
                     valid_lambdas[publisher] = lam
                 else:
                     self._flag(task, "lambda_psi",
@@ -169,7 +176,8 @@ class TranscriptAuditor:
             for discloser, row in disclosures_by_task.get(task, {}).items():
                 if verify_f_disclosure(parameters, ordered,
                                        parameters.pseudonyms[discloser],
-                                       row, self.counter, self.cache):
+                                       row, self.counter, self.cache,
+                                       stats=self.check_stats):
                     valid_rows[discloser] = row
                 else:
                     self._flag(task, "f_disclosure",
@@ -193,7 +201,8 @@ class TranscriptAuditor:
                                      parameters.pseudonyms[publisher],
                                      lam, psi, exclude=winner,
                                      counter=self.counter,
-                                     cache=self.cache):
+                                     cache=self.cache,
+                                     stats=self.check_stats):
                     valid_excluded[publisher] = lam
                 else:
                     self._flag(task, "second_price",
@@ -238,6 +247,7 @@ class TranscriptAuditor:
                                     if reconstructed_assignment is not None
                                     else None),
             operations=self.counter.snapshot(),
+            check_stats=self.check_stats.as_dict(),
         )
 
 

@@ -48,6 +48,9 @@ class DMWOutcome:
     network_metrics: NetworkMetrics
     #: Per-agent modular-operation snapshots (Theorem 12 measurements).
     agent_operations: List[Dict[str, int]] = field(default_factory=list)
+    #: Execution-scoped :meth:`~repro.crypto.fastexp.PublicValueCache.stats`
+    #: snapshot (hit/miss/size; empty when the protocol never populated it).
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     def utility(self, agent: int, true_values: SchedulingProblem) -> float:
         """Return ``U_i = P_i + V_i`` (0 when the protocol terminated)."""

@@ -41,6 +41,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..crypto.fastexp import PublicValueCache
 from ..network.faults import FaultPlan
 from ..network.simulator import SynchronousNetwork
+from ..obs.spans import (
+    KIND_RUN,
+    KIND_TASK,
+    NULL_RECORDER,
+    PAYMENTS_PHASE,
+    SpanRecorder,
+)
 from ..scheduling.problem import SchedulingProblem
 from ..scheduling.schedule import Schedule
 from .agent import DMWAgent
@@ -63,6 +70,12 @@ class DMWProtocol:
         One agent per pseudonym, honest or deviating, in index order.
     fault_plan:
         Optional substrate fault injection.
+    observer:
+        Optional :class:`~repro.obs.spans.SpanRecorder`; when given, the
+        drivers emit nested ``run -> task -> phase`` spans whose
+        operation/network deltas partition the execution totals exactly
+        (see ``docs/OBSERVABILITY.md``).  Defaults to the allocation-free
+        :data:`~repro.obs.spans.NULL_RECORDER`.
     """
 
     def __init__(self, parameters: DMWParameters,
@@ -70,7 +83,8 @@ class DMWProtocol:
                  fault_plan: Optional[FaultPlan] = None,
                  record_deliveries: bool = False,
                  network: Optional[SynchronousNetwork] = None,
-                 trace: Optional[ProtocolTrace] = None) -> None:
+                 trace: Optional[ProtocolTrace] = None,
+                 observer: Optional[SpanRecorder] = None) -> None:
         if len(agents) != parameters.num_agents:
             raise ParameterError(
                 "got %d agents for %d pseudonyms"
@@ -99,7 +113,11 @@ class DMWProtocol:
             )
         self.infrastructure = PaymentInfrastructure(parameters.num_agents)
         self.trace = trace if trace is not None else NULL_TRACE
+        self.observer = observer if observer is not None else NULL_RECORDER
+        # The network emits per-round events through the same recorder.
+        self.network.observer = self.observer
         self._transcripts: List[AuctionTranscript] = []
+        self._shared_cache: Optional[PublicValueCache] = None
 
     # -- helpers --------------------------------------------------------------
     @property
@@ -122,13 +140,28 @@ class DMWProtocol:
                           reason=abort.reason,
                           detected_by=abort.detected_by,
                           offender=abort.offender)
+        if self.observer.enabled:
+            self.observer.event("abort", task=abort.task, phase=abort.phase,
+                                reason=abort.reason,
+                                detected_by=abort.detected_by,
+                                offender=abort.offender)
         return DMWOutcome(
             completed=False, schedule=None, payments=None,
             transcripts=list(self._transcripts), abort=abort,
             network_metrics=self.network.metrics,
             agent_operations=[agent.counter.snapshot()
                               for agent in self.agents],
+            cache_stats=(self._shared_cache.stats()
+                         if self._shared_cache is not None else {}),
         )
+
+    def _summed_operations(self) -> Dict[str, int]:
+        """Sum of every agent's counter snapshot (the span ops source)."""
+        totals: Dict[str, int] = {}
+        for agent in self.agents:
+            for key, value in agent.counter.snapshot().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     # -- phase drivers ------------------------------------------------------------
     def _run_bidding(self, task: int) -> None:
@@ -295,34 +328,50 @@ class DMWProtocol:
     def _run_auction(self, task: int) -> Optional[ProtocolAbort]:
         """Run the full distributed Vickrey auction for one task."""
         self.trace.record("auction_start", task=task)
-        self._run_bidding(task)
-        abort = self._run_share_verification(task)
+        with self.observer.span("task", kind=KIND_TASK, task=task):
+            return self._run_auction_phases(task)
+
+    def _run_auction_phases(self, task: int) -> Optional[ProtocolAbort]:
+        obs = self.observer
+        with obs.span("bidding", task=task):
+            self._run_bidding(task)
+            abort = self._run_share_verification(task)
         if abort is not None:
             return abort
-        self._run_aggregates(task)
-        try:
-            for agent in self.agents:
-                agent.resolve_first(task)
-        except ResolutionError as error:
-            return ProtocolAbort(str(error), phase="allocating", task=task)
-        claimants = self._run_disclosure(task)
-        try:
-            for agent in self.agents:
-                agent.find_winner(task, claimants)
-        except ResolutionError as error:
-            return ProtocolAbort(str(error), phase="allocating", task=task)
-        self._run_second_price(task)
-        try:
-            for agent in self.agents:
-                agent.resolve_second(task)
-        except ResolutionError as error:
-            return ProtocolAbort(str(error), phase="allocating", task=task)
+        with obs.span("aggregation", task=task):
+            self._run_aggregates(task)
+            try:
+                for agent in self.agents:
+                    agent.resolve_first(task)
+            except ResolutionError as error:
+                return ProtocolAbort(str(error), phase="allocating",
+                                     task=task)
+        with obs.span("disclosure", task=task):
+            claimants = self._run_disclosure(task)
+            try:
+                for agent in self.agents:
+                    agent.find_winner(task, claimants)
+            except ResolutionError as error:
+                return ProtocolAbort(str(error), phase="allocating",
+                                     task=task)
+        with obs.span("resolution", task=task):
+            self._run_second_price(task)
+            try:
+                for agent in self.agents:
+                    agent.resolve_second(task)
+            except ResolutionError as error:
+                return ProtocolAbort(str(error), phase="allocating",
+                                     task=task)
         reference = self._reference_agent()
         state = reference.task_state(task)
         self.trace.record("auction_resolved", task=task,
                           first_price=state.first_price,
                           winner=state.winner,
                           second_price=state.second_price)
+        if obs.enabled:
+            obs.event("auction_resolved", task=task,
+                      first_price=state.first_price, winner=state.winner,
+                      second_price=state.second_price)
         self._transcripts.append(AuctionTranscript(
             task=task,
             first_price=state.first_price,
@@ -373,9 +422,55 @@ class DMWProtocol:
         are identical to the sequential schedule — only rounds (and hence
         latency) shrink, which ``tests/test_parallel.py`` pins down.
         """
+        obs = self.observer
         for task in tasks:
             self.trace.record("auction_start", task=task)
         # Phase II for every task, one barrier.
+        with obs.span("bidding"):
+            abort = self._run_parallel_bidding(tasks)
+        if abort is not None:
+            return abort
+        # Step III.2 for every task, one barrier.
+        with obs.span("aggregation"):
+            abort = self._run_parallel_aggregation(tasks)
+        if abort is not None:
+            return abort
+        # Step III.3 for every task, one barrier.
+        with obs.span("disclosure"):
+            abort = self._run_parallel_disclosure(tasks)
+        if abort is not None:
+            return abort
+        # Step III.4 for every task, one barrier.
+        with obs.span("resolution"):
+            abort = self._run_parallel_resolution(tasks)
+        if abort is not None:
+            return abort
+        reference = self._reference_agent()
+        for task in tasks:
+            state = reference.task_state(task)
+            self.trace.record("auction_resolved", task=task,
+                              first_price=state.first_price,
+                              winner=state.winner,
+                              second_price=state.second_price)
+            if obs.enabled:
+                obs.event("auction_resolved", task=task,
+                          first_price=state.first_price,
+                          winner=state.winner,
+                          second_price=state.second_price)
+            self._transcripts.append(AuctionTranscript(
+                task=task,
+                first_price=state.first_price,
+                winner=state.winner,
+                second_price=state.second_price,
+                valid_aggregate_publishers=tuple(sorted(
+                    state.valid_lambdas)),
+                valid_disclosers=tuple(sorted(state.valid_disclosures)),
+            ))
+        return None
+
+    def _run_parallel_bidding(self, tasks: Sequence[int]
+                              ) -> Optional[ProtocolAbort]:
+        """Phase II plus step III.1 for every task inside one barrier."""
         for task in tasks:
             for agent in self.agents:
                 commitments, bundles = agent.begin_task(task)
@@ -403,7 +498,11 @@ class DMWProtocol:
             abort = self._run_share_verification(task)
             if abort is not None:
                 return abort
-        # Step III.2 for every task, one barrier.
+        return None
+
+    def _run_parallel_aggregation(self, tasks: Sequence[int]
+                                  ) -> Optional[ProtocolAbort]:
+        """Step III.2 plus first-price resolution inside one barrier."""
         boards: Dict[int, Dict[int, Tuple[int, int]]] = {}
         for task in tasks:
             for agent in self.agents:
@@ -449,7 +548,11 @@ class DMWProtocol:
                     agent.resolve_first(task)
         except ResolutionError as error:
             return ProtocolAbort(str(error), phase="allocating")
-        # Step III.3 for every task, one barrier.
+        return None
+
+    def _run_parallel_disclosure(self, tasks: Sequence[int]
+                                 ) -> Optional[ProtocolAbort]:
+        """Step III.3 plus winner identification inside one barrier."""
         row_boards: Dict[int, Dict[int, Dict[int, tuple]]] = {}
         claimants_by_task: Dict[int, List[int]] = {}
         for task in tasks:
@@ -509,7 +612,11 @@ class DMWProtocol:
                     agent.find_winner(task, claimants)
         except ResolutionError as error:
             return ProtocolAbort(str(error), phase="allocating")
-        # Step III.4 for every task, one barrier.
+        return None
+
+    def _run_parallel_resolution(self, tasks: Sequence[int]
+                                 ) -> Optional[ProtocolAbort]:
+        """Step III.4 plus second-price resolution inside one barrier."""
         second_boards: Dict[int, Dict[int, Tuple[int, int]]] = {}
         for task in tasks:
             for agent in self.agents:
@@ -558,22 +665,6 @@ class DMWProtocol:
                     agent.resolve_second(task)
         except ResolutionError as error:
             return ProtocolAbort(str(error), phase="allocating")
-        reference = self._reference_agent()
-        for task in tasks:
-            state = reference.task_state(task)
-            self.trace.record("auction_resolved", task=task,
-                              first_price=state.first_price,
-                              winner=state.winner,
-                              second_price=state.second_price)
-            self._transcripts.append(AuctionTranscript(
-                task=task,
-                first_price=state.first_price,
-                winner=state.winner,
-                second_price=state.second_price,
-                valid_aggregate_publishers=tuple(sorted(
-                    state.valid_lambdas)),
-                valid_disclosers=tuple(sorted(state.valid_disclosures)),
-            ))
         return None
 
     # -- public API -----------------------------------------------------------
@@ -600,30 +691,41 @@ class DMWProtocol:
         shared_cache = PublicValueCache()
         for agent in self.agents:
             agent.adopt_cache(shared_cache)
-        if parallel:
-            abort = self._run_parallel_auctions(range(num_tasks))
-            if abort is not None:
-                return self._void(abort)
-        else:
-            for task in range(num_tasks):
-                abort = self._run_auction(task)
+        self._shared_cache = shared_cache
+        obs = self.observer
+        if obs.enabled:
+            # Delta sources for the span attribution: summed counted work
+            # across agents and the network's running metric totals.
+            obs.bind(self._summed_operations, self.network.metrics.as_dict)
+        with obs.span("run", kind=KIND_RUN, num_tasks=num_tasks,
+                      num_agents=self.parameters.num_agents,
+                      parallel=parallel):
+            if parallel:
+                abort = self._run_parallel_auctions(range(num_tasks))
                 if abort is not None:
                     return self._void(abort)
-        abort = self._run_payments()
-        if abort is not None:
-            return self._void(abort)
-        assignment = [0] * num_tasks
-        for transcript in self._transcripts:
-            assignment[transcript.task] = transcript.winner
-        schedule = Schedule(assignment, self.parameters.num_agents)
-        return DMWOutcome(
-            completed=True, schedule=schedule,
-            payments=self._decision.payments,
-            transcripts=list(self._transcripts), abort=None,
-            network_metrics=self.network.metrics,
-            agent_operations=[agent.counter.snapshot()
-                              for agent in self.agents],
-        )
+            else:
+                for task in range(num_tasks):
+                    abort = self._run_auction(task)
+                    if abort is not None:
+                        return self._void(abort)
+            with obs.span(PAYMENTS_PHASE):
+                abort = self._run_payments()
+            if abort is not None:
+                return self._void(abort)
+            assignment = [0] * num_tasks
+            for transcript in self._transcripts:
+                assignment[transcript.task] = transcript.winner
+            schedule = Schedule(assignment, self.parameters.num_agents)
+            return DMWOutcome(
+                completed=True, schedule=schedule,
+                payments=self._decision.payments,
+                transcripts=list(self._transcripts), abort=None,
+                network_metrics=self.network.metrics,
+                agent_operations=[agent.counter.snapshot()
+                                  for agent in self.agents],
+                cache_stats=shared_cache.stats(),
+            )
 
 
 def run_dmw(problem: SchedulingProblem,
@@ -631,7 +733,9 @@ def run_dmw(problem: SchedulingProblem,
             fault_bound: int = 1,
             rng: Optional[random.Random] = None,
             group_size: str = "small",
-            parallel: bool = False) -> DMWOutcome:
+            parallel: bool = False,
+            trace: Optional[ProtocolTrace] = None,
+            observer: Optional[SpanRecorder] = None) -> DMWOutcome:
     """Convenience entry point: run DMW on an integer-valued instance.
 
     Every ``t_i^j`` must be an integer in the (derived or given) bid set
@@ -651,6 +755,12 @@ def run_dmw(problem: SchedulingProblem,
         Seeds the per-agent private randomness streams.
     group_size:
         Cryptographic fixture size when generating parameters.
+    trace:
+        Optional :class:`~repro.core.trace.ProtocolTrace` to record the
+        event log into.
+    observer:
+        Optional :class:`~repro.obs.spans.SpanRecorder` for span-based
+        observability (see ``docs/OBSERVABILITY.md``).
     """
     rng = rng or random.Random(0)
     if parameters is None:
@@ -663,5 +773,6 @@ def run_dmw(problem: SchedulingProblem,
                   for task in range(problem.num_tasks)]
         agents.append(DMWAgent(index, parameters, values,
                                rng=random.Random(rng.getrandbits(64))))
-    protocol = DMWProtocol(parameters, agents)
+    protocol = DMWProtocol(parameters, agents, trace=trace,
+                           observer=observer)
     return protocol.execute(problem.num_tasks, parallel=parallel)

@@ -2,22 +2,28 @@
 
 A :class:`ProtocolTrace` records what happened, when, and on whose
 evidence: phase transitions, per-agent verification verdicts, complaint
-rounds, resolutions, and the final decision.  Traces serve three users:
+rounds, resolutions, and the final decision.  Traces serve four users:
 
 * tests assert event *sequences* (e.g. "complaints precede arbitration,
   and only when a deviant is present");
-* the CLI's ``--trace`` flag prints a human-readable timeline;
+* the CLI's ``--trace`` flag prints a human-readable timeline and the
+  ``--trace-json`` flag dumps the structured events;
+* the observability layer (:mod:`repro.obs`) embeds the trace in run
+  reports and derives complaint/deviant counts from it;
 * debugging: a failing distributed run is unreadable from message dumps,
   and perfectly readable from its trace.
 
-Tracing is opt-in (``DMWProtocol(..., trace=ProtocolTrace())``) and adds
-no cost when off.
+Events are timestamped with ``time.perf_counter`` offsets from the
+trace's construction, so a trace doubles as a coarse timeline.  Tracing
+is opt-in (``DMWProtocol(..., trace=ProtocolTrace())``) and adds no cost
+when off (:data:`NULL_TRACE` discards events without allocating).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -35,20 +41,46 @@ class TraceEvent:
         ``"complaints"``, ``"winner"``, ``"abort"``, ``"payments"``.
     detail:
         Event payload (kind-specific, JSON-friendly).
+    timestamp:
+        Seconds since the owning trace was created (``perf_counter``
+        based; 0.0 for hand-built events).
     """
 
     sequence: int
     task: Optional[int]
     kind: str
     detail: Dict[str, Any]
+    timestamp: float = 0.0
 
-    def render(self) -> str:
-        """One-line human-readable form."""
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly encoding (used by serialization and run reports)."""
+        return {
+            "sequence": self.sequence,
+            "task": self.task,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+            "timestamp_s": self.timestamp,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "TraceEvent":
+        """Decode an event encoded by :meth:`to_dict`."""
+        return cls(sequence=document["sequence"], task=document["task"],
+                   kind=document["kind"], detail=dict(document["detail"]),
+                   timestamp=document.get("timestamp_s", 0.0))
+
+    def render(self, sequence_width: int = 3) -> str:
+        """One-line human-readable form.
+
+        ``sequence_width`` pads the sequence field; callers rendering a
+        whole trace pass the width of the largest sequence number so
+        columns stay aligned past 999 events.
+        """
         scope = "task %s" % self.task if self.task is not None else "run"
         pairs = ", ".join("%s=%s" % (k, v)
                           for k, v in sorted(self.detail.items()))
-        return "[%03d] %-8s %-24s %s" % (self.sequence, scope, self.kind,
-                                         pairs)
+        return "[%0*d] %-8s %-24s %s" % (sequence_width, self.sequence,
+                                         scope, self.kind, pairs)
 
 
 class ProtocolTrace:
@@ -56,12 +88,15 @@ class ProtocolTrace:
 
     def __init__(self) -> None:
         self._events: List[TraceEvent] = []
+        self._epoch = time.perf_counter()
 
     def record(self, kind: str, task: Optional[int] = None,
                **detail: Any) -> None:
         """Append one event."""
-        self._events.append(TraceEvent(sequence=len(self._events),
-                                       task=task, kind=kind, detail=detail))
+        self._events.append(TraceEvent(
+            sequence=len(self._events), task=task, kind=kind, detail=detail,
+            timestamp=time.perf_counter() - self._epoch,
+        ))
 
     # -- queries -----------------------------------------------------------------
     def __len__(self) -> int:
@@ -82,8 +117,25 @@ class ProtocolTrace:
         return [event.kind for event in self._events]
 
     def render(self) -> str:
-        """The full timeline as text."""
-        return "\n".join(event.render() for event in self._events)
+        """The full timeline as text (sequence column sized to fit)."""
+        if not self._events:
+            return ""
+        width = max(3, len(str(self._events[-1].sequence)))
+        return "\n".join(event.render(sequence_width=width)
+                         for event in self._events)
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        """Every event as a JSON-friendly dict (see
+        :meth:`TraceEvent.to_dict`)."""
+        return [event.to_dict() for event in self._events]
+
+    @classmethod
+    def from_list(cls, documents: List[Dict[str, Any]]) -> "ProtocolTrace":
+        """Rebuild a trace from :meth:`to_list` output (round-trip)."""
+        trace = cls()
+        trace._events = [TraceEvent.from_dict(document)
+                         for document in documents]
+        return trace
 
 
 class NullTrace(ProtocolTrace):

@@ -20,10 +20,58 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from typing import Iterator, List, Tuple
+
 from ..crypto.fastexp import PublicValueCache
 from ..crypto.modular import NULL_COUNTER, OperationCounter
 from .bidding import AgentCommitments, ShareBundle
 from .parameters import DMWParameters
+
+
+class CheckStats:
+    """Pass/fail tallies of verification-equation evaluations.
+
+    One instance per verifier (each :class:`~repro.core.agent.DMWAgent`
+    and the :class:`~repro.core.audit.TranscriptAuditor` own one); the
+    observability layer exports the tallies as
+    ``dmw_verification_checks_total{agent=..., equation=..., result=...}``.
+    Recording is two dict operations per verification — it never touches
+    the :class:`~repro.crypto.modular.OperationCounter` accounting.
+
+    Equation names: ``share_bundle`` (eqs. 7-9), ``lambda_psi`` (eq. 11
+    and its eq.-15 excluding variant), ``f_disclosure`` (eq. 13).
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict = {}
+
+    def record(self, equation: str, passed: bool) -> None:
+        key = (equation, bool(passed))
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def items(self) -> List[Tuple[Tuple[str, bool], int]]:
+        """Sorted ``((equation, passed), count)`` pairs."""
+        return sorted(self._counts.items())
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[str, bool], int]]:
+        return iter(self.items())
+
+    def total(self, equation: Optional[str] = None,
+              passed: Optional[bool] = None) -> int:
+        """Total checks, optionally filtered by equation and/or verdict."""
+        return sum(count for (eq, ok), count in self._counts.items()
+                   if (equation is None or eq == equation)
+                   and (passed is None or ok == passed))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat ``{"equation:pass|fail": count}`` summary (JSON-friendly)."""
+        return {"%s:%s" % (eq, "pass" if ok else "fail"): count
+                for (eq, ok), count in self.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CheckStats(%r)" % (self.as_dict(),)
 
 
 def verify_share_bundle(parameters: DMWParameters,
@@ -31,7 +79,8 @@ def verify_share_bundle(parameters: DMWParameters,
                         pseudonym: int,
                         bundle: ShareBundle,
                         counter: OperationCounter = NULL_COUNTER,
-                        cache: Optional[PublicValueCache] = None) -> bool:
+                        cache: Optional[PublicValueCache] = None,
+                        stats: Optional[CheckStats] = None) -> bool:
     """Step III.1: check a received bundle against public commitments.
 
     Verifies, at the receiver's pseudonym ``alpha``:
@@ -44,7 +93,7 @@ def verify_share_bundle(parameters: DMWParameters,
     """
     q = parameters.group.q
     product_value = (bundle.e_value * bundle.f_value) % q
-    return (
+    valid = (
         commitments.o_vector.verify_share(pseudonym, product_value,
                                           bundle.g_value, counter, cache)
         and commitments.q_vector.verify_share(pseudonym, bundle.e_value,
@@ -52,6 +101,9 @@ def verify_share_bundle(parameters: DMWParameters,
         and commitments.r_vector.verify_share(pseudonym, bundle.f_value,
                                               bundle.h_value, counter, cache)
     )
+    if stats is not None:
+        stats.record("share_bundle", valid)
+    return valid
 
 
 def gamma_value(parameters: DMWParameters, commitments: AgentCommitments,
@@ -85,7 +137,8 @@ def verify_lambda_psi(parameters: DMWParameters,
                       psi_value_: int,
                       exclude: Optional[int] = None,
                       counter: OperationCounter = NULL_COUNTER,
-                      cache: Optional[PublicValueCache] = None) -> bool:
+                      cache: Optional[PublicValueCache] = None,
+                      stats: Optional[CheckStats] = None) -> bool:
     """Eq. (11) (and its eq.-(15) excluding variant).
 
     Checks ``prod_k Gamma_{i,k} = Lambda_i * Psi_i`` at the publisher's
@@ -104,7 +157,10 @@ def verify_lambda_psi(parameters: DMWParameters,
                         cache),
             counter,
         )
-    return product == group.mul(lambda_value, psi_value_, counter)
+    valid = product == group.mul(lambda_value, psi_value_, counter)
+    if stats is not None:
+        stats.record("lambda_psi", valid)
+    return valid
 
 
 def verify_f_disclosure(parameters: DMWParameters,
@@ -112,7 +168,8 @@ def verify_f_disclosure(parameters: DMWParameters,
                         discloser_pseudonym: int,
                         disclosed: Dict[int, tuple],
                         counter: OperationCounter = NULL_COUNTER,
-                        cache: Optional[PublicValueCache] = None) -> bool:
+                        cache: Optional[PublicValueCache] = None,
+                        stats: Optional[CheckStats] = None) -> bool:
     """Verify one agent's winner-identification disclosure (eq. (13)).
 
     ``disclosed`` maps each agent index ``l`` to the pair
@@ -120,6 +177,17 @@ def verify_f_disclosure(parameters: DMWParameters,
     Each pair must open ``Phi_{k,l}``; a complete and valid row lets anyone
     run plain degree resolution on every ``f_l``.
     """
+    valid = _f_disclosure_consistent(parameters, all_commitments,
+                                     discloser_pseudonym, disclosed,
+                                     counter, cache)
+    if stats is not None:
+        stats.record("f_disclosure", valid)
+    return valid
+
+
+def _f_disclosure_consistent(parameters, all_commitments,
+                             discloser_pseudonym, disclosed, counter,
+                             cache) -> bool:
     if set(disclosed) != set(range(len(all_commitments))):
         return False
     for index, commitments in enumerate(all_commitments):

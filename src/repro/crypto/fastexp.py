@@ -334,7 +334,9 @@ class PublicValueCache:
     execution's agents; never reused across executions.
     """
 
-    __slots__ = ("_evaluations", "_weights", "_tables", "hits", "misses")
+    __slots__ = ("_evaluations", "_weights", "_tables", "hits", "misses",
+                 "evaluation_hits", "evaluation_misses", "weight_hits",
+                 "weight_misses")
 
     def __init__(self) -> None:
         self._evaluations: Dict[tuple, tuple] = {}
@@ -342,14 +344,22 @@ class PublicValueCache:
         self._tables: Dict[tuple, tuple] = {}
         self.hits = 0
         self.misses = 0
+        # Per-namespace breakdown (the observability layer exports these
+        # as dmw_cache_events_total{namespace=...,result=...}).
+        self.evaluation_hits = 0
+        self.evaluation_misses = 0
+        self.weight_hits = 0
+        self.weight_misses = 0
 
     # -- commitment evaluations ---------------------------------------------
     def get_evaluation(self, key: tuple) -> Optional[tuple]:
         entry = self._evaluations.get(key)
         if entry is None:
             self.misses += 1
+            self.evaluation_misses += 1
         else:
             self.hits += 1
+            self.evaluation_hits += 1
         return entry
 
     def put_evaluation(self, key: tuple, entry: tuple) -> None:
@@ -373,8 +383,10 @@ class PublicValueCache:
         entry = self._weights.get(key)
         if entry is None:
             self.misses += 1
+            self.weight_misses += 1
         else:
             self.hits += 1
+            self.weight_hits += 1
         return entry
 
     def put_weights(self, key: tuple, entry: tuple) -> None:
@@ -382,14 +394,24 @@ class PublicValueCache:
 
     # -- reporting -----------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Return hit/miss/entry counts (benchmark & test introspection)."""
+        """Return hit/miss/entry counts (benchmark, test, and observability
+        introspection; exported into run reports and Prometheus dumps)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evaluation_hits": self.evaluation_hits,
+            "evaluation_misses": self.evaluation_misses,
+            "weight_hits": self.weight_hits,
+            "weight_misses": self.weight_misses,
             "evaluations": len(self._evaluations),
             "weight_vectors": len(self._weights),
             "straus_tables": len(self._tables),
         }
+
+    def hit_rate(self) -> float:
+        """Hit fraction over all counted lookups (0.0 when none)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "PublicValueCache(%r)" % (self.stats(),)

@@ -105,5 +105,10 @@ class TimeoutNetwork(SynchronousNetwork):
         self.round_durations.append(duration)
         self.clock += duration
         self.metrics.record_round()
+        if self.observer.enabled:
+            self.observer.event("network_round", round=self.round_index,
+                                messages=len(queued), delivered=delivered,
+                                late=late_this_round,
+                                barrier_duration=duration)
         self.round_index += 1
         return delivered

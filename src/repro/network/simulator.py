@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.spans import NULL_RECORDER
 from .faults import FaultPlan, obedient_plan
 from .message import BROADCAST, Message
 from .metrics import NetworkMetrics
@@ -59,6 +60,11 @@ class SynchronousNetwork:
         self.record_deliveries = record_deliveries
         self.delivery_log: List[Message] = []
         self.round_index = 0
+        #: Observability hook: a :class:`~repro.obs.spans.SpanRecorder`
+        #: that receives one ``network_round`` event per delivery barrier.
+        #: The default null recorder keeps the hot path allocation-free
+        #: (every emission is guarded by ``observer.enabled``).
+        self.observer = NULL_RECORDER
 
     # -- validation -----------------------------------------------------------
     def _check_participant(self, participant: int, role: str) -> None:
@@ -121,6 +127,9 @@ class SynchronousNetwork:
                         self.delivery_log.append(final)
                     delivered += 1
         self.metrics.record_round()
+        if self.observer.enabled:
+            self.observer.event("network_round", round=self.round_index,
+                                messages=len(queued), delivered=delivered)
         self.round_index += 1
         return delivered
 

@@ -1,0 +1,66 @@
+"""repro.obs — unified observability for DMW executions.
+
+Three layers (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.spans` — timestamped span tracing of protocol runs
+  (``run -> task -> phase``) with per-span wall-clock, counted-operation,
+  and network-delta attribution;
+* :mod:`repro.obs.metrics` — a labeled counter/gauge/histogram registry
+  unifying per-agent operation counters, network metrics, complaint and
+  abort counts, verification-check stats, and fastexp cache statistics;
+* :mod:`repro.obs.export` — the JSON run-report artifact (stable,
+  versioned schema with built-in validation), the Prometheus text
+  exposition (with a round-trip parser), and human-readable timelines.
+
+The layer is strictly *read-only* with respect to the counted model:
+recording spans or building registries never changes an agent's
+:class:`~repro.crypto.modular.OperationCounter` totals, transcripts, or
+outcomes, and the disabled path (:data:`~repro.obs.spans.NULL_RECORDER`,
+the default) adds no per-event allocation.
+"""
+
+from .export import (
+    PrometheusParseError,
+    ReportSchemaError,
+    parse_prometheus,
+    run_report,
+    to_prometheus,
+    validate_run_report,
+    write_run_report,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_for_run,
+)
+from .spans import (
+    NULL_RECORDER,
+    PAYMENTS_PHASE,
+    PHASES,
+    Span,
+    SpanEvent,
+    SpanRecorder,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "PAYMENTS_PHASE",
+    "PHASES",
+    "PrometheusParseError",
+    "ReportSchemaError",
+    "Span",
+    "SpanEvent",
+    "SpanRecorder",
+    "parse_prometheus",
+    "registry_for_run",
+    "run_report",
+    "to_prometheus",
+    "validate_run_report",
+    "write_run_report",
+]

@@ -1,0 +1,361 @@
+"""Run-report and Prometheus exporters for DMW observability.
+
+Three artefacts leave the process:
+
+* :func:`run_report` — one JSON document per ``execute()`` with a stable,
+  versioned schema (``type: "dmw_run_report"``): outcome summary, grand
+  totals, per-phase span attribution, cache statistics, the metrics
+  registry dump, and (when tracing was on) the structured event trace.
+  :func:`validate_run_report` checks a document against the schema — used
+  by tests and the CI obs smoke job, with no external dependency.
+* :func:`MetricsRegistry.to_prometheus` (re-exported here as
+  :func:`to_prometheus`) — the text exposition format;
+  :func:`parse_prometheus` is the matching round-trip parser used by
+  tests and the CI format check.
+* :meth:`~repro.obs.spans.SpanRecorder.render_timeline` — the
+  human-readable view (the CLI prints it under ``--metrics``-free
+  ``--trace`` runs via the classic trace, and under span tracing when a
+  recorder is present).
+
+Schema documentation lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, registry_for_run
+from .spans import SpanRecorder
+
+#: Bumped whenever the run-report schema changes shape.
+REPORT_VERSION = 1
+
+
+def _sum_operations(agent_operations) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for snapshot in agent_operations:
+        for key, value in snapshot.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def run_report(outcome: Any,
+               agents: Optional[Any] = None,
+               trace: Optional[Any] = None,
+               recorder: Optional[SpanRecorder] = None,
+               registry: Optional[MetricsRegistry] = None,
+               parameters: Optional[Any] = None,
+               audit_report: Optional[Any] = None) -> Dict[str, Any]:
+    """Build the JSON run-report document for one finished execution.
+
+    Only ``outcome`` is required; every other source enriches the report
+    when available.  When ``registry`` is omitted one is built via
+    :func:`~repro.obs.metrics.registry_for_run` from the same inputs.
+    """
+    if registry is None:
+        registry = registry_for_run(outcome, agents=agents, trace=trace,
+                                    recorder=recorder,
+                                    audit_report=audit_report)
+    operations_total = _sum_operations(outcome.agent_operations)
+
+    phases: List[Dict[str, Any]] = []
+    spans: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    if recorder is not None:
+        spans = [span.to_dict() for span in recorder]
+        events = [event.to_dict() for event in recorder.events]
+        for span in recorder.phase_spans():
+            phases.append({
+                "name": span.name,
+                "task": span.task,
+                "duration_s": span.duration,
+                "operations": dict(span.operations),
+                "network": dict(span.network),
+            })
+
+    document: Dict[str, Any] = {
+        "type": "dmw_run_report",
+        "version": REPORT_VERSION,
+        "params": _params_summary(parameters, outcome),
+        "completed": outcome.completed,
+        "abort": ({
+            "reason": outcome.abort.reason,
+            "phase": outcome.abort.phase,
+            "task": outcome.abort.task,
+            "detected_by": outcome.abort.detected_by,
+            "offender": outcome.abort.offender,
+        } if outcome.abort is not None else None),
+        "schedule": (list(outcome.schedule.assignment)
+                     if outcome.schedule is not None else None),
+        "payments": (list(outcome.payments)
+                     if outcome.payments is not None else None),
+        "totals": {
+            "operations": operations_total,
+            "operations_per_agent": [dict(snapshot) for snapshot
+                                     in outcome.agent_operations],
+            "network": outcome.network_metrics.as_dict(),
+        },
+        "cache": dict(getattr(outcome, "cache_stats", None) or {}),
+        "phases": phases,
+        "spans": spans,
+        "events": events,
+        "metrics": registry.as_dict(),
+        "trace": ([event.to_dict() for event in trace]
+                  if trace is not None and len(trace) else None),
+    }
+    return document
+
+
+def _params_summary(parameters: Optional[Any],
+                    outcome: Any) -> Dict[str, Any]:
+    summary: Dict[str, Any] = {
+        "num_agents": len(outcome.agent_operations) or None,
+        "num_tasks": len(outcome.transcripts) or None,
+    }
+    if parameters is not None:
+        summary.update({
+            "num_agents": parameters.num_agents,
+            "fault_bound": parameters.fault_bound,
+            "bid_values": list(parameters.bid_values),
+            "sigma": parameters.sigma,
+            "p_bits": parameters.group.p_bits,
+            "verification_mode": parameters.verification_mode,
+        })
+    return summary
+
+
+def write_run_report(path: str, document: Dict[str, Any]) -> None:
+    """Serialize a run-report document to ``path`` (pretty, sorted keys)."""
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (dependency-free)
+# ---------------------------------------------------------------------------
+
+class ReportSchemaError(ValueError):
+    """Raised when a run-report document violates the schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ReportSchemaError(message)
+
+
+_COUNTER_KEYS = ("additions", "multiplications", "inversions",
+                 "exponentiations", "multiplication_work")
+_NETWORK_KEYS = ("point_to_point_messages", "broadcast_events",
+                 "field_elements", "rounds")
+_SPAN_KEYS = ("span_id", "parent_id", "name", "kind", "task", "start_s",
+              "end_s", "duration_s", "attributes", "operations", "network")
+
+
+def validate_run_report(document: Any) -> None:
+    """Validate a run-report document; raises :class:`ReportSchemaError`.
+
+    Checks structural shape *and* the accounting invariant: the per-phase
+    operation and message deltas must sum exactly to the run's grand
+    totals whenever phase spans are present.
+    """
+    _require(isinstance(document, dict), "report must be a JSON object")
+    _require(document.get("type") == "dmw_run_report",
+             "type must be 'dmw_run_report'")
+    _require(document.get("version") == REPORT_VERSION,
+             "unsupported report version %r" % document.get("version"))
+    for key in ("params", "completed", "totals", "cache", "phases",
+                "spans", "events", "metrics"):
+        _require(key in document, "missing key %r" % key)
+    _require(isinstance(document["completed"], bool),
+             "completed must be a bool")
+
+    totals = document["totals"]
+    _require(isinstance(totals, dict), "totals must be an object")
+    for key in ("operations", "operations_per_agent", "network"):
+        _require(key in totals, "totals missing %r" % key)
+    for key in _COUNTER_KEYS:
+        _require(key in totals["operations"],
+                 "totals.operations missing %r" % key)
+    for key in _NETWORK_KEYS:
+        _require(key in totals["network"],
+                 "totals.network missing %r" % key)
+
+    per_agent = totals["operations_per_agent"]
+    _require(isinstance(per_agent, list),
+             "operations_per_agent must be a list")
+    for key in _COUNTER_KEYS:
+        summed = sum(snapshot.get(key, 0) for snapshot in per_agent)
+        _require(summed == totals["operations"][key],
+                 "per-agent %s sum %d != total %d"
+                 % (key, summed, totals["operations"][key]))
+
+    _require(isinstance(document["phases"], list), "phases must be a list")
+    for phase in document["phases"]:
+        for key in ("name", "task", "duration_s", "operations", "network"):
+            _require(key in phase, "phase entry missing %r" % key)
+
+    _require(isinstance(document["spans"], list), "spans must be a list")
+    for span in document["spans"]:
+        for key in _SPAN_KEYS:
+            _require(key in span, "span entry missing %r" % key)
+        _require(span["end_s"] >= span["start_s"],
+                 "span %r ends before it starts" % span.get("name"))
+
+    # Accounting invariant: phases partition the run exactly.
+    if document["phases"]:
+        for key in _COUNTER_KEYS:
+            attributed = sum(phase["operations"].get(key, 0)
+                             for phase in document["phases"])
+            _require(attributed == totals["operations"][key],
+                     "phase %s sum %d != grand total %d"
+                     % (key, attributed, totals["operations"][key]))
+        for key in _NETWORK_KEYS:
+            attributed = sum(phase["network"].get(key, 0)
+                             for phase in document["phases"])
+            _require(attributed == totals["network"][key],
+                     "phase network %s sum %d != grand total %d"
+                     % (key, attributed, totals["network"][key]))
+
+    metrics = document["metrics"]
+    _require(isinstance(metrics, dict), "metrics must be an object")
+    for name, body in metrics.items():
+        _require(isinstance(body, dict) and "type" in body
+                 and "samples" in body,
+                 "metric %r must carry type and samples" % name)
+
+    trace = document.get("trace")
+    if trace is not None:
+        _require(isinstance(trace, list), "trace must be a list or null")
+        for event in trace:
+            for key in ("sequence", "kind", "detail"):
+                _require(key in event, "trace event missing %r" % key)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text-format round-trip parser
+# ---------------------------------------------------------------------------
+
+class PrometheusParseError(ValueError):
+    """Raised on malformed exposition text."""
+
+
+def parse_prometheus(text: str
+                     ) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]],
+                               float]:
+    """Parse Prometheus text exposition into ``{(name, labels): value}``.
+
+    ``labels`` is a sorted tuple of ``(label, value)`` pairs.  The parser
+    validates ``# HELP``/``# TYPE`` comment structure and sample syntax;
+    it exists for round-trip testing of :meth:`MetricsRegistry.to_prometheus`
+    and the CI smoke job, not as a general scrape client.
+    """
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    typed: Dict[str, str] = {}
+    for line_number, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise PrometheusParseError(
+                    "line %d: malformed comment %r" % (line_number, raw))
+            if parts[1] == "TYPE":
+                type_value = parts[3] if len(parts) > 3 else ""
+                if type_value not in ("counter", "gauge", "histogram",
+                                      "summary", "untyped"):
+                    raise PrometheusParseError(
+                        "line %d: unknown metric type %r"
+                        % (line_number, type_value))
+                typed[parts[2]] = type_value
+            continue
+        name, labels, value = _parse_sample(line, line_number)
+        key = (name, labels)
+        if key in samples:
+            raise PrometheusParseError(
+                "line %d: duplicate sample %r" % (line_number, key))
+        samples[key] = value
+    for name in typed:
+        base_names = {sample_name.rsplit("_bucket", 1)[0]
+                      .rsplit("_sum", 1)[0].rsplit("_count", 1)[0]
+                      for sample_name, _ in samples}
+        sample_names = {sample_name for sample_name, _ in samples}
+        if name not in sample_names and name not in base_names:
+            raise PrometheusParseError(
+                "TYPE declared for %r but no samples present" % name)
+    return samples
+
+
+def _parse_sample(line: str, line_number: int
+                  ) -> Tuple[str, Tuple[Tuple[str, str], ...], float]:
+    label_pairs: List[Tuple[str, str]] = []
+    if "{" in line:
+        brace_open = line.index("{")
+        brace_close = line.rfind("}")
+        if brace_close < brace_open:
+            raise PrometheusParseError("line %d: mismatched braces"
+                                       % line_number)
+        name = line[:brace_open]
+        body = line[brace_open + 1:brace_close]
+        rest = line[brace_close + 1:].strip()
+        index = 0
+        while index < len(body):
+            equals = body.index("=", index)
+            label_name = body[index:equals].strip()
+            if body[equals + 1] != '"':
+                raise PrometheusParseError(
+                    "line %d: unquoted label value" % line_number)
+            cursor = equals + 2
+            value_chars: List[str] = []
+            while cursor < len(body):
+                char = body[cursor]
+                if char == "\\":
+                    escape = body[cursor + 1]
+                    value_chars.append(
+                        {"\\": "\\", '"': '"', "n": "\n"}.get(escape,
+                                                              escape))
+                    cursor += 2
+                    continue
+                if char == '"':
+                    break
+                value_chars.append(char)
+                cursor += 1
+            else:
+                raise PrometheusParseError(
+                    "line %d: unterminated label value" % line_number)
+            label_pairs.append((label_name, "".join(value_chars)))
+            index = cursor + 1
+            if index < len(body) and body[index] == ",":
+                index += 1
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise PrometheusParseError("line %d: malformed sample %r"
+                                       % (line_number, line))
+        name, rest = parts
+    if not rest:
+        raise PrometheusParseError("line %d: sample missing value"
+                                   % line_number)
+    value_text = rest.split()[0]
+    if value_text == "+Inf":
+        value = float("inf")
+    elif value_text == "-Inf":
+        value = float("-inf")
+    else:
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise PrometheusParseError(
+                "line %d: bad sample value %r"
+                % (line_number, value_text)) from None
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise PrometheusParseError("line %d: bad metric name %r"
+                                   % (line_number, name))
+    return name, tuple(sorted(label_pairs)), value
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Convenience alias for :meth:`MetricsRegistry.to_prometheus`."""
+    return registry.to_prometheus()

@@ -1,0 +1,296 @@
+"""Span-based tracing for DMW protocol runs.
+
+A *span* is a named, timestamped interval of one protocol execution:
+``run -> task -> phase`` (``bidding``, ``aggregation``, ``disclosure``,
+``resolution``) plus the run-level ``payments`` phase.  Every span is
+attributed three delta vectors captured at enter/exit:
+
+* **wall-clock** — ``time.perf_counter`` offsets from the recorder epoch;
+* **counted operations** — the delta of the summed per-agent
+  :class:`~repro.crypto.modular.OperationCounter` totals (additions,
+  multiplications, inversions, exponentiations, multiplication work);
+* **network activity** — the delta of
+  :meth:`~repro.network.metrics.NetworkMetrics.as_dict` (messages, field
+  elements, rounds, broadcasts, per-kind counts).
+
+Because every counted operation and every transmitted message of an
+execution happens *inside* one of the phase spans, the per-phase deltas
+partition the run's grand totals exactly — the invariant
+``tests/test_obs.py`` pins down and the run report relies on
+(``docs/OBSERVABILITY.md``).
+
+Observability is opt-in.  The module-level :data:`NULL_RECORDER` (an
+:class:`_NullRecorder`) is installed by default; its :meth:`span` returns
+a shared no-op context manager and its :meth:`event` discards the call,
+so a run without observability performs no snapshotting, no timestamping,
+and no per-span allocation.  The hot network path additionally guards on
+:attr:`SpanRecorder.enabled` so the disabled path stays allocation-free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Span kinds in nesting order.
+KIND_RUN = "run"
+KIND_TASK = "task"
+KIND_PHASE = "phase"
+
+#: The protocol phase names, in execution order within one auction.
+PHASES = ("bidding", "aggregation", "disclosure", "resolution")
+#: The run-level phase that follows all auctions.
+PAYMENTS_PHASE = "payments"
+
+
+@dataclass
+class Span:
+    """One finished span.
+
+    ``start``/``end`` are seconds since the recorder epoch (the recorder's
+    construction time), so spans from one run order naturally and JSON
+    exports stay small.  ``operations`` and ``network`` hold the
+    enter->exit deltas described in the module docstring.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    kind: str
+    task: Optional[int]
+    start: float
+    end: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    operations: Dict[str, int] = field(default_factory=dict)
+    network: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds spent inside the span."""
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly encoding (stable keys; see the run-report schema)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "task": self.task,
+            "start_s": self.start,
+            "end_s": self.end,
+            "duration_s": self.duration,
+            "attributes": dict(self.attributes),
+            "operations": dict(self.operations),
+            "network": dict(self.network),
+        }
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time event attached to the span open when it fired."""
+
+    timestamp: float
+    span_id: Optional[int]
+    name: str
+    attributes: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "timestamp_s": self.timestamp,
+            "span_id": self.span_id,
+            "name": self.name,
+            "attributes": dict(self.attributes),
+        }
+
+
+def _dict_delta(after: Dict[str, int], before: Dict[str, int]
+                ) -> Dict[str, int]:
+    """Per-key ``after - before`` (missing keys count as zero)."""
+    delta: Dict[str, int] = {}
+    for key, value in after.items():
+        change = value - before.get(key, 0)
+        if change:
+            delta[key] = change
+    return delta
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`SpanRecorder.span`."""
+
+    __slots__ = ("_recorder", "_span", "_ops_before", "_net_before")
+
+    def __init__(self, recorder: "SpanRecorder", span: Span) -> None:
+        self._recorder = recorder
+        self._span = span
+        self._ops_before: Dict[str, int] = {}
+        self._net_before: Dict[str, int] = {}
+
+    def __enter__(self) -> Span:
+        recorder = self._recorder
+        if recorder._ops_source is not None:
+            self._ops_before = recorder._ops_source()
+        if recorder._net_source is not None:
+            self._net_before = recorder._net_source()
+        self._span.start = recorder.clock() - recorder.epoch
+        recorder._stack.append(self._span.span_id)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        recorder = self._recorder
+        span = self._span
+        span.end = recorder.clock() - recorder.epoch
+        if recorder._ops_source is not None:
+            span.operations = _dict_delta(recorder._ops_source(),
+                                          self._ops_before)
+        if recorder._net_source is not None:
+            span.network = _dict_delta(recorder._net_source(),
+                                       self._net_before)
+        if exc_type is not None:
+            span.attributes["error"] = exc_type.__name__
+        recorder._stack.pop()
+        recorder.spans.append(span)
+        return None  # never swallow exceptions
+
+
+class SpanRecorder:
+    """Collects spans and events for one (or more) protocol executions.
+
+    The recorder is *bound* to a protocol at the start of ``execute()``
+    via :meth:`bind`, which installs the two snapshot sources the span
+    deltas are computed from.  One recorder can observe several
+    consecutive executions; span ids stay unique and timestamps share one
+    epoch.
+    """
+
+    #: Real recorders take snapshots; the null recorder advertises False
+    #: so hot paths can skip building event payloads entirely.
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter
+                 ) -> None:
+        self.clock = clock
+        self.epoch = clock()
+        self.spans: List[Span] = []
+        self.events: List[SpanEvent] = []
+        self._stack: List[int] = []
+        self._next_id = 0
+        self._ops_source: Optional[Callable[[], Dict[str, int]]] = None
+        self._net_source: Optional[Callable[[], Dict[str, int]]] = None
+
+    # -- wiring ---------------------------------------------------------------
+    def bind(self, ops_source: Optional[Callable[[], Dict[str, int]]],
+             net_source: Optional[Callable[[], Dict[str, int]]]) -> None:
+        """Install the operation/network snapshot sources for delta capture."""
+        self._ops_source = ops_source
+        self._net_source = net_source
+
+    # -- recording ------------------------------------------------------------
+    def span(self, name: str, kind: str = KIND_PHASE,
+             task: Optional[int] = None,
+             **attributes: Any) -> _SpanContext:
+        """Open a span; use as ``with recorder.span("bidding", task=0): ...``."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        span = Span(span_id=span_id, parent_id=parent, name=name, kind=kind,
+                    task=task, start=0.0, end=0.0, attributes=attributes)
+        return _SpanContext(self, span)
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event under the currently open span."""
+        self.events.append(SpanEvent(
+            timestamp=self.clock() - self.epoch,
+            span_id=self._stack[-1] if self._stack else None,
+            name=name, attributes=attributes,
+        ))
+
+    # -- queries --------------------------------------------------------------
+    def find(self, kind: Optional[str] = None, name: Optional[str] = None,
+             task: Optional[int] = None) -> List[Span]:
+        """Finished spans filtered by kind/name/task."""
+        return [span for span in self.spans
+                if (kind is None or span.kind == kind)
+                and (name is None or span.name == name)
+                and (task is None or span.task == task)]
+
+    def root_spans(self) -> List[Span]:
+        """Spans with no parent (normally one ``run`` span per execution)."""
+        return [span for span in self.spans if span.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        """Direct children of ``span``, in completion order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def phase_spans(self) -> List[Span]:
+        """Every phase-kind span, in completion order."""
+        return self.find(kind=KIND_PHASE)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    # -- rendering ------------------------------------------------------------
+    def render_timeline(self) -> str:
+        """Human-readable nested timeline (the ``--trace``-style view)."""
+        lines: List[str] = []
+        by_parent: Dict[Optional[int], List[Span]] = {}
+        for span in self.spans:
+            by_parent.setdefault(span.parent_id, []).append(span)
+        for bucket in by_parent.values():
+            bucket.sort(key=lambda s: (s.start, s.span_id))
+
+        def walk(parent: Optional[int], depth: int) -> None:
+            for span in by_parent.get(parent, []):
+                scope = ("task %d" % span.task
+                         if span.task is not None else span.kind)
+                ops = span.operations.get("multiplication_work", 0)
+                msgs = span.network.get("point_to_point_messages", 0)
+                lines.append(
+                    "%s%-12s %-10s %9.3fms  work=%-8d msgs=%d"
+                    % ("  " * depth, span.name, scope,
+                       span.duration * 1e3, ops, msgs))
+                walk(span.span_id, depth + 1)
+
+        walk(None, 0)
+        return "\n".join(lines)
+
+
+class _NullRecorder(SpanRecorder):
+    """Discards everything; the default when observability is off."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(clock=lambda: 0.0)
+
+    def bind(self, ops_source, net_source) -> None:
+        pass
+
+    def span(self, name: str, kind: str = KIND_PHASE,
+             task: Optional[int] = None, **attributes: Any):
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, **attributes: Any) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Shared, reusable no-op span context (no per-call allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+#: The process-wide disabled recorder (mirrors ``trace.NULL_TRACE``).
+NULL_RECORDER = _NullRecorder()

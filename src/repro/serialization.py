@@ -19,12 +19,18 @@ import json
 from typing import Any, Dict, List, Optional
 
 from .core.outcome import AuctionTranscript, DMWOutcome
+from .core.trace import ProtocolTrace
 from .network.metrics import NetworkMetrics
 from .scheduling.problem import SchedulingProblem, Task
 from .scheduling.schedule import Schedule
 
-#: Bumped whenever an encoding changes shape.
-FORMAT_VERSION = 1
+#: Bumped whenever an encoding changes shape.  Version 2 adds the optional
+#: ``trace`` (structured event log) and ``cache_stats`` outcome fields;
+#: version-1 documents remain loadable (the new keys default to empty).
+FORMAT_VERSION = 2
+
+#: Document versions :func:`loads` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class SerializationError(ValueError):
@@ -39,7 +45,7 @@ def _check(document: Dict[str, Any], expected_type: str) -> None:
             "expected type %r, got %r" % (expected_type,
                                           document.get("type"))
         )
-    if document.get("version") != FORMAT_VERSION:
+    if document.get("version") not in SUPPORTED_VERSIONS:
         raise SerializationError(
             "unsupported format version %r" % document.get("version")
         )
@@ -109,11 +115,15 @@ def _transcript_from_dict(document: Dict[str, Any]) -> AuctionTranscript:
     )
 
 
-def outcome_to_dict(outcome: DMWOutcome) -> Dict[str, Any]:
+def outcome_to_dict(outcome: DMWOutcome,
+                    trace: Optional[ProtocolTrace] = None) -> Dict[str, Any]:
     """Encode an outcome: result, transcripts, and cost metrics.
 
     Abort details are flattened to strings (exception objects do not
-    round-trip); metrics keep their full per-kind breakdown.
+    round-trip); metrics keep their full per-kind breakdown.  When a
+    :class:`~repro.core.trace.ProtocolTrace` is supplied, its structured
+    event log is embedded (``trace`` key) and survives the round trip —
+    recover it with :func:`trace_from_dict`.
     """
     return {
         "type": "dmw_outcome",
@@ -133,6 +143,8 @@ def outcome_to_dict(outcome: DMWOutcome) -> Dict[str, Any]:
         } if outcome.abort is not None else None),
         "network_metrics": outcome.network_metrics.as_dict(),
         "agent_operations": list(outcome.agent_operations),
+        "cache_stats": dict(outcome.cache_stats),
+        "trace": trace.to_list() if trace is not None else None,
     }
 
 
@@ -146,15 +158,7 @@ def outcome_from_dict(document: Dict[str, Any]) -> DMWOutcome:
     _check(document, "dmw_outcome")
     from .core.exceptions import ProtocolAbort
 
-    metrics = NetworkMetrics()
-    raw_metrics = document["network_metrics"]
-    metrics.point_to_point_messages = raw_metrics["point_to_point_messages"]
-    metrics.broadcast_events = raw_metrics["broadcast_events"]
-    metrics.field_elements = raw_metrics["field_elements"]
-    metrics.rounds = raw_metrics["rounds"]
-    for key, value in raw_metrics.items():
-        if key.startswith("messages[") and key.endswith("]"):
-            metrics.by_kind[key[len("messages["):-1]] = value
+    metrics = metrics_from_dict(document["network_metrics"])
 
     abort = None
     if document["abort"] is not None:
@@ -176,7 +180,35 @@ def outcome_from_dict(document: Dict[str, Any]) -> DMWOutcome:
         abort=abort,
         network_metrics=metrics,
         agent_operations=list(document["agent_operations"]),
+        cache_stats=dict(document.get("cache_stats") or {}),
     )
+
+
+def metrics_from_dict(raw_metrics: Dict[str, Any]) -> NetworkMetrics:
+    """Rebuild :class:`~repro.network.metrics.NetworkMetrics` from its
+    :meth:`~repro.network.metrics.NetworkMetrics.as_dict` encoding."""
+    metrics = NetworkMetrics()
+    metrics.point_to_point_messages = raw_metrics["point_to_point_messages"]
+    metrics.broadcast_events = raw_metrics["broadcast_events"]
+    metrics.field_elements = raw_metrics["field_elements"]
+    metrics.rounds = raw_metrics["rounds"]
+    for key, value in raw_metrics.items():
+        if key.startswith("messages[") and key.endswith("]"):
+            metrics.by_kind[key[len("messages["):-1]] = value
+    return metrics
+
+
+def trace_from_dict(document: Dict[str, Any]) -> Optional[ProtocolTrace]:
+    """Recover the embedded event trace from an outcome document.
+
+    Returns ``None`` when the document was written without a trace
+    (including every version-1 document).
+    """
+    _check(document, "dmw_outcome")
+    events = document.get("trace")
+    if events is None:
+        return None
+    return ProtocolTrace.from_list(events)
 
 
 # -- file helpers -----------------------------------------------------------------
@@ -194,11 +226,22 @@ _DECODERS = {
 }
 
 
-def dumps(artifact) -> str:
-    """Serialize any supported artifact to a JSON string."""
+def dumps(artifact, trace: Optional[ProtocolTrace] = None) -> str:
+    """Serialize any supported artifact to a JSON string.
+
+    ``trace`` embeds an event log into outcome documents; passing it with
+    any other artifact type is an error.
+    """
+    if trace is not None and not isinstance(artifact, DMWOutcome):
+        raise SerializationError(
+            "trace embedding is only supported for DMWOutcome artifacts")
     for kind, encoder in _ENCODERS.items():
         if isinstance(artifact, kind):
-            return json.dumps(encoder(artifact), indent=2, sort_keys=True)
+            if isinstance(artifact, DMWOutcome):
+                document = outcome_to_dict(artifact, trace=trace)
+            else:
+                document = encoder(artifact)
+            return json.dumps(document, indent=2, sort_keys=True)
     raise SerializationError("cannot serialize %r" % type(artifact).__name__)
 
 
@@ -214,13 +257,21 @@ def loads(text: str):
     return decoder(document)
 
 
-def save(artifact, path: str) -> None:
-    """Serialize ``artifact`` to a file."""
+def save(artifact, path: str,
+         trace: Optional[ProtocolTrace] = None) -> None:
+    """Serialize ``artifact`` to a file (``trace`` as for :func:`dumps`)."""
     with open(path, "w") as handle:
-        handle.write(dumps(artifact) + "\n")
+        handle.write(dumps(artifact, trace=trace) + "\n")
 
 
 def load(path: str):
     """Load an artifact serialized by :func:`save`."""
     with open(path) as handle:
         return loads(handle.read())
+
+
+def load_trace(path: str) -> Optional[ProtocolTrace]:
+    """Load the embedded trace of a saved outcome (``None`` when absent)."""
+    with open(path) as handle:
+        document = json.loads(handle.read())
+    return trace_from_dict(document)

@@ -1,0 +1,185 @@
+"""Theorem 11 closed-form message accounting and NetworkMetrics units.
+
+The proof of Theorem 11 counts every published value as ``P - 1``
+point-to-point copies (no broadcast facility), where ``P = n + 1``
+participants (the ``n`` agents plus the payment infrastructure
+endpoint).  An honest execution's exact totals follow in closed form
+from Fig. 2:
+
+per task ``t``::
+
+    commitments    n broadcasts  x  3*sigma field elements
+    share_bundle   n*(n-1) unicasts  x  4
+    lambda_psi     n broadcasts  x  2
+    f_disclosure   d_t broadcasts  x  2n      d_t = disclosure_width(y*_t)
+    winner_claim   k_t broadcasts  x  1       k_t = #{i : b_i(t) = y*_t}
+    second_price   n broadcasts  x  2
+
+plus ``n`` unicast payment claims of ``n`` field elements each.  These
+tests pin the simulator's measured totals to that closed form across an
+``(n, m, c)`` grid, and unit-test ``merge``/``as_dict``.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DMWParameters
+from repro.core.protocol import run_dmw
+from repro.network.message import BROADCAST, Message
+from repro.network.metrics import NetworkMetrics
+from repro.scheduling import workloads
+
+
+def _message(kind="x", sender=0, recipient=1, field_elements=1):
+    return Message(sender=sender, recipient=recipient, kind=kind,
+                   payload=None, field_elements=field_elements)
+
+
+# ---------------------------------------------------------------------------
+# Unit behaviour
+# ---------------------------------------------------------------------------
+
+class TestNetworkMetricsUnit:
+    def test_unicast_counts_once(self):
+        metrics = NetworkMetrics()
+        metrics.record(_message(field_elements=3), num_agents=6)
+        assert metrics.point_to_point_messages == 1
+        assert metrics.broadcast_events == 0
+        assert metrics.field_elements == 3
+        assert metrics.by_kind["x"] == 1
+
+    def test_broadcast_expands_to_n_minus_one_copies(self):
+        metrics = NetworkMetrics()
+        metrics.record(_message(recipient=BROADCAST, field_elements=2),
+                       num_agents=6)
+        assert metrics.point_to_point_messages == 5
+        assert metrics.broadcast_events == 1
+        assert metrics.field_elements == 10
+        assert metrics.by_kind["x"] == 5
+
+    def test_merge_adds_all_totals_and_kinds(self):
+        left = NetworkMetrics()
+        left.record(_message(kind="a"), num_agents=4)
+        left.record(_message(kind="b", recipient=BROADCAST,
+                             field_elements=2), num_agents=4)
+        left.record_round()
+        right = NetworkMetrics()
+        right.record(_message(kind="a", field_elements=5), num_agents=4)
+        right.record_round()
+        right.record_round()
+        left.merge(right)
+        assert left.point_to_point_messages == 1 + 3 + 1
+        assert left.broadcast_events == 1
+        assert left.field_elements == 1 + 6 + 5
+        assert left.rounds == 3
+        assert left.by_kind == {"a": 2, "b": 3}
+
+    def test_as_dict_is_stable_and_complete(self):
+        metrics = NetworkMetrics()
+        metrics.record(_message(kind="beta"), num_agents=3)
+        metrics.record(_message(kind="alpha", recipient=BROADCAST),
+                       num_agents=3)
+        metrics.record_round()
+        summary = metrics.as_dict()
+        assert summary == {
+            "point_to_point_messages": 3,
+            "broadcast_events": 1,
+            "field_elements": 3,
+            "rounds": 1,
+            "messages[alpha]": 2,
+            "messages[beta]": 1,
+        }
+        # Per-kind keys come after the scalar totals, sorted by kind.
+        assert list(summary)[4:] == ["messages[alpha]", "messages[beta]"]
+
+
+# ---------------------------------------------------------------------------
+# Theorem 11 closed form on real executions
+# ---------------------------------------------------------------------------
+
+def _expected_totals(parameters, problem, outcome):
+    """The closed-form honest-run totals (module docstring)."""
+    n = parameters.num_agents
+    sigma = parameters.sigma
+    copies = n  # P - 1 with P = n + 1 participants
+    messages = 0
+    elements = 0
+    broadcasts = 0
+    by_kind = {
+        "commitments": 0, "share_bundle": 0, "lambda_psi": 0,
+        "f_disclosure": 0, "winner_claim": 0, "second_price": 0,
+        "payment_claim": 0,
+    }
+    for transcript in outcome.transcripts:
+        task = transcript.task
+        first_price = transcript.first_price
+        d_t = parameters.disclosure_width(first_price)
+        k_t = sum(1 for agent in range(n)
+                  if int(problem.time(agent, task)) == first_price)
+        assert first_price == min(int(problem.time(agent, task))
+                                  for agent in range(n))
+        by_kind["commitments"] += n * copies
+        by_kind["share_bundle"] += n * (n - 1)
+        by_kind["lambda_psi"] += n * copies
+        by_kind["f_disclosure"] += d_t * copies
+        by_kind["winner_claim"] += k_t * copies
+        by_kind["second_price"] += n * copies
+        broadcasts += 3 * n + d_t + k_t
+        elements += (n * copies * 3 * sigma      # commitments
+                     + n * (n - 1) * 4           # share bundles
+                     + n * copies * 2            # lambda_psi
+                     + d_t * copies * 2 * n      # f_disclosure rows
+                     + k_t * copies * 1          # winner claims
+                     + n * copies * 2)           # second_price
+    by_kind["payment_claim"] = n
+    elements += n * n                            # payment claim vectors
+    messages = sum(by_kind.values())
+    return messages, elements, broadcasts, by_kind
+
+
+@pytest.mark.parametrize("n,m,c", [
+    (4, 1, 1),
+    (4, 3, 1),
+    (5, 2, 1),
+    (6, 2, 1),
+    (6, 1, 2),
+    (6, 3, 2),
+])
+def test_honest_run_matches_closed_form(n, m, c):
+    parameters = DMWParameters.generate(n, fault_bound=c,
+                                        group_size="small")
+    problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                        random.Random(7 * n + m + c))
+    outcome = run_dmw(problem, parameters=parameters,
+                      rng=random.Random(42))
+    assert outcome.completed
+    expected_messages, expected_elements, expected_broadcasts, by_kind = \
+        _expected_totals(parameters, problem, outcome)
+    metrics = outcome.network_metrics
+    assert metrics.point_to_point_messages == expected_messages
+    assert metrics.field_elements == expected_elements
+    assert metrics.broadcast_events == expected_broadcasts
+    assert dict(metrics.by_kind) == by_kind
+    # Sequential schedule: four barrier rounds per auction plus payments.
+    assert metrics.rounds == 4 * m + 1
+
+
+def test_parallel_run_same_totals_fewer_rounds():
+    """Phase-parallel execution keeps the Theorem 11 message budget."""
+    n, m = 5, 3
+    parameters = DMWParameters.generate(n, fault_bound=1,
+                                        group_size="small")
+    problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                        random.Random(11))
+    sequential = run_dmw(problem, parameters=parameters,
+                         rng=random.Random(3))
+    parallel = run_dmw(problem, parameters=parameters,
+                       rng=random.Random(3), parallel=True)
+    assert sequential.completed and parallel.completed
+    seq = sequential.network_metrics
+    par = parallel.network_metrics
+    assert par.point_to_point_messages == seq.point_to_point_messages
+    assert par.field_elements == seq.field_elements
+    assert dict(par.by_kind) == dict(seq.by_kind)
+    assert par.rounds == 5 < seq.rounds == 4 * m + 1

@@ -118,6 +118,74 @@ class TestErrors:
             serialization.loads(json.dumps(document))
 
 
+class TestCacheStatsRoundTrip:
+    def test_cache_stats_preserved(self, params5, problem53):
+        outcome = run_dmw(problem53, parameters=params5,
+                          rng=random.Random(0))
+        assert outcome.cache_stats  # the shared cache saw traffic
+        restored = serialization.loads(serialization.dumps(outcome))
+        assert restored.cache_stats == outcome.cache_stats
+
+
+class TestTraceEmbedding:
+    @pytest.fixture()
+    def traced(self, params5, problem53):
+        from repro.core.trace import ProtocolTrace
+        trace = ProtocolTrace()
+        outcome = run_dmw(problem53, parameters=params5,
+                          rng=random.Random(0), trace=trace)
+        return outcome, trace
+
+    def test_save_and_load_trace(self, tmp_path, traced):
+        outcome, trace = traced
+        path = tmp_path / "outcome.json"
+        serialization.save(outcome, str(path), trace=trace)
+        restored = serialization.load(str(path))
+        assert restored.completed
+        restored_trace = serialization.load_trace(str(path))
+        assert restored_trace is not None
+        assert list(restored_trace) == list(trace)
+        assert restored_trace.kinds() == trace.kinds()
+
+    def test_outcome_without_trace_loads_none(self, tmp_path, traced):
+        outcome, _ = traced
+        path = tmp_path / "outcome.json"
+        serialization.save(outcome, str(path))
+        assert serialization.load_trace(str(path)) is None
+
+    def test_trace_requires_outcome_artifact(self, problem53, traced):
+        _, trace = traced
+        with pytest.raises(serialization.SerializationError):
+            serialization.dumps(problem53, trace=trace)
+
+    def test_load_trace_rejects_non_outcome(self, tmp_path, problem53):
+        path = tmp_path / "problem.json"
+        serialization.save(problem53, str(path))
+        with pytest.raises(serialization.SerializationError):
+            serialization.load_trace(str(path))
+
+
+class TestVersionCompatibility:
+    def test_version_1_outcome_still_loads(self, params5, problem53):
+        """Documents written before trace/cache_stats existed must load."""
+        outcome = run_dmw(problem53, parameters=params5,
+                          rng=random.Random(0))
+        document = json.loads(serialization.dumps(outcome))
+        document["version"] = 1
+        del document["cache_stats"]
+        del document["trace"]
+        restored = serialization.loads(json.dumps(document))
+        assert restored.completed
+        assert restored.schedule == outcome.schedule
+        assert restored.cache_stats == {}
+        assert serialization.trace_from_dict(document) is None
+
+    def test_current_documents_carry_version_2(self, problem53):
+        document = json.loads(serialization.dumps(problem53))
+        assert document["version"] == serialization.FORMAT_VERSION == 2
+        assert serialization.SUPPORTED_VERSIONS == (1, 2)
+
+
 class TestNaiveOutcomeRoundTrip:
     def test_naive_outcome_serializes(self, problem53):
         from repro.core.naive import run_naive

@@ -73,6 +73,65 @@ class TestTraceObject:
         assert sequences == list(range(5))
 
 
+class TestEventEncoding:
+    def test_to_dict_from_dict_round_trip(self):
+        event = TraceEvent(sequence=7, task=2, kind="winner",
+                           detail={"agent": 4, "price": 3},
+                           timestamp=1.25)
+        encoded = event.to_dict()
+        assert encoded == {
+            "sequence": 7,
+            "task": 2,
+            "kind": "winner",
+            "detail": {"agent": 4, "price": 3},
+            "timestamp_s": 1.25,
+        }
+        assert TraceEvent.from_dict(encoded) == event
+
+    def test_from_dict_defaults_missing_timestamp(self):
+        # Hand-built / legacy documents may omit timestamp_s.
+        event = TraceEvent.from_dict(
+            {"sequence": 0, "task": None, "kind": "e", "detail": {}})
+        assert event.timestamp == 0.0
+
+    def test_trace_list_round_trip(self):
+        trace = ProtocolTrace()
+        trace.record("phase", task=0, name="bidding")
+        trace.record("abort", reason="x")
+        restored = ProtocolTrace.from_list(trace.to_list())
+        assert list(restored) == list(trace)
+
+    def test_recorded_timestamps_are_monotone(self):
+        trace = ProtocolTrace()
+        for _ in range(4):
+            trace.record("e")
+        stamps = [event.timestamp for event in trace]
+        assert stamps == sorted(stamps)
+        assert all(stamp >= 0.0 for stamp in stamps)
+
+
+class TestRenderWidth:
+    def test_default_width_is_three(self):
+        assert TraceEvent(0, None, "e", {}).render().startswith("[000]")
+
+    def test_render_honours_explicit_width(self):
+        line = TraceEvent(1234, None, "e", {}).render(sequence_width=5)
+        assert line.startswith("[01234]")
+
+    def test_long_trace_widens_sequence_column(self):
+        trace = ProtocolTrace()
+        for _ in range(1001):  # sequences 0..1000: four digits
+            trace.record("e")
+        lines = trace.render().splitlines()
+        assert lines[0].startswith("[0000]")
+        assert lines[-1].startswith("[1000]")
+        # Every line keeps the same column width, so the timeline aligns.
+        assert len({line.index("]") for line in lines}) == 1
+
+    def test_empty_trace_renders_empty(self):
+        assert ProtocolTrace().render() == ""
+
+
 class TestProtocolIntegration:
     def test_honest_run_event_structure(self, params5, problem):
         outcome, trace = run_traced(params5, problem)
