@@ -60,16 +60,28 @@ def json_path(bench):
 def obs_summary(outcome):
     """Build the ``obs`` record section from a finished DMW outcome.
 
-    Currently carries the execution-scoped fastexp cache statistics
-    (hit/miss counts per namespace plus the overall hit rate); extend
-    here, not in individual benches, so the record schema stays uniform.
+    Carries the execution-scoped fastexp cache statistics (hit/miss
+    counts per namespace plus the overall hit rate) and the resilience
+    counters (retransmissions, recoveries, quarantines — all exactly
+    zero on the fault-free benchmark configurations, which
+    ``check_regression.py`` gates); extend here, not in individual
+    benches, so the record schema stays uniform.
     """
     stats = dict(getattr(outcome, "cache_stats", {}) or {})
     if not stats:
         return None
     total = stats.get("hits", 0) + stats.get("misses", 0)
     hit_rate = (stats.get("hits", 0) / total) if total else 0.0
-    return {"cache": stats, "cache_hit_rate": round(hit_rate, 6)}
+    metrics = getattr(outcome, "network_metrics", None)
+    resilience = {
+        "retransmissions": getattr(metrics, "retransmissions", 0),
+        "recovered_messages": getattr(metrics, "recovered_messages", 0),
+        "degraded": bool(getattr(outcome, "degraded", False)),
+        "quarantined_tasks": sorted(getattr(outcome, "task_aborts", {})
+                                    or {}),
+    }
+    return {"cache": stats, "cache_hit_rate": round(hit_rate, 6),
+            "resilience": resilience}
 
 
 def write_json_record(bench, params, wall_clock_s=None, counters=None,

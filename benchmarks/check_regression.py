@@ -25,6 +25,12 @@ baseline committed under ``benchmarks/baseline/``:
   gate skips configurations whose baseline predates the ``obs``
   section.
 
+* fresh **scaling** records also carry a ``resilience`` sub-section
+  (retransmissions, recoveries, degradation, quarantines — see
+  ``docs/RESILIENCE.md``).  The benchmark configurations are
+  fault-free, so every counter must be *exactly zero*; this gate needs
+  no baseline.
+
 Exit status 0 iff every gate holds.
 
 Usage::
@@ -170,6 +176,46 @@ def check_cache_stats(baseline_dir, results_dir, failures, lines):
                 % (label, 100 * new_obs.get("cache_hit_rate", 0.0)))
 
 
+def check_resilience(results_dir, failures, lines):
+    """The benchmark configurations are fault-free: every resilience
+    counter in a fresh scaling record must be exactly zero.
+
+    A nonzero retransmission count would mean the benchmark harness
+    silently started paying retry costs (perturbing both wall-clocks
+    and message totals); a quarantine or a degraded flag would mean it
+    stopped measuring the protocol it claims to measure.  Unlike the
+    other gates this one needs no baseline — zero is the spec.
+    """
+    fresh = _load(results_dir, "scaling")
+    if fresh is None:
+        return  # the scaling gate already reported the situation
+    for record in fresh:
+        obs = record.get("obs") or {}
+        resilience = obs.get("resilience")
+        if resilience is None:
+            continue  # record predates the resilience section
+        label = ", ".join("%s=%s" % item for item in _params_key(record))
+        problems = []
+        if resilience.get("retransmissions", 0) != 0:
+            problems.append("retransmissions=%r"
+                            % resilience["retransmissions"])
+        if resilience.get("recovered_messages", 0) != 0:
+            problems.append("recovered_messages=%r"
+                            % resilience["recovered_messages"])
+        if resilience.get("degraded", False):
+            problems.append("degraded=True")
+        if resilience.get("quarantined_tasks"):
+            problems.append("quarantined_tasks=%r"
+                            % resilience["quarantined_tasks"])
+        if problems:
+            failures.append(
+                "resilience[%s]: fault-free baseline shows nonzero "
+                "resilience activity: %s" % (label, ", ".join(problems)))
+        else:
+            lines.append("resilience[%s]: all counters zero (fault-free)"
+                         % label)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail on benchmark regressions against the committed "
@@ -188,6 +234,7 @@ def main(argv=None):
                   failures, lines)
     check_table1(args.baseline, args.results, failures, lines)
     check_cache_stats(args.baseline, args.results, failures, lines)
+    check_resilience(args.results, failures, lines)
 
     for line in lines:
         print(line)

@@ -37,7 +37,7 @@ from .core import (
     run_dmw,
 )
 from .mechanisms import MechanismResult, MinWork, truthful_bids
-from .scheduling import Schedule, SchedulingProblem, Task
+from .scheduling import PartialSchedule, Schedule, SchedulingProblem, Task
 
 __version__ = "1.0.0"
 
@@ -48,6 +48,7 @@ __all__ = [
     "DMWProtocol",
     "MechanismResult",
     "MinWork",
+    "PartialSchedule",
     "ProtocolAbort",
     "Schedule",
     "SchedulingProblem",

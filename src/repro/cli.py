@@ -110,6 +110,21 @@ def _emit_observability(args, outcome, agents, trace, recorder, parameters,
             print("metrics written to %s" % args.metrics)
 
 
+def _build_network(args, parameters: DMWParameters):
+    """Build a TimeoutNetwork when --timeout is set, else None (default)."""
+    if args.timeout is None:
+        if args.retries != 1 or args.retry_backoff != 2.0:
+            raise SystemExit("--retries/--retry-backoff require --timeout")
+        return None
+    from .network import LatencyModel, RetryPolicy, TimeoutNetwork
+    latency = LatencyModel(random.Random(args.seed + 2))
+    policy = RetryPolicy(max_attempts=args.retries,
+                         backoff=args.retry_backoff)
+    return TimeoutNetwork(parameters.num_agents, latency,
+                          round_timeout=args.timeout,
+                          extra_participants=1, retry_policy=policy)
+
+
 def cmd_run(args) -> int:
     parameters = _build_parameters(args)
     rng = random.Random(args.seed)
@@ -128,9 +143,18 @@ def cmd_run(args) -> int:
     trace = (ProtocolTrace()
              if (args.trace or args.trace_json or args.report) else None)
     recorder = SpanRecorder() if observing else None
+    network = _build_network(args, parameters)
     protocol = DMWProtocol(parameters, agents, trace=trace,
-                           observer=recorder)
-    outcome = protocol.execute(problem.num_tasks)
+                           observer=recorder, network=network)
+    resume = None
+    if args.resume:
+        from . import serialization
+        resume = serialization.load_checkpoint(args.resume)
+        print("resuming from %s (next task %d, %d auctions done)"
+              % (args.resume, resume.next_task, len(resume.transcripts)))
+    outcome = protocol.execute(problem.num_tasks, degraded=args.degraded,
+                               checkpoint_path=args.checkpoint,
+                               resume=resume)
     if args.trace:
         print("\nprotocol trace:")
         print(trace.render())
@@ -145,6 +169,10 @@ def cmd_run(args) -> int:
         return 1
     print("\nschedule:", list(outcome.schedule.assignment))
     print("payments:", list(outcome.payments))
+    for task in outcome.quarantined_tasks:
+        abort = outcome.task_aborts[task]
+        print("QUARANTINED task %d: %s (phase %s)"
+              % (task, abort.reason, abort.phase))
     rows = [[t.task, t.first_price, "A%d" % (t.winner + 1), t.second_price]
             for t in outcome.transcripts]
     print(render_table(["task", "first price", "winner", "second price"],
@@ -154,6 +182,9 @@ def cmd_run(args) -> int:
           "max agent work %d" % (metrics.point_to_point_messages,
                                  metrics.field_elements, metrics.rounds,
                                  outcome.max_agent_work))
+    if metrics.retransmissions or metrics.recovered_messages:
+        print("retries: %d retransmissions, %d recovered"
+              % (metrics.retransmissions, metrics.recovered_messages))
     if args.output:
         from . import serialization
         serialization.save(outcome, args.output, trace=trace)
@@ -333,6 +364,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--metrics", default=None, metavar="PATH",
                             help="write Prometheus text-format metrics to "
                                  "PATH ('-' for stdout)")
+    run_parser.add_argument("--degraded", action="store_true",
+                            help="graceful degradation: quarantine a "
+                                 "faulty task's auction instead of "
+                                 "voiding the run")
+    run_parser.add_argument("--timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="run over a latency-model network with "
+                                 "this per-round barrier timeout")
+    run_parser.add_argument("--retries", type=int, default=1, metavar="N",
+                            help="transmission attempts per message under "
+                                 "--timeout (default 1 = no retry)")
+    run_parser.add_argument("--retry-backoff", type=float, default=2.0,
+                            metavar="X",
+                            help="grace-window backoff multiplier for "
+                                 "retries (default 2.0)")
+    run_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                            help="write a resume checkpoint to PATH after "
+                                 "every auction (sequential driver)")
+    run_parser.add_argument("--resume", default=None, metavar="PATH",
+                            help="resume a crashed run from the "
+                                 "checkpoint at PATH")
     run_parser.set_defaults(handler=cmd_run)
 
     minwork_parser = subparsers.add_parser(

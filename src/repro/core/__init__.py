@@ -2,6 +2,7 @@
 
 from .agent import DMWAgent
 from .audit import AuditFinding, AuditReport, TranscriptAuditor, audit_protocol_run
+from .checkpoint import ProtocolCheckpoint
 from .bidding import (
     AgentCommitments,
     BidPackage,
@@ -78,6 +79,7 @@ __all__ = [
     "PaymentDecision",
     "PaymentInfrastructure",
     "ProtocolAbort",
+    "ProtocolCheckpoint",
     "ResolutionError",
     "ShareBundle",
     "WithholdAggregatesAgent",

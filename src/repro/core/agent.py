@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..crypto.fastexp import PublicValueCache
 from ..crypto.modular import OperationCounter
@@ -477,15 +477,22 @@ class DMWAgent:
         return second_price
 
     # ==== Phase IV: payments =====================================================
-    def payment_claim(self) -> List[float]:
+    def payment_claim(self, tasks: Optional[Iterable[int]] = None
+                      ) -> List[float]:
         """Step IV.1: the payment vector this agent believes is correct.
 
         ``P_i = sum of second prices over the tasks agent i won`` — every
         agent computes the *full* vector from its own transcript and
         submits it to the payment infrastructure.
+
+        ``tasks`` restricts the claim to the given task set (graceful
+        degradation: quarantined auctions contribute no payment).  The
+        default claims over every auction this agent participated in, and
+        aborts if any of them is unresolved.
         """
         totals = [0.0] * self.parameters.num_agents
-        for task in sorted(self._tasks):
+        claimed = sorted(self._tasks) if tasks is None else sorted(tasks)
+        for task in claimed:
             state = self._tasks[task]
             if state.winner is None or state.second_price is None:
                 raise ProtocolAbort(

@@ -24,6 +24,14 @@ and compares everything against the outcome the participants reported.
 The auditor is not cost-constrained, so it verifies everything fully and
 ignores the participants' complaint traffic (it re-derives validity from
 first principles).
+
+Degraded executions (``docs/RESILIENCE.md``) are audited with the same
+public data plus one extra cross-check: a task the participants
+*quarantined* must actually be undeterminable from the public transcript.
+If the auditor can fully re-derive a quarantined task's winner and second
+price, the quarantine decision itself is flagged — honest agents never
+quarantine a healthy auction.  Quarantined tasks are excluded from the
+assignment/payment comparison (they carry no allocation and no payment).
 """
 
 from __future__ import annotations
@@ -126,102 +134,49 @@ class TranscriptAuditor:
             The outcome the participants reported; when given, the
             reconstruction is compared against it.
         """
-        parameters = self.parameters
-        n = parameters.num_agents
-        commitments_by_task = self._published_by_task(messages, "commitments")
-        aggregates_by_task = self._published_by_task(messages, "lambda_psi")
-        disclosures_by_task = self._published_by_task(messages, "f_disclosure")
-        claims_by_task = self._published_by_task(messages, "winner_claim")
-        second_by_task = self._published_by_task(messages, "second_price")
+        n = self.parameters.num_agents
+        boards = {
+            "commitments": self._published_by_task(messages, "commitments"),
+            "lambda_psi": self._published_by_task(messages, "lambda_psi"),
+            "f_disclosure": self._published_by_task(messages,
+                                                    "f_disclosure"),
+            "winner_claim": self._published_by_task(messages,
+                                                    "winner_claim"),
+            "second_price": self._published_by_task(messages,
+                                                    "second_price"),
+        }
+        quarantined = set()
+        if outcome is not None:
+            quarantined = set(getattr(outcome, "task_aborts", {}) or {})
 
         assignment: List[Optional[int]] = [None] * num_tasks
         payments = [0.0] * n
 
         for task in range(num_tasks):
-            commitments = commitments_by_task.get(task, {})
-            if set(commitments) != set(range(n)):
-                self._flag(task, "commitments",
-                           "missing commitments from agents %s"
-                           % sorted(set(range(n)) - set(commitments)))
+            if task in quarantined:
+                # Cross-check the quarantine decision itself: re-derive
+                # silently; success means the participants condemned an
+                # auction the public transcript fully determines.
+                resolved = self._reconstruct_task(
+                    task, boards, lambda *args: None)
+                if resolved is not None:
+                    self._flag(task, "quarantine",
+                               "task was quarantined but its outcome "
+                               "(winner %d, second price %d) is fully "
+                               "determined by the public transcript"
+                               % resolved)
                 continue
-            ordered: List[AgentCommitments] = [commitments[k]
-                                               for k in range(n)]
-
-            # eq. (11): which aggregates are valid.
-            valid_lambdas: Dict[int, int] = {}
-            for publisher, (lam, psi) in aggregates_by_task.get(task,
-                                                                {}).items():
-                if verify_lambda_psi(parameters, ordered,
-                                     parameters.pseudonyms[publisher],
-                                     lam, psi, counter=self.counter,
-                                     cache=self.cache,
-                                     stats=self.check_stats):
-                    valid_lambdas[publisher] = lam
-                else:
-                    self._flag(task, "lambda_psi",
-                               "agent %d published inconsistent aggregates"
-                               % publisher)
-
-            try:
-                first_price, _ = resolve_first_price(parameters,
-                                                     valid_lambdas,
-                                                     self.counter,
-                                                     self.cache)
-            except ResolutionError as error:
-                self._flag(task, "first_price", str(error))
+            resolved = self._reconstruct_task(task, boards, self._flag)
+            if resolved is None:
                 continue
-
-            # eq. (13): which disclosure rows are valid.
-            valid_rows: Dict[int, Dict[int, tuple]] = {}
-            for discloser, row in disclosures_by_task.get(task, {}).items():
-                if verify_f_disclosure(parameters, ordered,
-                                       parameters.pseudonyms[discloser],
-                                       row, self.counter, self.cache,
-                                       stats=self.check_stats):
-                    valid_rows[discloser] = row
-                else:
-                    self._flag(task, "f_disclosure",
-                               "agent %d disclosed an inconsistent row"
-                               % discloser)
-
-            claimants = sorted(claims_by_task.get(task, {}),
-                               key=lambda i: parameters.pseudonyms[i])
-            try:
-                winner = identify_winner(parameters, first_price, valid_rows,
-                                         claimants=claimants or None,
-                                         counter=self.counter,
-                                         cache=self.cache)
-            except ResolutionError as error:
-                self._flag(task, "winner", str(error))
-                continue
-
-            valid_excluded: Dict[int, int] = {}
-            for publisher, (lam, psi) in second_by_task.get(task, {}).items():
-                if verify_lambda_psi(parameters, ordered,
-                                     parameters.pseudonyms[publisher],
-                                     lam, psi, exclude=winner,
-                                     counter=self.counter,
-                                     cache=self.cache,
-                                     stats=self.check_stats):
-                    valid_excluded[publisher] = lam
-                else:
-                    self._flag(task, "second_price",
-                               "agent %d published inconsistent excluded "
-                               "aggregates" % publisher)
-            try:
-                second_price, _ = resolve_second_price(parameters,
-                                                       valid_excluded,
-                                                       self.counter,
-                                                       self.cache)
-            except ResolutionError as error:
-                self._flag(task, "second_price", str(error))
-                continue
-
+            winner, second_price = resolved
             assignment[task] = winner
             payments[winner] += second_price
 
-        reconstructed_assignment = (tuple(assignment)
-                                    if None not in assignment else None)
+        complete = all(assignment[task] is not None
+                       for task in range(num_tasks)
+                       if task not in quarantined)
+        reconstructed_assignment = tuple(assignment) if complete else None
 
         if outcome is not None and outcome.completed:
             if reconstructed_assignment is None:
@@ -250,6 +205,95 @@ class TranscriptAuditor:
             check_stats=self.check_stats.as_dict(),
         )
 
+    def _reconstruct_task(self, task: int,
+                          boards: Dict[str, Dict[int, Dict[int, object]]],
+                          flag) -> Optional[Tuple[int, int]]:
+        """Re-derive one task's ``(winner, second_price)`` from public data.
+
+        ``flag`` receives every inconsistency (pass :meth:`_flag` to
+        collect findings, or a no-op to probe a quarantined task
+        silently).  Returns ``None`` when the public transcript does not
+        determine the task.
+        """
+        parameters = self.parameters
+        n = parameters.num_agents
+        commitments = boards["commitments"].get(task, {})
+        if set(commitments) != set(range(n)):
+            flag(task, "commitments",
+                 "missing commitments from agents %s"
+                 % sorted(set(range(n)) - set(commitments)))
+            return None
+        ordered: List[AgentCommitments] = [commitments[k] for k in range(n)]
+
+        # eq. (11): which aggregates are valid.
+        valid_lambdas: Dict[int, int] = {}
+        for publisher, (lam, psi) in boards["lambda_psi"].get(task,
+                                                              {}).items():
+            if verify_lambda_psi(parameters, ordered,
+                                 parameters.pseudonyms[publisher],
+                                 lam, psi, counter=self.counter,
+                                 cache=self.cache,
+                                 stats=self.check_stats):
+                valid_lambdas[publisher] = lam
+            else:
+                flag(task, "lambda_psi",
+                     "agent %d published inconsistent aggregates"
+                     % publisher)
+
+        try:
+            first_price, _ = resolve_first_price(parameters, valid_lambdas,
+                                                 self.counter, self.cache)
+        except ResolutionError as error:
+            flag(task, "first_price", str(error))
+            return None
+
+        # eq. (13): which disclosure rows are valid.
+        valid_rows: Dict[int, Dict[int, tuple]] = {}
+        for discloser, row in boards["f_disclosure"].get(task, {}).items():
+            if verify_f_disclosure(parameters, ordered,
+                                   parameters.pseudonyms[discloser],
+                                   row, self.counter, self.cache,
+                                   stats=self.check_stats):
+                valid_rows[discloser] = row
+            else:
+                flag(task, "f_disclosure",
+                     "agent %d disclosed an inconsistent row" % discloser)
+
+        claimants = sorted(boards["winner_claim"].get(task, {}),
+                           key=lambda i: parameters.pseudonyms[i])
+        try:
+            winner = identify_winner(parameters, first_price, valid_rows,
+                                     claimants=claimants or None,
+                                     counter=self.counter,
+                                     cache=self.cache)
+        except ResolutionError as error:
+            flag(task, "winner", str(error))
+            return None
+
+        valid_excluded: Dict[int, int] = {}
+        for publisher, (lam, psi) in boards["second_price"].get(task,
+                                                                {}).items():
+            if verify_lambda_psi(parameters, ordered,
+                                 parameters.pseudonyms[publisher],
+                                 lam, psi, exclude=winner,
+                                 counter=self.counter,
+                                 cache=self.cache,
+                                 stats=self.check_stats):
+                valid_excluded[publisher] = lam
+            else:
+                flag(task, "second_price",
+                     "agent %d published inconsistent excluded "
+                     "aggregates" % publisher)
+        try:
+            second_price, _ = resolve_second_price(parameters,
+                                                   valid_excluded,
+                                                   self.counter, self.cache)
+        except ResolutionError as error:
+            flag(task, "second_price", str(error))
+            return None
+
+        return winner, second_price
+
 
 def audit_protocol_run(protocol, outcome: Optional[DMWOutcome] = None,
                        num_tasks: Optional[int] = None) -> AuditReport:
@@ -259,8 +303,11 @@ def audit_protocol_run(protocol, outcome: Optional[DMWOutcome] = None,
     channels are never consulted.
     """
     if num_tasks is None:
-        if outcome is not None:
-            num_tasks = len(outcome.transcripts)
+        if outcome is not None and outcome.schedule is not None:
+            num_tasks = outcome.schedule.num_tasks
+        elif outcome is not None:
+            num_tasks = (len(outcome.transcripts)
+                         + len(getattr(outcome, "task_aborts", {}) or {}))
         else:
             raise ValueError("pass num_tasks or an outcome with transcripts")
     auditor = TranscriptAuditor(protocol.parameters)

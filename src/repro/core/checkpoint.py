@@ -1,0 +1,198 @@
+"""Checkpoint/resume: serializable protocol state at auction boundaries.
+
+The sequential driver runs one complete auction per iteration; between
+two auctions the distributed state is *quiescent* — every inbox is
+drained, no message is in flight, and the only state that determines the
+rest of the execution is (a) each agent's private randomness stream, (b)
+the resolved transcripts so far, (c) the accumulated accounting (operation
+counters, network metrics, wall clock), and (d) the degraded-mode
+quarantine record.  :class:`ProtocolCheckpoint` captures exactly that, so
+a crashed orchestrator can be restarted from the last boundary and
+produce an outcome **identical** to the uninterrupted run: same schedule,
+same payments, same transcripts, same operation counts, same network
+totals (``tests/test_checkpoint.py`` pins this down).
+
+What is deliberately *not* captured:
+
+* Cryptographic secrets — shares, polynomials, commitments.  Completed
+  auctions are summarised by their public transcript (winner and prices
+  are all the payments phase needs), and the in-flight auction is simply
+  re-run from its start, regenerating shares from the restored rng
+  streams.  A checkpoint file therefore leaks nothing the bulletin board
+  did not already reveal.
+* The bulletin-board history.  Resuming restores the *outcome*-relevant
+  state; a post-resume transcript audit only covers the auctions run
+  since the restart.
+* The shared public-value cache.  It is rebuilt cold on resume;
+  operation counters are unaffected because the analytic schedule is
+  charged on cache hits too (``docs/PERFORMANCE.md``), so only the
+  ``cache_stats`` diagnostic differs from the uninterrupted run.
+
+Checkpointing is a sequential-driver feature: the parallel driver has no
+quiescent boundary short of the whole Phase II-III block, so
+:meth:`~repro.core.protocol.DMWProtocol.execute` rejects the combination.
+
+Serialization lives in :mod:`repro.serialization` (format version 3,
+document type ``dmw_checkpoint``); this module holds only the in-memory
+state transfer, keeping the dependency one-directional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..network.metrics import NetworkMetrics
+from .exceptions import ParameterError, ProtocolAbort
+from .outcome import AuctionTranscript
+
+
+def encode_rng_state(state: Any) -> List[Any]:
+    """JSON-encode a ``random.Random.getstate()`` tuple.
+
+    The Mersenne Twister state is ``(version, tuple_of_ints, gauss_next)``;
+    JSON has no tuples, so both levels become lists.
+    """
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def decode_rng_state(encoded: List[Any]) -> Any:
+    """Invert :func:`encode_rng_state` back to a ``setstate`` tuple."""
+    version, internal, gauss_next = encoded
+    return (version, tuple(internal), gauss_next)
+
+
+@dataclass
+class ProtocolCheckpoint:
+    """Everything needed to resume a sequential execution at a boundary.
+
+    Attributes
+    ----------
+    num_tasks:
+        Total number of auctions the execution runs.
+    next_task:
+        First task index the resumed run must execute.
+    degraded:
+        Whether the interrupted execution ran in graceful-degradation
+        mode (a resume must use the same mode).
+    num_agents:
+        Sanity guard: the resuming protocol must have this many agents.
+    transcripts:
+        Public transcripts of every auction completed so far.
+    task_aborts:
+        Quarantined tasks (degraded mode) with their recorded aborts.
+    agent_rng_states:
+        Per-agent private randomness streams (encoded ``getstate()``).
+    agent_operations:
+        Per-agent :meth:`~repro.crypto.modular.OperationCounter.snapshot`
+        dictionaries at the boundary.
+    network_metrics:
+        :meth:`~repro.network.metrics.NetworkMetrics.as_dict` totals.
+    round_index:
+        The network's next synchronous round number.
+    timeout_state:
+        Extra :class:`~repro.network.asynchronous.TimeoutNetwork` wall
+        state (``clock``/``late_messages``/``retries``/``recovered``),
+        empty for plain synchronous networks.
+    """
+
+    num_tasks: int
+    next_task: int
+    degraded: bool
+    num_agents: int
+    transcripts: List[AuctionTranscript] = field(default_factory=list)
+    task_aborts: Dict[int, ProtocolAbort] = field(default_factory=dict)
+    agent_rng_states: List[List[Any]] = field(default_factory=list)
+    agent_operations: List[Dict[str, int]] = field(default_factory=list)
+    network_metrics: Dict[str, int] = field(default_factory=dict)
+    round_index: int = 0
+    timeout_state: Dict[str, Any] = field(default_factory=dict)
+
+    # -- capture ---------------------------------------------------------------
+    @classmethod
+    def capture(cls, protocol, num_tasks: int,
+                next_task: int) -> "ProtocolCheckpoint":
+        """Snapshot ``protocol`` at an auction boundary.
+
+        ``next_task`` is the first auction the resumed run will execute
+        (i.e. one past the last completed/quarantined task).
+        """
+        network = protocol.network
+        timeout_state: Dict[str, Any] = {}
+        for attr in ("clock", "late_messages", "retries", "recovered"):
+            if hasattr(network, attr):
+                timeout_state[attr] = getattr(network, attr)
+        return cls(
+            num_tasks=num_tasks,
+            next_task=next_task,
+            degraded=protocol._degraded,
+            num_agents=protocol.parameters.num_agents,
+            transcripts=list(protocol._transcripts),
+            task_aborts=dict(protocol._task_aborts),
+            agent_rng_states=[encode_rng_state(agent.rng.getstate())
+                              for agent in protocol.agents],
+            agent_operations=[agent.counter.snapshot()
+                              for agent in protocol.agents],
+            network_metrics=network.metrics.as_dict(),
+            round_index=network.round_index,
+            timeout_state=timeout_state,
+        )
+
+    # -- restore ---------------------------------------------------------------
+    def apply(self, protocol) -> None:
+        """Restore this checkpoint into a freshly constructed protocol.
+
+        The protocol must have been built exactly as the original (same
+        parameters, same agent construction order); the checkpoint then
+        overwrites the mutable state: rng streams, counters, transcripts,
+        quarantines, and the network's accounting.
+        """
+        if protocol.parameters.num_agents != self.num_agents:
+            raise ParameterError(
+                "checkpoint was taken with %d agents, protocol has %d"
+                % (self.num_agents, protocol.parameters.num_agents)
+            )
+        if len(self.agent_rng_states) != len(protocol.agents):
+            raise ParameterError(
+                "checkpoint holds %d rng states for %d agents"
+                % (len(self.agent_rng_states), len(protocol.agents))
+            )
+        for agent, encoded, operations in zip(protocol.agents,
+                                              self.agent_rng_states,
+                                              self.agent_operations):
+            agent.rng.setstate(decode_rng_state(encoded))
+            agent.counter.restore(operations)
+        # Completed auctions: re-establish the public per-task results the
+        # payments phase reads (winner + second price; first price kept
+        # for introspection parity).
+        for transcript in self.transcripts:
+            for agent in protocol.agents:
+                state = agent.task_state(transcript.task)
+                state.first_price = transcript.first_price
+                state.winner = transcript.winner
+                state.second_price = transcript.second_price
+        protocol._transcripts = list(self.transcripts)
+        protocol._task_aborts = dict(self.task_aborts)
+        protocol._degraded = self.degraded
+        # Network accounting: totals continue from the boundary.
+        protocol.network.metrics = _metrics_from_totals(self.network_metrics)
+        protocol.network.round_index = self.round_index
+        for attr, value in self.timeout_state.items():
+            if hasattr(protocol.network, attr):
+                setattr(protocol.network, attr, value)
+
+
+def _metrics_from_totals(totals: Dict[str, int]) -> NetworkMetrics:
+    """Rebuild :class:`NetworkMetrics` from its ``as_dict`` totals."""
+    metrics = NetworkMetrics()
+    metrics.point_to_point_messages = totals.get("point_to_point_messages", 0)
+    metrics.broadcast_events = totals.get("broadcast_events", 0)
+    metrics.field_elements = totals.get("field_elements", 0)
+    metrics.rounds = totals.get("rounds", 0)
+    metrics.retransmissions = totals.get("retransmissions", 0)
+    metrics.recovered_messages = totals.get("recovered_messages", 0)
+    for key, value in totals.items():
+        if key.startswith("messages[") and key.endswith("]"):
+            metrics.by_kind[key[len("messages["):-1]] = value
+    return metrics

@@ -265,8 +265,8 @@ class InflatedPaymentClaimAgent(DeviantAgent):
         super().__init__(index, parameters, true_values, rng)
         self.inflation = inflation
 
-    def payment_claim(self) -> List[float]:
-        claim = super().payment_claim()
+    def payment_claim(self, tasks=None) -> List[float]:
+        claim = super().payment_claim(tasks)
         claim[self.index] += self.inflation
         return claim
 
@@ -274,7 +274,7 @@ class InflatedPaymentClaimAgent(DeviantAgent):
 class WithholdPaymentClaimAgent(DeviantAgent):
     """Submits no payment claim at all."""
 
-    def payment_claim(self):
+    def payment_claim(self, tasks=None):
         return None
 
 

@@ -5,9 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from typing import Union
+
 from ..network.metrics import NetworkMetrics
 from ..scheduling.problem import SchedulingProblem
-from ..scheduling.schedule import Schedule
+from ..scheduling.schedule import PartialSchedule, Schedule
 from .exceptions import ProtocolAbort
 
 
@@ -38,10 +40,16 @@ class DMWOutcome:
     with an attached :class:`ProtocolAbort` — in which case every agent's
     utility is zero (no allocation is executed, no payment dispensed),
     matching the termination semantics of the faithfulness proofs.
+
+    Under graceful degradation (``degraded=True``) a third shape exists:
+    ``completed`` with a :class:`~repro.scheduling.schedule.PartialSchedule`
+    and per-task aborts in :attr:`task_aborts` — every quarantined task is
+    unassigned and contributes nothing to payments or valuations, while the
+    surviving tasks executed exactly as they would have in a fault-free run.
     """
 
     completed: bool
-    schedule: Optional[Schedule]
+    schedule: Optional[Union[Schedule, PartialSchedule]]
     payments: Optional[Tuple[float, ...]]
     transcripts: List[AuctionTranscript]
     abort: Optional[ProtocolAbort]
@@ -51,6 +59,16 @@ class DMWOutcome:
     #: Execution-scoped :meth:`~repro.crypto.fastexp.PublicValueCache.stats`
     #: snapshot (hit/miss/size; empty when the protocol never populated it).
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: True when the execution ran in graceful-degradation mode.
+    degraded: bool = False
+    #: Per-task aborts that were quarantined instead of voiding the run
+    #: (empty outside degraded mode and on fault-free degraded runs).
+    task_aborts: Dict[int, ProtocolAbort] = field(default_factory=dict)
+
+    @property
+    def quarantined_tasks(self) -> Tuple[int, ...]:
+        """Tasks whose auctions were quarantined (sorted)."""
+        return tuple(sorted(self.task_aborts))
 
     def utility(self, agent: int, true_values: SchedulingProblem) -> float:
         """Return ``U_i = P_i + V_i`` (0 when the protocol terminated)."""

@@ -70,11 +70,15 @@ class PaymentInfrastructure:
         if all(vector == reference for vector in vectors):
             return PaymentDecision(dispensed=True, payments=reference,
                                    conflicting_agents=())
-        # Identify the minority claim holders for diagnostics.
+        # Identify the minority claim holders for diagnostics.  The
+        # majority view is chosen deterministically: highest count first,
+        # ties broken by the lexicographically smallest claim vector —
+        # never by dict insertion order, so an even split (e.g. 2-2)
+        # names the same conflicting agents on every run.
         counts: Dict[Tuple[float, ...], int] = {}
         for vector in vectors:
             counts[vector] = counts.get(vector, 0) + 1
-        majority = max(counts, key=counts.get)
+        majority = min(counts, key=lambda vector: (-counts[vector], vector))
         minority_agents = tuple(sorted(
             agent for agent, vector in self._claims.items()
             if vector != majority

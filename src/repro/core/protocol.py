@@ -31,12 +31,26 @@ Termination semantics: when any agent aborts (a failed verification, a
 short resolution, or a payment conflict), the entire execution is void —
 no allocation, no payments, utility zero for everyone — matching the
 proofs of Theorems 4 and 8.
+
+Graceful degradation (``execute(..., degraded=True)``) relaxes the
+all-or-nothing rule at *task* granularity while keeping it at *claim*
+granularity: the paper's auctions are "parallel and independent", so an
+abort provoked inside task ``t``'s auction condemns only that auction —
+the task is **quarantined** (no allocation, no payment for it, the abort
+recorded in :attr:`DMWOutcome.task_aborts`) and every other task proceeds
+exactly as it would have in a fault-free run.  A payment-phase conflict
+still voids the whole execution: the escrow's unanimity rule is what
+keeps a false claim from ever costing an honest agent, and it has no
+per-task structure to degrade along.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from .checkpoint import ProtocolCheckpoint
 
 from ..crypto.fastexp import PublicValueCache
 from ..network.faults import FaultPlan
@@ -49,7 +63,7 @@ from ..obs.spans import (
     SpanRecorder,
 )
 from ..scheduling.problem import SchedulingProblem
-from ..scheduling.schedule import Schedule
+from ..scheduling.schedule import PartialSchedule, Schedule
 from .agent import DMWAgent
 from .exceptions import ParameterError, ProtocolAbort
 from .outcome import AuctionTranscript, DMWOutcome
@@ -117,7 +131,9 @@ class DMWProtocol:
         # The network emits per-round events through the same recorder.
         self.network.observer = self.observer
         self._transcripts: List[AuctionTranscript] = []
+        self._task_aborts: Dict[int, ProtocolAbort] = {}
         self._shared_cache: Optional[PublicValueCache] = None
+        self._degraded = False
 
     # -- helpers --------------------------------------------------------------
     @property
@@ -153,7 +169,49 @@ class DMWProtocol:
                               for agent in self.agents],
             cache_stats=(self._shared_cache.stats()
                          if self._shared_cache is not None else {}),
+            degraded=self._degraded,
+            task_aborts=dict(self._task_aborts),
         )
+
+    def _quarantine(self, task: int, abort: ProtocolAbort) -> None:
+        """Degraded mode: condemn one auction instead of the whole run."""
+        self._task_aborts[task] = abort
+        self.trace.record("task_quarantined", task=task, phase=abort.phase,
+                          reason=abort.reason,
+                          detected_by=abort.detected_by,
+                          offender=abort.offender)
+        if self.observer.enabled:
+            self.observer.event("task_quarantined", task=task,
+                                phase=abort.phase, reason=abort.reason,
+                                detected_by=abort.detected_by,
+                                offender=abort.offender)
+
+    def _fail_task(self, task: int, abort: ProtocolAbort,
+                   active: List[int]) -> Optional[ProtocolAbort]:
+        """Handle a per-task abort inside a parallel phase driver.
+
+        Strict mode returns the abort (voiding the run); degraded mode
+        quarantines the task, removes it from the active set, and lets the
+        remaining auctions continue.
+        """
+        if not self._degraded:
+            return abort
+        self._quarantine(task, abort)
+        active.remove(task)
+        return None
+
+    def _write_checkpoint(self, path: str, num_tasks: int,
+                          next_task: int) -> None:
+        """Persist a resume point at the current auction boundary."""
+        # Imported lazily: serialization depends on core modules, so a
+        # top-level import here would be circular.
+        from ..serialization import save_checkpoint
+        from .checkpoint import ProtocolCheckpoint
+        checkpoint = ProtocolCheckpoint.capture(self, num_tasks, next_task)
+        save_checkpoint(checkpoint, path)
+        self.trace.record("checkpoint_written", next_task=next_task)
+        if self.observer.enabled:
+            self.observer.event("checkpoint_written", next_task=next_task)
 
     def _summed_operations(self) -> Dict[str, int]:
         """Sum of every agent's counter snapshot (the span ops source)."""
@@ -382,11 +440,21 @@ class DMWProtocol:
         ))
         return None
 
-    def _run_payments(self) -> Optional[ProtocolAbort]:
-        """Phase IV: collect claims and ask the escrow to decide."""
+    def _run_payments(self, completed_tasks: Optional[List[int]] = None
+                      ) -> Optional[ProtocolAbort]:
+        """Phase IV: collect claims and ask the escrow to decide.
+
+        ``completed_tasks`` restricts every claim to the given tasks
+        (degraded mode: quarantined auctions pay nothing); ``None`` keeps
+        the historical claim-over-everything call, preserving the exact
+        call signature deviant subclasses override.
+        """
         for agent in self.agents:
             try:
-                claim = agent.payment_claim()
+                if completed_tasks is None:
+                    claim = agent.payment_claim()
+                else:
+                    claim = agent.payment_claim(completed_tasks)
             except ProtocolAbort as abort:
                 return abort
             if claim is None:
@@ -425,28 +493,32 @@ class DMWProtocol:
         obs = self.observer
         for task in tasks:
             self.trace.record("auction_start", task=task)
+        # The surviving-task set: degraded-mode quarantines remove tasks
+        # from it between (and within) phases, strict mode never mutates
+        # it (the first failure voids the run instead).
+        active = list(tasks)
         # Phase II for every task, one barrier.
         with obs.span("bidding"):
-            abort = self._run_parallel_bidding(tasks)
+            abort = self._run_parallel_bidding(active)
         if abort is not None:
             return abort
         # Step III.2 for every task, one barrier.
         with obs.span("aggregation"):
-            abort = self._run_parallel_aggregation(tasks)
+            abort = self._run_parallel_aggregation(active)
         if abort is not None:
             return abort
         # Step III.3 for every task, one barrier.
         with obs.span("disclosure"):
-            abort = self._run_parallel_disclosure(tasks)
+            abort = self._run_parallel_disclosure(active)
         if abort is not None:
             return abort
         # Step III.4 for every task, one barrier.
         with obs.span("resolution"):
-            abort = self._run_parallel_resolution(tasks)
+            abort = self._run_parallel_resolution(active)
         if abort is not None:
             return abort
         reference = self._reference_agent()
-        for task in tasks:
+        for task in active:
             state = reference.task_state(task)
             self.trace.record("auction_resolved", task=task,
                               first_price=state.first_price,
@@ -494,10 +566,12 @@ class DMWProtocol:
                                                 "share_bundle"):
                 message_task, bundle = message.payload
                 agent.receive_bundle(message_task, message.sender, bundle)
-        for task in tasks:
+        for task in list(tasks):
             abort = self._run_share_verification(task)
             if abort is not None:
-                return abort
+                abort = self._fail_task(task, abort, tasks)
+                if abort is not None:
+                    return abort
         return None
 
     def _run_parallel_aggregation(self, tasks: Sequence[int]
@@ -542,12 +616,16 @@ class DMWProtocol:
                 for agent in self.agents:
                     agent.arbitrate_aggregates(task, boards.get(task, {}),
                                                sorted(accused))
-        try:
-            for task in tasks:
+        for task in list(tasks):
+            try:
                 for agent in self.agents:
                     agent.resolve_first(task)
-        except ResolutionError as error:
-            return ProtocolAbort(str(error), phase="allocating")
+            except ResolutionError as error:
+                abort = self._fail_task(
+                    task, ProtocolAbort(str(error), phase="allocating",
+                                        task=task), tasks)
+                if abort is not None:
+                    return abort
         return None
 
     def _run_parallel_disclosure(self, tasks: Sequence[int]
@@ -603,15 +681,19 @@ class DMWProtocol:
                 for agent in self.agents:
                     agent.arbitrate_disclosures(
                         task, row_boards.get(task, {}), sorted(accused))
-        try:
-            for task in tasks:
-                claimants = sorted(
-                    set(claimants_by_task.get(task, [])),
-                    key=lambda i: self.parameters.pseudonyms[i])
+        for task in list(tasks):
+            claimants = sorted(
+                set(claimants_by_task.get(task, [])),
+                key=lambda i: self.parameters.pseudonyms[i])
+            try:
                 for agent in self.agents:
                     agent.find_winner(task, claimants)
-        except ResolutionError as error:
-            return ProtocolAbort(str(error), phase="allocating")
+            except ResolutionError as error:
+                abort = self._fail_task(
+                    task, ProtocolAbort(str(error), phase="allocating",
+                                        task=task), tasks)
+                if abort is not None:
+                    return abort
         return None
 
     def _run_parallel_resolution(self, tasks: Sequence[int]
@@ -659,16 +741,23 @@ class DMWProtocol:
                 for agent in self.agents:
                     agent.arbitrate_excluded_aggregates(
                         task, second_boards.get(task, {}), sorted(accused))
-        try:
-            for task in tasks:
+        for task in list(tasks):
+            try:
                 for agent in self.agents:
                     agent.resolve_second(task)
-        except ResolutionError as error:
-            return ProtocolAbort(str(error), phase="allocating")
+            except ResolutionError as error:
+                abort = self._fail_task(
+                    task, ProtocolAbort(str(error), phase="allocating",
+                                        task=task), tasks)
+                if abort is not None:
+                    return abort
         return None
 
     # -- public API -----------------------------------------------------------
-    def execute(self, num_tasks: int, parallel: bool = False) -> DMWOutcome:
+    def execute(self, num_tasks: int, parallel: bool = False,
+                degraded: bool = False,
+                checkpoint_path: Optional[str] = None,
+                resume: Optional["ProtocolCheckpoint"] = None) -> DMWOutcome:
         """Run all ``num_tasks`` auctions plus the payments phase.
 
         Parameters
@@ -680,7 +769,44 @@ class DMWProtocol:
             barriers (the paper's "parallel and independent" reading):
             5-7 rounds total instead of ``4m + 1``, identical messages
             and outcomes.
+        degraded:
+            When True, a per-task abort quarantines that auction instead
+            of voiding the run: surviving tasks complete with transcripts
+            and payments identical to a fault-free execution restricted
+            to them, and the outcome carries a
+            :class:`~repro.scheduling.schedule.PartialSchedule` plus the
+            per-task aborts.  A payment-escrow conflict still voids the
+            whole execution (see ``docs/RESILIENCE.md``).
+        checkpoint_path:
+            When given, a ``dmw_checkpoint`` document is written to this
+            path after every completed (or quarantined) auction, so a
+            crashed orchestrator can be resumed from the last boundary.
+            Sequential driver only.
+        resume:
+            A :class:`~repro.core.checkpoint.ProtocolCheckpoint` to
+            restore before running: completed auctions are skipped and
+            the execution continues from ``resume.next_task``, producing
+            an outcome identical to the uninterrupted run (cache_stats
+            excepted — the shared cache restarts cold).  The protocol
+            must be freshly constructed with the original configuration.
+            Sequential driver only.
         """
+        if parallel and (checkpoint_path is not None or resume is not None):
+            raise ParameterError(
+                "checkpoint/resume requires the sequential driver: the "
+                "parallel driver has no quiescent auction boundary"
+            )
+        if resume is not None:
+            if resume.num_tasks != num_tasks:
+                raise ParameterError(
+                    "checkpoint covers %d tasks, execute() asked for %d"
+                    % (resume.num_tasks, num_tasks)
+                )
+            if resume.degraded != degraded:
+                raise ParameterError(
+                    "checkpoint was taken with degraded=%s; resume must "
+                    "use the same mode" % resume.degraded
+                )
         # One execution-scoped public-value cache, shared by every agent:
         # the cached quantities (commitment evaluations, Lagrange weights,
         # resolution results) are functions of *published* data only, so
@@ -692,6 +818,17 @@ class DMWProtocol:
         for agent in self.agents:
             agent.adopt_cache(shared_cache)
         self._shared_cache = shared_cache
+        self._degraded = degraded
+        start_task = 0
+        if resume is not None:
+            # Restore happens before the observer binds its delta sources,
+            # so the run span measures only post-resume work and the
+            # phase-partition invariant is preserved.
+            resume.apply(self)
+            start_task = resume.next_task
+            self.trace.record("resumed", next_task=start_task,
+                              completed=len(self._transcripts),
+                              quarantined=sorted(self._task_aborts))
         obs = self.observer
         if obs.enabled:
             # Delta sources for the span attribution: summed counted work
@@ -705,27 +842,49 @@ class DMWProtocol:
                 if abort is not None:
                     return self._void(abort)
             else:
-                for task in range(num_tasks):
+                for task in range(start_task, num_tasks):
                     abort = self._run_auction(task)
                     if abort is not None:
-                        return self._void(abort)
+                        if not degraded:
+                            return self._void(abort)
+                        self._quarantine(task, abort)
+                    if checkpoint_path is not None:
+                        self._write_checkpoint(checkpoint_path, num_tasks,
+                                               task + 1)
+            completed_tasks = sorted(t.task for t in self._transcripts)
             with obs.span(PAYMENTS_PHASE):
-                abort = self._run_payments()
+                abort = self._run_payments(
+                    completed_tasks if degraded else None)
             if abort is not None:
                 return self._void(abort)
+            return self._build_completed_outcome(num_tasks, shared_cache)
+
+    def _build_completed_outcome(self, num_tasks: int,
+                                 shared_cache: PublicValueCache
+                                 ) -> DMWOutcome:
+        """Assemble the outcome once payments have been dispensed."""
+        if self._task_aborts:
+            partial: List[Optional[int]] = [None] * num_tasks
+            for transcript in self._transcripts:
+                partial[transcript.task] = transcript.winner
+            schedule: object = PartialSchedule(partial,
+                                               self.parameters.num_agents)
+        else:
             assignment = [0] * num_tasks
             for transcript in self._transcripts:
                 assignment[transcript.task] = transcript.winner
             schedule = Schedule(assignment, self.parameters.num_agents)
-            return DMWOutcome(
-                completed=True, schedule=schedule,
-                payments=self._decision.payments,
-                transcripts=list(self._transcripts), abort=None,
-                network_metrics=self.network.metrics,
-                agent_operations=[agent.counter.snapshot()
-                                  for agent in self.agents],
-                cache_stats=shared_cache.stats(),
-            )
+        return DMWOutcome(
+            completed=True, schedule=schedule,
+            payments=self._decision.payments,
+            transcripts=list(self._transcripts), abort=None,
+            network_metrics=self.network.metrics,
+            agent_operations=[agent.counter.snapshot()
+                              for agent in self.agents],
+            cache_stats=shared_cache.stats(),
+            degraded=self._degraded,
+            task_aborts=dict(self._task_aborts),
+        )
 
 
 def run_dmw(problem: SchedulingProblem,
@@ -734,6 +893,7 @@ def run_dmw(problem: SchedulingProblem,
             rng: Optional[random.Random] = None,
             group_size: str = "small",
             parallel: bool = False,
+            degraded: bool = False,
             trace: Optional[ProtocolTrace] = None,
             observer: Optional[SpanRecorder] = None) -> DMWOutcome:
     """Convenience entry point: run DMW on an integer-valued instance.
@@ -775,4 +935,5 @@ def run_dmw(problem: SchedulingProblem,
                                rng=random.Random(rng.getrandbits(64))))
     protocol = DMWProtocol(parameters, agents, trace=trace,
                            observer=observer)
-    return protocol.execute(problem.num_tasks, parallel=parallel)
+    return protocol.execute(problem.num_tasks, parallel=parallel,
+                            degraded=degraded)

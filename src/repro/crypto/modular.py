@@ -109,6 +109,18 @@ class OperationCounter:
             "multiplication_work": self.multiplication_work,
         }
 
+    def restore(self, snapshot: Dict[str, int]) -> None:
+        """Overwrite every counter from a :meth:`snapshot` dictionary.
+
+        The inverse of :meth:`snapshot`; checkpoint/resume uses it to
+        re-establish an agent's accumulated Theorem 12 work exactly.
+        """
+        self.additions = snapshot["additions"]
+        self.multiplications = snapshot["multiplications"]
+        self.inversions = snapshot["inversions"]
+        self.exponentiations = snapshot["exponentiations"]
+        self.multiplication_work = snapshot["multiplication_work"]
+
     def merge(self, other: "OperationCounter") -> None:
         """Fold another counter's totals into this one."""
         self.additions += other.additions

@@ -1,6 +1,6 @@
 """Distributed substrate: synchronous network simulation with accounting."""
 
-from .asynchronous import TimeoutNetwork
+from .asynchronous import NO_RETRY, RetryPolicy, TimeoutNetwork
 from .faults import FaultPlan, obedient_plan
 from .latency import (
     LatencyModel,
@@ -17,7 +17,9 @@ __all__ = [
     "FaultPlan",
     "LatencyModel",
     "Message",
+    "NO_RETRY",
     "NetworkMetrics",
+    "RetryPolicy",
     "SynchronousNetwork",
     "TimeoutNetwork",
     "Timeline",

@@ -8,6 +8,17 @@ arrival time is sampled from a :class:`~repro.network.latency.LatencyModel`,
 messages arriving after the round timeout are dropped (and counted), and
 a wall clock advances by the per-round barrier time.
 
+On top of the bare timeout, a :class:`RetryPolicy` adds bounded
+retransmission with backoff: a unicast copy whose sampled delay exceeds
+the barrier is re-sent in a *grace sub-round* (with an exponentially
+widening window) before being declared withheld.  Every retransmission
+is charged to the :class:`~repro.network.metrics.NetworkMetrics` at full
+price and tallied separately (``retransmissions``/``recovered_messages``),
+and the wall clock accounts each grace window exactly — retries make the
+execution survivable under transient slowness without ever hiding their
+cost.  The default :data:`NO_RETRY` policy reproduces the bare-timeout
+behaviour bit for bit.
+
 This closes the loop on the paper's own future work ("implementing DMW
 in a simulated distributed environment") at the fidelity the protocol's
 synchronous structure admits: the interesting asynchrony — a slow agent
@@ -19,12 +30,52 @@ be tested under it (``tests/test_asynchronous.py``).
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .faults import FaultPlan
 from .latency import LatencyModel
 from .message import Message
 from .simulator import SynchronousNetwork
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retransmission with multiplicative backoff.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total transmission attempts per unicast copy, including the
+        original send.  ``1`` disables retransmission entirely (the
+        historical bare-timeout behaviour).
+    backoff:
+        Grace-window multiplier: retry attempt ``k`` (1-based) waits up
+        to ``round_timeout * backoff**k`` for the re-sent copy.  Must be
+        at least 1.
+    """
+
+    max_attempts: int = 1
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff < 1.0:
+            raise ValueError("backoff multiplier must be at least 1")
+
+    @property
+    def max_retries(self) -> int:
+        """Retransmission attempts beyond the original send."""
+        return self.max_attempts - 1
+
+    def grace_window(self, round_timeout: float, attempt: int) -> float:
+        """Barrier extension granted to retry ``attempt`` (1-based)."""
+        return round_timeout * (self.backoff ** attempt)
+
+
+#: The policy with no retransmission at all (bare-timeout semantics).
+NO_RETRY = RetryPolicy(max_attempts=1)
 
 
 class TimeoutNetwork(SynchronousNetwork):
@@ -38,40 +89,68 @@ class TimeoutNetwork(SynchronousNetwork):
         Per-message delay sampler.
     round_timeout:
         Barrier duration ``T``: messages with sampled delay above ``T``
-        are dropped as late.
+        miss the base barrier (and, absent retries, are dropped as late).
+    retry_policy:
+        Optional :class:`RetryPolicy`; defaults to :data:`NO_RETRY`.
     """
 
     def __init__(self, num_agents: int, latency_model: LatencyModel,
                  round_timeout: float,
                  fault_plan: Optional[FaultPlan] = None,
-                 extra_participants: int = 0) -> None:
+                 extra_participants: int = 0,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         super().__init__(num_agents, fault_plan=fault_plan,
                          extra_participants=extra_participants)
         if round_timeout <= 0:
             raise ValueError("round timeout must be positive")
         self.latency_model = latency_model
         self.round_timeout = round_timeout
-        #: Wall clock: sum of per-round barrier durations.
+        self.retry_policy = retry_policy or NO_RETRY
+        #: Wall clock: sum of per-round barrier durations (grace
+        #: sub-rounds included).
         self.clock = 0.0
-        #: Unicast copies dropped for arriving after the timeout.
+        #: Unicast copies finally dropped for arriving after the timeout
+        #: (post-retry: a copy recovered by a retransmission is not late).
         self.late_messages = 0
-        #: Per-round barrier durations (min(timeout, slowest on-time)).
+        #: Retransmission attempts across all grace sub-rounds.
+        self.retries = 0
+        #: Late copies that a retransmission delivered in time.
+        self.recovered = 0
+        #: Per-round barrier durations (timeout + grace extensions, or
+        #: the slowest on-time arrival when nothing was missing).
         self.round_durations: List[float] = []
 
     def deliver(self) -> int:
         """Deliver the round under the latency model and advance the clock.
 
-        Late messages are *transmitted* (they count toward the metrics,
-        exactly like fault-plan drops) but never arrive; the receiving
-        code observes them as withheld.
+        Barrier semantics: the barrier waits its **full timeout whenever
+        any expected copy is missing** — whether the copy is late under
+        the latency model, dropped by the fault plan, or its sender has
+        crashed; a receiver cannot tell those apart, so the wait is the
+        same.  Only a round in which every copy arrives releases early,
+        at the slowest on-time arrival.
+
+        Late copies (and only those — deterministic withholding by a
+        crashed or faulty sender is not transient) are then re-sent in up
+        to ``retry_policy.max_retries`` grace sub-rounds; copies still
+        missing afterwards are declared withheld.  Late messages are
+        *transmitted* (they count toward the metrics, exactly like
+        fault-plan drops) whether or not they eventually arrive.
         """
         delivered = 0
         queued, self._outbox = self._outbox, []
         slowest_on_time = 0.0
-        late_this_round = 0
+        withheld_this_round = 0  # fault-plan drops + crashed-sender copies
+        pending: List[Message] = []  # late copies eligible for retry
         for message in queued:
             if self.fault_plan.sender_is_crashed(message.sender,
                                                  self.round_index):
+                # The receivers still expected this round's copies: a
+                # crashed sender holds the barrier to its full timeout.
+                if message.is_broadcast:
+                    withheld_this_round += max(self.num_participants - 1, 0)
+                else:
+                    withheld_this_round += 1
                 continue
             stamped = message.with_round(self.round_index)
             self.metrics.record(stamped, self.num_participants)
@@ -88,20 +167,56 @@ class TimeoutNetwork(SynchronousNetwork):
                                   round_sent=self.round_index)
                 final = self.fault_plan.transform(unicast, self.round_index)
                 if final is None:
+                    withheld_this_round += 1
                     continue
                 delay = self.latency_model.sample(stamped.sender, recipient)
                 if delay > self.round_timeout:
-                    late_this_round += 1
+                    pending.append(final)
                     continue
                 slowest_on_time = max(slowest_on_time, delay)
                 self._inboxes[recipient].append(final)
                 if self.record_deliveries:
                     self.delivery_log.append(final)
                 delivered += 1
-        # A barrier waits its full timeout whenever something is missing;
-        # otherwise it releases at the slowest on-time arrival.
-        duration = self.round_timeout if late_this_round else slowest_on_time
+        # A barrier waits its full timeout whenever something is missing
+        # (late, dropped, or from a crashed sender — all indistinguishable
+        # to the receivers); otherwise it releases at the slowest on-time
+        # arrival.
+        missing = withheld_this_round + len(pending)
+        duration = self.round_timeout if missing else slowest_on_time
+        # Grace sub-rounds: bounded retransmission with backoff.
+        retries_this_round = 0
+        recovered_this_round = 0
+        for attempt in range(1, self.retry_policy.max_attempts):
+            if not pending:
+                break
+            window = self.retry_policy.grace_window(self.round_timeout,
+                                                    attempt)
+            still_pending: List[Message] = []
+            slowest_recovered = 0.0
+            for copy in pending:
+                self.metrics.record_retransmission(copy)
+                retries_this_round += 1
+                delay = self.latency_model.sample(copy.sender,
+                                                  copy.recipient)
+                if delay > window:
+                    still_pending.append(copy)
+                    continue
+                slowest_recovered = max(slowest_recovered, delay)
+                self._inboxes[copy.recipient].append(copy)
+                if self.record_deliveries:
+                    self.delivery_log.append(copy)
+                self.metrics.record_recovery()
+                recovered_this_round += 1
+                delivered += 1
+            # The grace barrier waits its full window while anything is
+            # still missing; otherwise it releases at the last recovery.
+            duration += window if still_pending else slowest_recovered
+            pending = still_pending
+        late_this_round = len(pending)
         self.late_messages += late_this_round
+        self.retries += retries_this_round
+        self.recovered += recovered_this_round
         self.round_durations.append(duration)
         self.clock += duration
         self.metrics.record_round()
@@ -109,6 +224,9 @@ class TimeoutNetwork(SynchronousNetwork):
             self.observer.event("network_round", round=self.round_index,
                                 messages=len(queued), delivered=delivered,
                                 late=late_this_round,
+                                withheld=withheld_this_round,
+                                retries=retries_this_round,
+                                recovered=recovered_this_round,
                                 barrier_duration=duration)
         self.round_index += 1
         return delivered

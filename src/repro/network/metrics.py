@@ -29,6 +29,13 @@ class NetworkMetrics:
         Total field elements transmitted (same expansion rule).
     rounds:
         Synchronous rounds executed.
+    retransmissions:
+        Unicast copies re-sent during grace sub-rounds (each one is
+        *also* counted in :attr:`point_to_point_messages` — a retry is
+        real traffic, so the Theorem 11 totals include it).
+    recovered_messages:
+        Retransmitted copies that arrived inside a grace window instead
+        of being declared withheld.
     by_kind:
         Point-to-point message counts per message kind.
     """
@@ -37,6 +44,8 @@ class NetworkMetrics:
     broadcast_events: int = 0
     field_elements: int = 0
     rounds: int = 0
+    retransmissions: int = 0
+    recovered_messages: int = 0
     by_kind: Counter = field(default_factory=Counter)
 
     def record(self, message: Message, num_agents: int) -> None:
@@ -53,22 +62,49 @@ class NetworkMetrics:
     def record_round(self) -> None:
         self.rounds += 1
 
+    def record_retransmission(self, message: Message) -> None:
+        """Account for one re-sent unicast copy (grace sub-round traffic).
+
+        The copy is charged at full price — one point-to-point message,
+        its field elements, its kind — plus the :attr:`retransmissions`
+        tally, so retries are accounted exactly, never hidden.
+        """
+        self.retransmissions += 1
+        self.point_to_point_messages += 1
+        self.field_elements += message.field_elements
+        self.by_kind[message.kind] += 1
+
+    def record_recovery(self) -> None:
+        """Account for one late message saved by a retransmission."""
+        self.recovered_messages += 1
+
     def merge(self, other: "NetworkMetrics") -> None:
         """Fold another metrics object into this one."""
         self.point_to_point_messages += other.point_to_point_messages
         self.broadcast_events += other.broadcast_events
         self.field_elements += other.field_elements
         self.rounds += other.rounds
+        self.retransmissions += other.retransmissions
+        self.recovered_messages += other.recovered_messages
         self.by_kind.update(other.by_kind)
 
     def as_dict(self) -> Dict[str, int]:
-        """Return a plain-dict summary (stable keys for table rendering)."""
+        """Return a plain-dict summary (stable keys for table rendering).
+
+        The retry tallies appear only when non-zero so fault-free runs
+        keep the exact historical key set (and the regression gate's
+        "no accounting drift" baseline stays byte-stable).
+        """
         summary = {
             "point_to_point_messages": self.point_to_point_messages,
             "broadcast_events": self.broadcast_events,
             "field_elements": self.field_elements,
             "rounds": self.rounds,
         }
+        if self.retransmissions:
+            summary["retransmissions"] = self.retransmissions
+        if self.recovered_messages:
+            summary["recovered_messages"] = self.recovered_messages
         for kind in sorted(self.by_kind):
             summary["messages[%s]" % kind] = self.by_kind[kind]
         return summary

@@ -28,8 +28,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from .metrics import MetricsRegistry, registry_for_run
 from .spans import SpanRecorder
 
-#: Bumped whenever the run-report schema changes shape.
-REPORT_VERSION = 1
+#: Bumped whenever the run-report schema changes shape.  Version 2 adds
+#: the ``resilience`` section (retry/quarantine accounting — exact zeros
+#: on fault-free runs, which the benchmark regression gate asserts).
+REPORT_VERSION = 2
 
 
 def _sum_operations(agent_operations) -> Dict[str, int]:
@@ -97,6 +99,7 @@ def run_report(outcome: Any,
             "network": outcome.network_metrics.as_dict(),
         },
         "cache": dict(getattr(outcome, "cache_stats", None) or {}),
+        "resilience": resilience_summary(outcome),
         "phases": phases,
         "spans": spans,
         "events": events,
@@ -105,6 +108,33 @@ def run_report(outcome: Any,
                   if trace is not None and len(trace) else None),
     }
     return document
+
+
+def resilience_summary(outcome: Any) -> Dict[str, Any]:
+    """The resilience section of the run report (``docs/RESILIENCE.md``).
+
+    Every field is exactly zero/false/empty on a fault-free run — the
+    benchmark regression gate (``benchmarks/check_regression.py``) pins
+    that down so retries and quarantines can never silently leak into
+    the headline Theorem 11/12 accounting.
+    """
+    metrics = outcome.network_metrics
+    task_aborts = getattr(outcome, "task_aborts", {}) or {}
+    return {
+        "retransmissions": getattr(metrics, "retransmissions", 0),
+        "recovered_messages": getattr(metrics, "recovered_messages", 0),
+        "degraded": bool(getattr(outcome, "degraded", False)),
+        "quarantined_tasks": sorted(task_aborts),
+        "task_aborts": {
+            str(task): {
+                "reason": abort.reason,
+                "phase": abort.phase,
+                "detected_by": abort.detected_by,
+                "offender": abort.offender,
+            }
+            for task, abort in sorted(task_aborts.items())
+        },
+    }
 
 
 def _params_summary(parameters: Optional[Any],
@@ -165,11 +195,22 @@ def validate_run_report(document: Any) -> None:
              "type must be 'dmw_run_report'")
     _require(document.get("version") == REPORT_VERSION,
              "unsupported report version %r" % document.get("version"))
-    for key in ("params", "completed", "totals", "cache", "phases",
-                "spans", "events", "metrics"):
+    for key in ("params", "completed", "totals", "cache", "resilience",
+                "phases", "spans", "events", "metrics"):
         _require(key in document, "missing key %r" % key)
     _require(isinstance(document["completed"], bool),
              "completed must be a bool")
+
+    resilience = document["resilience"]
+    _require(isinstance(resilience, dict), "resilience must be an object")
+    for key in ("retransmissions", "recovered_messages", "degraded",
+                "quarantined_tasks", "task_aborts"):
+        _require(key in resilience, "resilience missing %r" % key)
+    _require(isinstance(resilience["degraded"], bool),
+             "resilience.degraded must be a bool")
+    _require(sorted(int(task) for task in resilience["task_aborts"])
+             == list(resilience["quarantined_tasks"]),
+             "resilience.quarantined_tasks must mirror task_aborts keys")
 
     totals = document["totals"]
     _require(isinstance(totals, dict), "totals must be an object")

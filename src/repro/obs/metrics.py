@@ -331,6 +331,29 @@ def registry_for_run(outcome: Any,
     registry.gauge(
         "network_rounds", "Synchronous rounds executed").set(metrics.rounds)
 
+    # -- resilience ------------------------------------------------------------
+    # Always present (zero on fault-free runs) so dashboards can alert on
+    # them without series discovery.
+    registry.counter(
+        "network_retries_total",
+        "Unicast copies retransmitted during grace sub-rounds").inc(
+            getattr(metrics, "retransmissions", 0))
+    registry.counter(
+        "network_recovered_total",
+        "Late copies delivered by a retransmission instead of dropped").inc(
+            getattr(metrics, "recovered_messages", 0))
+    quarantines = registry.counter(
+        "task_quarantines_total",
+        "Auctions quarantined under graceful degradation, by phase",
+        ["phase"])
+    for _, abort_record in sorted(
+            (getattr(outcome, "task_aborts", {}) or {}).items()):
+        quarantines.inc(1, phase=abort_record.phase or "unknown")
+    registry.gauge(
+        "run_degraded",
+        "1 when the execution ran in graceful-degradation mode").set(
+            1.0 if getattr(outcome, "degraded", False) else 0.0)
+
     # -- counted operations ----------------------------------------------------
     operations = registry.counter(
         "agent_operations_total",

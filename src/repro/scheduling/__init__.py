@@ -1,7 +1,8 @@
 """Scheduling-on-unrelated-machines problem substrate (paper §2.1)."""
 
 from .problem import SchedulingProblem, Task
-from .schedule import Schedule
+from .schedule import PartialSchedule, Schedule
 from . import workloads
 
-__all__ = ["Schedule", "SchedulingProblem", "Task", "workloads"]
+__all__ = ["PartialSchedule", "Schedule", "SchedulingProblem", "Task",
+           "workloads"]

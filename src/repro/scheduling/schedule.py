@@ -10,7 +10,7 @@ experiment in :mod:`repro.analysis.approximation`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .problem import SchedulingProblem
 
@@ -118,5 +118,106 @@ class Schedule:
 
     def __repr__(self) -> str:
         return "Schedule(%r, num_agents=%d)" % (
+            list(self._assignment), self._num_agents
+        )
+
+
+class PartialSchedule:
+    """An assignment covering only the *surviving* tasks of a degraded run.
+
+    Graceful degradation (``docs/RESILIENCE.md``) quarantines the auction
+    of a faulty task instead of voiding the whole execution; the outcome
+    then allocates every completed task and leaves quarantined ones
+    unassigned.  ``assignment[j]`` is the winning agent of task ``j``, or
+    ``None`` when task ``j`` was quarantined.  The objective/valuation
+    queries mirror :class:`Schedule` restricted to the assigned tasks
+    (a quarantined task produces no work and no valuation for anyone).
+    """
+
+    def __init__(self, assignment: Sequence[Optional[int]],
+                 num_agents: int) -> None:
+        if num_agents < 1:
+            raise ValueError("need at least one agent")
+        for j, agent in enumerate(assignment):
+            if agent is not None and not 0 <= agent < num_agents:
+                raise ValueError(
+                    "task %d assigned to invalid agent %r" % (j, agent)
+                )
+        self._assignment = tuple(assignment)
+        self._num_agents = num_agents
+
+    @classmethod
+    def from_schedule(cls, schedule: Schedule,
+                      completed_tasks: Iterable[int]) -> "PartialSchedule":
+        """Restrict a full schedule to ``completed_tasks`` (rest ``None``)."""
+        keep = set(completed_tasks)
+        return cls([agent if task in keep else None
+                    for task, agent in enumerate(schedule.assignment)],
+                   schedule.num_agents)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def assignment(self) -> Tuple[Optional[int], ...]:
+        return self._assignment
+
+    @property
+    def num_agents(self) -> int:
+        return self._num_agents
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._assignment)
+
+    @property
+    def assigned_tasks(self) -> Tuple[int, ...]:
+        """Tasks with a winner (the auctions that completed)."""
+        return tuple(j for j, a in enumerate(self._assignment)
+                     if a is not None)
+
+    @property
+    def unassigned_tasks(self) -> Tuple[int, ...]:
+        """Quarantined tasks (no allocation executed)."""
+        return tuple(j for j, a in enumerate(self._assignment) if a is None)
+
+    def agent_of(self, task: int) -> Optional[int]:
+        """The agent of ``task``, or ``None`` when quarantined."""
+        return self._assignment[task]
+
+    def tasks_of(self, agent: int) -> Tuple[int, ...]:
+        """Return ``S_agent`` over the surviving tasks."""
+        return tuple(j for j, a in enumerate(self._assignment) if a == agent)
+
+    # -- objectives -------------------------------------------------------------
+    def completion_time(self, agent: int, problem: SchedulingProblem) -> float:
+        """``sum_{j in S_agent} t_agent^j`` over the surviving tasks."""
+        return sum(problem.time(agent, j) for j in self.tasks_of(agent))
+
+    def makespan(self, problem: SchedulingProblem) -> float:
+        """``C_max`` over the surviving tasks."""
+        return max(self.completion_time(agent, problem)
+                   for agent in range(self._num_agents))
+
+    def total_work(self, problem: SchedulingProblem) -> float:
+        """Total work over the surviving tasks."""
+        return sum(problem.time(self._assignment[j], j)
+                   for j in self.assigned_tasks)
+
+    def valuation(self, agent: int, problem: SchedulingProblem) -> float:
+        """``V_i = -sum_{j in S_i} t_i^j`` over the surviving tasks."""
+        return -self.completion_time(agent, problem)
+
+    # -- dunder plumbing ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialSchedule):
+            return NotImplemented
+        return (self._assignment, self._num_agents) == (
+            other._assignment, other._num_agents
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._assignment, self._num_agents))
+
+    def __repr__(self) -> str:
+        return "PartialSchedule(%r, num_agents=%d)" % (
             list(self._assignment), self._num_agents
         )

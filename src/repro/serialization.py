@@ -18,19 +18,27 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
+from .core.checkpoint import ProtocolCheckpoint
 from .core.outcome import AuctionTranscript, DMWOutcome
 from .core.trace import ProtocolTrace
 from .network.metrics import NetworkMetrics
 from .scheduling.problem import SchedulingProblem, Task
-from .scheduling.schedule import Schedule
+from .scheduling.schedule import PartialSchedule, Schedule
 
 #: Bumped whenever an encoding changes shape.  Version 2 adds the optional
 #: ``trace`` (structured event log) and ``cache_stats`` outcome fields;
 #: version-1 documents remain loadable (the new keys default to empty).
-FORMAT_VERSION = 2
+#: Version 3 adds the ``dmw_checkpoint`` document type, partial schedules
+#: (``null`` assignment entries for quarantined tasks), and the optional
+#: ``degraded``/``task_aborts`` outcome fields; version-1/2 documents
+#: remain loadable (the new keys default to empty/False).
+FORMAT_VERSION = 3
 
 #: Document versions :func:`loads` accepts.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
+
+#: First format version that can carry each v3-only document type.
+_CHECKPOINT_MIN_VERSION = 3
 
 
 class SerializationError(ValueError):
@@ -74,8 +82,13 @@ def problem_from_dict(document: Dict[str, Any]) -> SchedulingProblem:
 
 # -- schedules -----------------------------------------------------------------
 
-def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
-    """Encode a schedule as its assignment vector."""
+def schedule_to_dict(schedule) -> Dict[str, Any]:
+    """Encode a schedule as its assignment vector.
+
+    Accepts both :class:`~repro.scheduling.schedule.Schedule` and
+    :class:`~repro.scheduling.schedule.PartialSchedule`; a partial
+    schedule's quarantined tasks appear as ``null`` entries.
+    """
     return {
         "type": "schedule",
         "version": FORMAT_VERSION,
@@ -84,9 +97,13 @@ def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
     }
 
 
-def schedule_from_dict(document: Dict[str, Any]) -> Schedule:
+def schedule_from_dict(document: Dict[str, Any]):
+    """Decode a schedule; ``null`` entries yield a ``PartialSchedule``."""
     _check(document, "schedule")
-    return Schedule(document["assignment"], document["num_agents"])
+    assignment = document["assignment"]
+    if any(entry is None for entry in assignment):
+        return PartialSchedule(assignment, document["num_agents"])
+    return Schedule(assignment, document["num_agents"])
 
 
 # -- outcomes -------------------------------------------------------------------
@@ -134,18 +151,34 @@ def outcome_to_dict(outcome: DMWOutcome,
         "payments": (list(outcome.payments)
                      if outcome.payments is not None else None),
         "transcripts": [_transcript_to_dict(t) for t in outcome.transcripts],
-        "abort": ({
-            "reason": outcome.abort.reason,
-            "phase": outcome.abort.phase,
-            "task": outcome.abort.task,
-            "detected_by": outcome.abort.detected_by,
-            "offender": outcome.abort.offender,
-        } if outcome.abort is not None else None),
+        "abort": (_abort_to_dict(outcome.abort)
+                  if outcome.abort is not None else None),
         "network_metrics": outcome.network_metrics.as_dict(),
         "agent_operations": list(outcome.agent_operations),
         "cache_stats": dict(outcome.cache_stats),
+        "degraded": outcome.degraded,
+        "task_aborts": {str(task): _abort_to_dict(abort)
+                        for task, abort in sorted(
+                            outcome.task_aborts.items())},
         "trace": trace.to_list() if trace is not None else None,
     }
+
+
+def _abort_to_dict(abort) -> Dict[str, Any]:
+    return {
+        "reason": abort.reason,
+        "phase": abort.phase,
+        "task": abort.task,
+        "detected_by": abort.detected_by,
+        "offender": abort.offender,
+    }
+
+
+def _abort_from_dict(raw: Dict[str, Any]):
+    from .core.exceptions import ProtocolAbort
+    return ProtocolAbort(reason=raw["reason"], phase=raw["phase"],
+                         task=raw["task"], detected_by=raw["detected_by"],
+                         offender=raw["offender"])
 
 
 def outcome_from_dict(document: Dict[str, Any]) -> DMWOutcome:
@@ -156,18 +189,11 @@ def outcome_from_dict(document: Dict[str, Any]) -> DMWOutcome:
     :class:`~repro.core.exceptions.ProtocolAbort`.
     """
     _check(document, "dmw_outcome")
-    from .core.exceptions import ProtocolAbort
-
     metrics = metrics_from_dict(document["network_metrics"])
 
     abort = None
     if document["abort"] is not None:
-        raw_abort = document["abort"]
-        abort = ProtocolAbort(reason=raw_abort["reason"],
-                              phase=raw_abort["phase"],
-                              task=raw_abort["task"],
-                              detected_by=raw_abort["detected_by"],
-                              offender=raw_abort["offender"])
+        abort = _abort_from_dict(document["abort"])
 
     return DMWOutcome(
         completed=document["completed"],
@@ -181,6 +207,10 @@ def outcome_from_dict(document: Dict[str, Any]) -> DMWOutcome:
         network_metrics=metrics,
         agent_operations=list(document["agent_operations"]),
         cache_stats=dict(document.get("cache_stats") or {}),
+        degraded=bool(document.get("degraded", False)),
+        task_aborts={int(task): _abort_from_dict(raw)
+                     for task, raw in
+                     (document.get("task_aborts") or {}).items()},
     )
 
 
@@ -192,6 +222,8 @@ def metrics_from_dict(raw_metrics: Dict[str, Any]) -> NetworkMetrics:
     metrics.broadcast_events = raw_metrics["broadcast_events"]
     metrics.field_elements = raw_metrics["field_elements"]
     metrics.rounds = raw_metrics["rounds"]
+    metrics.retransmissions = raw_metrics.get("retransmissions", 0)
+    metrics.recovered_messages = raw_metrics.get("recovered_messages", 0)
     for key, value in raw_metrics.items():
         if key.startswith("messages[") and key.endswith("]"):
             metrics.by_kind[key[len("messages["):-1]] = value
@@ -211,18 +243,97 @@ def trace_from_dict(document: Dict[str, Any]) -> Optional[ProtocolTrace]:
     return ProtocolTrace.from_list(events)
 
 
+# -- checkpoints ----------------------------------------------------------------
+
+def checkpoint_to_dict(checkpoint: ProtocolCheckpoint) -> Dict[str, Any]:
+    """Encode a :class:`~repro.core.checkpoint.ProtocolCheckpoint`.
+
+    Format version 3+ only.  The rng states are the JSON encodings
+    produced by :func:`repro.core.checkpoint.encode_rng_state`; no
+    cryptographic secret appears in the document (see the module
+    docstring of :mod:`repro.core.checkpoint`).
+    """
+    return {
+        "type": "dmw_checkpoint",
+        "version": FORMAT_VERSION,
+        "num_tasks": checkpoint.num_tasks,
+        "next_task": checkpoint.next_task,
+        "degraded": checkpoint.degraded,
+        "num_agents": checkpoint.num_agents,
+        "transcripts": [_transcript_to_dict(t)
+                        for t in checkpoint.transcripts],
+        "task_aborts": {str(task): _abort_to_dict(abort)
+                        for task, abort in sorted(
+                            checkpoint.task_aborts.items())},
+        "agent_rng_states": [list(state)
+                             for state in checkpoint.agent_rng_states],
+        "agent_operations": list(checkpoint.agent_operations),
+        "network_metrics": dict(checkpoint.network_metrics),
+        "round_index": checkpoint.round_index,
+        "timeout_state": dict(checkpoint.timeout_state),
+    }
+
+
+def checkpoint_from_dict(document: Dict[str, Any]) -> ProtocolCheckpoint:
+    """Decode a checkpoint document written by :func:`checkpoint_to_dict`."""
+    _check(document, "dmw_checkpoint")
+    if document["version"] < _CHECKPOINT_MIN_VERSION:
+        raise SerializationError(
+            "dmw_checkpoint requires format version >= %d, got %r"
+            % (_CHECKPOINT_MIN_VERSION, document["version"])
+        )
+    return ProtocolCheckpoint(
+        num_tasks=document["num_tasks"],
+        next_task=document["next_task"],
+        degraded=bool(document["degraded"]),
+        num_agents=document["num_agents"],
+        transcripts=[_transcript_from_dict(t)
+                     for t in document["transcripts"]],
+        task_aborts={int(task): _abort_from_dict(raw)
+                     for task, raw in document["task_aborts"].items()},
+        agent_rng_states=[list(state)
+                          for state in document["agent_rng_states"]],
+        agent_operations=list(document["agent_operations"]),
+        network_metrics=dict(document["network_metrics"]),
+        round_index=document["round_index"],
+        timeout_state=dict(document.get("timeout_state") or {}),
+    )
+
+
+def save_checkpoint(checkpoint: ProtocolCheckpoint, path: str) -> None:
+    """Write a checkpoint document to ``path`` (atomic via temp+rename,
+    so a crash mid-write never corrupts the previous checkpoint)."""
+    import os
+    text = json.dumps(checkpoint_to_dict(checkpoint), indent=2,
+                      sort_keys=True)
+    temp_path = path + ".tmp"
+    with open(temp_path, "w") as handle:
+        handle.write(text + "\n")
+    os.replace(temp_path, path)
+
+
+def load_checkpoint(path: str) -> ProtocolCheckpoint:
+    """Load a checkpoint document written by :func:`save_checkpoint`."""
+    with open(path) as handle:
+        document = json.loads(handle.read())
+    return checkpoint_from_dict(document)
+
+
 # -- file helpers -----------------------------------------------------------------
 
 _ENCODERS = {
     SchedulingProblem: problem_to_dict,
     Schedule: schedule_to_dict,
+    PartialSchedule: schedule_to_dict,
     DMWOutcome: outcome_to_dict,
+    ProtocolCheckpoint: checkpoint_to_dict,
 }
 
 _DECODERS = {
     "scheduling_problem": problem_from_dict,
     "schedule": schedule_from_dict,
     "dmw_outcome": outcome_from_dict,
+    "dmw_checkpoint": checkpoint_from_dict,
 }
 
 

@@ -9,6 +9,7 @@ from repro.core.protocol import DMWProtocol
 from repro.mechanisms.base import truthful_bids
 from repro.mechanisms.minwork import MinWork
 from repro.network.asynchronous import TimeoutNetwork
+from repro.network.faults import FaultPlan
 from repro.network.latency import LatencyModel
 from repro.scheduling.problem import SchedulingProblem
 
@@ -83,6 +84,52 @@ class TestTimeoutNetwork:
     def test_timeout_must_be_positive(self, rng):
         with pytest.raises(ValueError):
             TimeoutNetwork(2, fast_model(rng), round_timeout=0)
+
+
+class TestBarrierRegression:
+    """The barrier must wait its full timeout whenever *any* expected
+    copy is missing — including copies withheld by the fault plan or a
+    crashed sender, not only copies that are late under the latency
+    model.  (Regression: the barrier used to release at the slowest
+    on-time arrival when the only missing traffic was deterministically
+    withheld, under-reporting the stall a real receiver would suffer.)"""
+
+    def test_crashed_sender_holds_barrier_despite_on_time_traffic(self, rng):
+        plan = FaultPlan(crashed_from_round={0: 0})
+        network = TimeoutNetwork(3, fast_model(rng), round_timeout=0.25,
+                                 fault_plan=plan)
+        network.send(0, 1, "x", None)   # withheld: sender crashed
+        network.send(2, 1, "y", None)   # arrives almost immediately
+        network.deliver()
+        assert len(network.receive(1)) == 1
+        assert network.round_durations[-1] == pytest.approx(0.25)
+        assert network.clock == pytest.approx(0.25)
+
+    def test_dropped_link_holds_barrier_despite_on_time_traffic(self, rng):
+        plan = FaultPlan(dropped_links={(0, 1)})
+        network = TimeoutNetwork(3, fast_model(rng), round_timeout=0.25,
+                                 fault_plan=plan)
+        network.send(0, 1, "x", None)   # dropped by the plan
+        network.send(2, 1, "y", None)
+        network.deliver()
+        assert network.round_durations[-1] == pytest.approx(0.25)
+
+    def test_crashed_broadcast_holds_barrier(self, rng):
+        plan = FaultPlan(crashed_from_round={0: 0})
+        network = TimeoutNetwork(3, fast_model(rng), round_timeout=0.25,
+                                 fault_plan=plan)
+        network.publish(0, "x", None)   # all copies withheld
+        network.publish(2, "y", None)
+        network.deliver()
+        assert network.round_durations[-1] == pytest.approx(0.25)
+
+    def test_clean_round_still_releases_early(self, rng):
+        network = TimeoutNetwork(3, fast_model(rng), round_timeout=0.25)
+        network.send(0, 1, "x", None)
+        network.send(2, 1, "y", None)
+        network.deliver()
+        # Nothing missing: the barrier releases at the slowest arrival.
+        assert network.round_durations[-1] < 0.01
 
 
 class TestDMWOverTimeouts:

@@ -1,0 +1,201 @@
+"""Checkpoint/resume: serialize protocol state at auction boundaries.
+
+The acceptance criterion (ISSUE tentpole 3): an execution interrupted
+after auction ``k`` and resumed from its checkpoint in a *fresh* process
+produces an outcome identical to the uninterrupted run — schedule,
+payments, transcripts, per-agent operation counters, and network
+metrics all match exactly.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro import serialization
+from repro.core import (
+    DMWAgent,
+    DMWProtocol,
+    ProtocolCheckpoint,
+)
+from repro.core.checkpoint import decode_rng_state, encode_rng_state
+from repro.core.exceptions import ParameterError
+from repro.scheduling.problem import SchedulingProblem
+
+
+@pytest.fixture()
+def problem():
+    return SchedulingProblem([
+        [1, 2, 3],
+        [2, 1, 3],
+        [3, 2, 1],
+        [1, 3, 2],
+        [2, 2, 2],
+    ])
+
+
+def make_agents(params, problem, seed=7):
+    master = random.Random(seed)
+    return [
+        DMWAgent(i, params,
+                 [int(problem.time(i, j))
+                  for j in range(problem.num_tasks)],
+                 rng=random.Random(master.getrandbits(64)))
+        for i in range(5)
+    ]
+
+
+@pytest.fixture()
+def baseline(params5, problem):
+    protocol = DMWProtocol(params5, make_agents(params5, problem))
+    return protocol.execute(problem.num_tasks)
+
+
+def checkpoint_after(params, problem, completed_tasks, path):
+    """Run auctions 0..completed_tasks-1 and checkpoint (a simulated
+    crash right after the boundary)."""
+    protocol = DMWProtocol(params, make_agents(params, problem))
+    for task in range(completed_tasks):
+        assert protocol._run_auction(task) is None
+    checkpoint = ProtocolCheckpoint.capture(protocol, problem.num_tasks,
+                                            completed_tasks)
+    serialization.save_checkpoint(checkpoint, path)
+    return checkpoint
+
+
+class TestRngStateCodec:
+    def test_round_trip_preserves_the_stream(self):
+        rng = random.Random(12345)
+        rng.random()  # advance past the seed state
+        encoded = encode_rng_state(rng.getstate())
+        expected = [rng.random() for _ in range(5)]
+        fresh = random.Random()
+        fresh.setstate(decode_rng_state(encoded))
+        assert [fresh.random() for _ in range(5)] == expected
+
+    def test_encoded_state_is_json_serializable(self):
+        encoded = encode_rng_state(random.Random(1).getstate())
+        assert json.loads(json.dumps(encoded)) == encoded
+
+
+class TestCheckpointDocument:
+    def test_round_trip_through_json(self, params5, problem, tmp_path):
+        path = str(tmp_path / "cp.json")
+        checkpoint = checkpoint_after(params5, problem, 1, path)
+        loaded = serialization.load_checkpoint(path)
+        assert loaded.num_tasks == checkpoint.num_tasks
+        assert loaded.next_task == 1
+        assert loaded.degraded == checkpoint.degraded
+        assert loaded.num_agents == 5
+        assert loaded.agent_rng_states == checkpoint.agent_rng_states
+        assert loaded.agent_operations == checkpoint.agent_operations
+        assert loaded.network_metrics == checkpoint.network_metrics
+
+    def test_document_is_versioned(self, params5, problem, tmp_path):
+        path = str(tmp_path / "cp.json")
+        checkpoint_after(params5, problem, 1, path)
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["type"] == "dmw_checkpoint"
+        assert document["version"] == serialization.FORMAT_VERSION
+        assert document["version"] >= 3
+
+    def test_checkpoint_write_is_atomic(self, params5, problem, tmp_path):
+        """No stray temp file is left next to the checkpoint."""
+        path = str(tmp_path / "cp.json")
+        checkpoint_after(params5, problem, 1, path)
+        assert sorted(os.listdir(tmp_path)) == ["cp.json"]
+
+
+class TestResume:
+    def test_checkpointing_run_matches_plain_run(self, params5, problem,
+                                                 baseline, tmp_path):
+        path = str(tmp_path / "cp.json")
+        protocol = DMWProtocol(params5, make_agents(params5, problem))
+        outcome = protocol.execute(problem.num_tasks, checkpoint_path=path)
+        assert outcome.schedule.assignment == baseline.schedule.assignment
+        assert list(outcome.payments) == list(baseline.payments)
+        assert outcome.agent_operations == baseline.agent_operations
+        assert outcome.network_metrics.as_dict() == \
+            baseline.network_metrics.as_dict()
+        assert os.path.exists(path)
+
+    @pytest.mark.parametrize("boundary", [1, 2])
+    def test_resumed_run_is_identical_to_uninterrupted(
+            self, params5, problem, baseline, tmp_path, boundary):
+        path = str(tmp_path / "cp.json")
+        checkpoint_after(params5, problem, boundary, path)
+        loaded = serialization.load_checkpoint(path)
+        fresh = DMWProtocol(params5, make_agents(params5, problem))
+        outcome = fresh.execute(problem.num_tasks, resume=loaded)
+        assert outcome.completed
+        assert outcome.schedule.assignment == baseline.schedule.assignment
+        assert list(outcome.payments) == list(baseline.payments)
+        assert outcome.transcripts == baseline.transcripts
+        assert outcome.agent_operations == baseline.agent_operations
+        assert outcome.network_metrics.as_dict() == \
+            baseline.network_metrics.as_dict()
+
+    def test_resume_at_final_boundary_runs_zero_auctions(
+            self, params5, problem, baseline, tmp_path):
+        path = str(tmp_path / "cp.json")
+        checkpoint_after(params5, problem, problem.num_tasks, path)
+        loaded = serialization.load_checkpoint(path)
+        fresh = DMWProtocol(params5, make_agents(params5, problem))
+        outcome = fresh.execute(problem.num_tasks, resume=loaded)
+        assert outcome.completed
+        assert outcome.transcripts == baseline.transcripts
+        assert list(outcome.payments) == list(baseline.payments)
+
+
+class TestResumeValidation:
+    def test_parallel_with_checkpoint_is_rejected(self, params5, problem,
+                                                  tmp_path):
+        protocol = DMWProtocol(params5, make_agents(params5, problem))
+        with pytest.raises(ParameterError):
+            protocol.execute(problem.num_tasks, parallel=True,
+                             checkpoint_path=str(tmp_path / "cp.json"))
+
+    def test_parallel_with_resume_is_rejected(self, params5, problem,
+                                              tmp_path):
+        path = str(tmp_path / "cp.json")
+        checkpoint_after(params5, problem, 1, path)
+        loaded = serialization.load_checkpoint(path)
+        protocol = DMWProtocol(params5, make_agents(params5, problem))
+        with pytest.raises(ParameterError):
+            protocol.execute(problem.num_tasks, parallel=True, resume=loaded)
+
+    def test_num_tasks_mismatch_is_rejected(self, params5, problem,
+                                            tmp_path):
+        path = str(tmp_path / "cp.json")
+        checkpoint_after(params5, problem, 1, path)
+        loaded = serialization.load_checkpoint(path)
+        protocol = DMWProtocol(params5, make_agents(params5, problem))
+        with pytest.raises(ParameterError):
+            protocol.execute(problem.num_tasks + 1, resume=loaded)
+
+    def test_degraded_mismatch_is_rejected(self, params5, problem,
+                                           tmp_path):
+        path = str(tmp_path / "cp.json")
+        checkpoint_after(params5, problem, 1, path)
+        loaded = serialization.load_checkpoint(path)
+        protocol = DMWProtocol(params5, make_agents(params5, problem))
+        with pytest.raises(ParameterError):
+            protocol.execute(problem.num_tasks, degraded=True, resume=loaded)
+
+    def test_agent_count_mismatch_is_rejected(self, params4, params5,
+                                              problem, problem42, tmp_path):
+        path = str(tmp_path / "cp.json")
+        checkpoint_after(params5, problem, 1, path)
+        loaded = serialization.load_checkpoint(path)
+        master = random.Random(7)
+        agents = [
+            DMWAgent(i, params4,
+                     [int(problem42.time(i, j)) for j in range(2)],
+                     rng=random.Random(master.getrandbits(64)))
+            for i in range(4)
+        ]
+        protocol = DMWProtocol(params4, agents)
+        with pytest.raises(ParameterError):
+            loaded.apply(protocol)

@@ -76,3 +76,52 @@ class TestDecision:
         infra.submit_claim(0, [1, 0])      # ints
         infra.submit_claim(1, [1.0, 0.0])  # floats
         assert infra.decide().dispensed
+
+
+class TestTieBreak:
+    """The majority vector must be picked deterministically.  (Regression:
+    with counts tied, the chosen "majority" depended on dict insertion
+    order — i.e. on claim arrival order — so the set of agents blamed as
+    conflicting could differ between otherwise identical runs.)"""
+
+    def test_two_two_split_is_deterministic(self):
+        low = [1.0, 0.0, 0.0, 0.0]
+        high = [5.0, 0.0, 0.0, 0.0]
+        infra = PaymentInfrastructure(4)
+        infra.submit_claim(0, low)
+        infra.submit_claim(1, low)
+        infra.submit_claim(2, high)
+        infra.submit_claim(3, high)
+        decision = infra.decide()
+        assert not decision.dispensed
+        # Counts tied 2-2: the lexicographically smaller vector is the
+        # canonical majority, so the high claimants are the minority.
+        assert decision.conflicting_agents == (2, 3)
+
+    def test_split_is_order_independent(self):
+        low = [1.0, 0.0, 0.0, 0.0]
+        high = [5.0, 0.0, 0.0, 0.0]
+        for order in ([0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1]):
+            infra = PaymentInfrastructure(4)
+            for agent in order:
+                infra.submit_claim(agent, high if agent >= 2 else low)
+            assert infra.decide().conflicting_agents == (2, 3)
+
+    def test_count_still_beats_lexicographic_order(self):
+        low = [1.0, 0.0, 0.0]
+        high = [5.0, 0.0, 0.0]
+        infra = PaymentInfrastructure(3)
+        infra.submit_claim(0, high)
+        infra.submit_claim(1, high)
+        infra.submit_claim(2, low)
+        decision = infra.decide()
+        # high wins 2-1 despite being lexicographically larger.
+        assert decision.conflicting_agents == (2,)
+
+    def test_three_way_tie_picks_smallest_vector(self):
+        infra = PaymentInfrastructure(3)
+        infra.submit_claim(0, [3.0, 0.0, 0.0])
+        infra.submit_claim(1, [1.0, 0.0, 0.0])
+        infra.submit_claim(2, [2.0, 0.0, 0.0])
+        decision = infra.decide()
+        assert decision.conflicting_agents == (0, 2)

@@ -1,0 +1,222 @@
+"""Retransmission with bounded retry and backoff (:class:`RetryPolicy`).
+
+Covers the policy object itself, the grace sub-round mechanics of
+:class:`TimeoutNetwork`, the exact metrics accounting (every retry is
+charged at full price), and end-to-end DMW runs that complete *because*
+of retransmission where the bare timeout would abort.
+"""
+
+import random
+
+import pytest
+
+from repro.core.agent import DMWAgent
+from repro.core.protocol import DMWProtocol
+from repro.mechanisms.base import truthful_bids
+from repro.mechanisms.minwork import MinWork
+from repro.network.asynchronous import NO_RETRY, RetryPolicy, TimeoutNetwork
+from repro.network.faults import FaultPlan
+from repro.network.latency import LatencyModel
+from repro.scheduling.problem import SchedulingProblem
+
+
+def fast_model(rng, scale=None):
+    return LatencyModel(rng, base=0.001, jitter=0.001,
+                        per_link_scale=scale)
+
+
+def exact_model(rng, scale=None):
+    """Deterministic delays (no jitter): scale * 0.001 per link."""
+    return LatencyModel(rng, base=0.001, jitter=0.0,
+                        per_link_scale=scale)
+
+
+@pytest.fixture()
+def problem():
+    return SchedulingProblem([
+        [2, 1],
+        [1, 3],
+        [3, 2],
+        [2, 2],
+        [3, 3],
+    ])
+
+
+def run_dmw_over(network, params, problem, seed=0):
+    master = random.Random(seed)
+    agents = [
+        DMWAgent(i, params,
+                 [int(problem.time(i, j))
+                  for j in range(problem.num_tasks)],
+                 rng=random.Random(master.getrandbits(64)))
+        for i in range(5)
+    ]
+    protocol = DMWProtocol(params, agents, network=network)
+    return protocol.execute(problem.num_tasks)
+
+
+class TestRetryPolicy:
+    def test_defaults_are_no_retry(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.max_retries == 0
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_backoff_must_be_at_least_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=2, backoff=0.5)
+
+    def test_grace_windows_widen_exponentially(self):
+        policy = RetryPolicy(max_attempts=4, backoff=2.0)
+        assert policy.max_retries == 3
+        assert policy.grace_window(0.1, 1) == pytest.approx(0.2)
+        assert policy.grace_window(0.1, 2) == pytest.approx(0.4)
+        assert policy.grace_window(0.1, 3) == pytest.approx(0.8)
+
+    def test_unit_backoff_keeps_window_constant(self):
+        policy = RetryPolicy(max_attempts=3, backoff=1.0)
+        assert policy.grace_window(0.1, 1) == pytest.approx(0.1)
+        assert policy.grace_window(0.1, 2) == pytest.approx(0.1)
+
+
+class TestGraceSubRounds:
+    def test_moderately_slow_link_is_recovered(self, rng):
+        # Delay exactly 0.15: over the 0.1 barrier but inside the first
+        # grace window of 0.2.
+        scale = {(0, 1): 150.0}
+        network = TimeoutNetwork(3, exact_model(rng, scale),
+                                 round_timeout=0.1,
+                                 retry_policy=RetryPolicy(max_attempts=2))
+        network.send(0, 1, "x", None)
+        delivered = network.deliver()
+        assert delivered == 1
+        assert network.late_messages == 0
+        assert network.retries == 1
+        assert network.recovered == 1
+        assert len(network.receive(1)) == 1
+
+    def test_hopelessly_slow_link_is_still_dropped(self, rng):
+        scale = {(0, 1): 100000.0}
+        network = TimeoutNetwork(3, fast_model(rng, scale),
+                                 round_timeout=0.1,
+                                 retry_policy=RetryPolicy(max_attempts=3))
+        network.send(0, 1, "x", None)
+        assert network.deliver() == 0
+        assert network.late_messages == 1
+        assert network.retries == 2  # one per grace sub-round
+        assert network.recovered == 0
+        assert network.receive(1) == []
+
+    def test_no_retry_policy_matches_bare_timeout(self, rng):
+        scale = {(0, 1): 1000.0}
+        bare = TimeoutNetwork(3, fast_model(random.Random(5), scale),
+                              round_timeout=0.1)
+        with_policy = TimeoutNetwork(3, fast_model(random.Random(5), scale),
+                                     round_timeout=0.1,
+                                     retry_policy=NO_RETRY)
+        for network in (bare, with_policy):
+            network.send(0, 1, "x", None)
+            network.deliver()
+        assert bare.late_messages == with_policy.late_messages == 1
+        assert bare.retries == with_policy.retries == 0
+        assert bare.clock == pytest.approx(with_policy.clock)
+        assert bare.metrics.as_dict() == with_policy.metrics.as_dict()
+
+    def test_grace_window_extends_the_clock(self, rng):
+        scale = {(0, 1): 100000.0}
+        network = TimeoutNetwork(3, fast_model(rng, scale),
+                                 round_timeout=0.1,
+                                 retry_policy=RetryPolicy(max_attempts=2,
+                                                          backoff=2.0))
+        network.send(0, 1, "x", None)
+        network.deliver()
+        # Full barrier (0.1) plus the full first grace window (0.2).
+        assert network.clock == pytest.approx(0.3)
+        assert network.round_durations[-1] == pytest.approx(0.3)
+
+    def test_recovered_round_releases_at_recovery_time(self, rng):
+        scale = {(0, 1): 150.0}
+        network = TimeoutNetwork(3, exact_model(rng, scale),
+                                 round_timeout=0.1,
+                                 retry_policy=RetryPolicy(max_attempts=2))
+        network.send(0, 1, "x", None)
+        network.deliver()
+        # Barrier waits the full 0.1, then the grace sub-round releases
+        # at the recovered copy's arrival (< 0.2 window).
+        assert 0.1 < network.clock < 0.3
+
+    def test_retries_are_charged_to_metrics(self, rng):
+        scale = {(0, 1): 150.0}
+        network = TimeoutNetwork(3, exact_model(rng, scale),
+                                 round_timeout=0.1,
+                                 retry_policy=RetryPolicy(max_attempts=2))
+        network.send(0, 1, "x", 123)
+        network.deliver()
+        # Original send + one retransmission, both at full price.
+        assert network.metrics.point_to_point_messages == 2
+        assert network.metrics.retransmissions == 1
+        assert network.metrics.recovered_messages == 1
+        assert network.metrics.by_kind["x"] == 2
+        summary = network.metrics.as_dict()
+        assert summary["retransmissions"] == 1
+        assert summary["recovered_messages"] == 1
+
+    def test_fault_plan_drops_are_not_retried(self, rng):
+        """Deterministic withholding is not transient: no grace sub-round."""
+        plan = FaultPlan(dropped_links={(0, 1)})
+        network = TimeoutNetwork(3, fast_model(rng), round_timeout=0.1,
+                                 fault_plan=plan,
+                                 retry_policy=RetryPolicy(max_attempts=3))
+        network.send(0, 1, "x", None)
+        network.deliver()
+        assert network.retries == 0
+        assert network.recovered == 0
+        assert network.receive(1) == []
+
+    def test_crashed_sender_is_not_retried(self, rng):
+        plan = FaultPlan(crashed_from_round={0: 0})
+        network = TimeoutNetwork(3, fast_model(rng), round_timeout=0.1,
+                                 fault_plan=plan,
+                                 retry_policy=RetryPolicy(max_attempts=3))
+        network.send(0, 1, "x", None)
+        network.deliver()
+        assert network.retries == 0
+        # The barrier still waits its full timeout for the missing copy.
+        assert network.round_durations[-1] == pytest.approx(0.1)
+
+
+class TestDMWWithRetries:
+    def test_retries_rescue_a_transiently_slow_run(self, params5, problem):
+        """A link too slow for the barrier but inside the first grace
+        window: bare timeout aborts, one retry completes — and the
+        completed outcome matches the centralized baseline exactly."""
+        scale = {(3, 0): 150.0}
+        bare = TimeoutNetwork(5, exact_model(random.Random(1), scale),
+                              round_timeout=0.1, extra_participants=1)
+        aborted = run_dmw_over(bare, params5, problem)
+        assert not aborted.completed
+
+        retried = TimeoutNetwork(5, exact_model(random.Random(1), scale),
+                                 round_timeout=0.1, extra_participants=1,
+                                 retry_policy=RetryPolicy(max_attempts=2))
+        outcome = run_dmw_over(retried, params5, problem)
+        assert outcome.completed
+        expected = MinWork().run(truthful_bids(problem))
+        assert outcome.schedule == expected.schedule
+        assert list(outcome.payments) == list(expected.payments)
+        assert retried.retries > 0
+        assert retried.recovered == retried.retries
+        assert outcome.network_metrics.retransmissions == retried.retries
+
+    def test_fault_free_run_reports_zero_retries(self, params5, problem):
+        network = TimeoutNetwork(5, fast_model(random.Random(1)),
+                                 round_timeout=0.1, extra_participants=1,
+                                 retry_policy=RetryPolicy(max_attempts=3))
+        outcome = run_dmw_over(network, params5, problem)
+        assert outcome.completed
+        assert network.retries == 0
+        assert outcome.network_metrics.retransmissions == 0
+        assert outcome.network_metrics.recovered_messages == 0
+        assert "retransmissions" not in outcome.network_metrics.as_dict()
