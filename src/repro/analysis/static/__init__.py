@@ -1,0 +1,42 @@
+"""dmwlint — DMW-aware static analysis.
+
+The DMW mechanism's guarantees rest on invariants the Python type system
+cannot see: losing bids must stay secret below the collusion threshold
+``c``, transcripts must be bit-identical across reruns, and all field
+arithmetic must stay in ``Z_p``/``Z_q``.  This package implements an
+AST-based lint engine with domain rules (``DMW001``–``DMW006``) that
+mechanically enforce those invariants on every PR.
+
+Entry points
+------------
+* ``python -m repro.lint src/`` — module runner.
+* ``dmwlint src/`` — console script (see ``pyproject.toml``).
+* :func:`run_paths` — programmatic API.
+
+Rules can be suppressed per line with ``# dmwlint: disable=DMW001`` (or
+``disable=all``) and per file with a ``# dmwlint: disable-file=DMW001``
+comment anywhere in the file.  See ``docs/STATIC_ANALYSIS.md`` for the
+rule catalog and the paper invariant each rule protects.
+"""
+
+from __future__ import annotations
+
+from .base import FileContext, Rule, Violation
+from .engine import LintReport, lint_file, lint_source, run_paths
+from .rules import ALL_RULES, DEFAULT_RULES, rule_by_id
+from .suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_RULES",
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "Suppressions",
+    "Violation",
+    "lint_file",
+    "lint_source",
+    "parse_suppressions",
+    "rule_by_id",
+    "run_paths",
+]

@@ -1,0 +1,177 @@
+"""Rule framework for dmwlint: violations, file context, visitor base.
+
+A :class:`Rule` owns a stable identifier (``DMW00x``), a one-line
+description, the *paper invariant* it protects (surfaced in ``--list-rules``
+and in ``docs/STATIC_ANALYSIS.md``), and path scoping: ``include_parts``
+restricts the rule to files whose path contains one of the given directory
+names, ``exempt_names`` exempts specific file names (e.g. the module that
+legitimately implements the guarded primitive).
+
+Rules are written against :class:`FileContext`, which bundles the parsed
+AST, raw source, and module-relative path, so each rule stays a pure
+function from file to violations.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format_human(self) -> str:
+        return "%s:%d:%d: %s %s" % (self.path, self.line, self.col + 1,
+                                    self.rule_id, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def normalized_path(self) -> str:
+        return self.path.replace("\\", "/")
+
+    @property
+    def filename(self) -> str:
+        return self.normalized_path.rsplit("/", 1)[-1]
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return tuple(p for p in self.normalized_path.split("/") if p)
+
+    def line_text(self, lineno: int) -> str:
+        """1-based source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for all dmwlint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier, e.g. ``"DMW001"``.
+    description:
+        One-line summary shown in reports.
+    invariant:
+        The paper-level invariant the rule protects (for the catalog).
+    include_parts:
+        Directory names the file path must contain for the rule to apply
+        (empty tuple = applies everywhere).
+    exempt_names:
+        File names exempt from the rule (modules that legitimately
+        implement the guarded primitive).
+    default_enabled:
+        Whether the rule runs without an explicit ``--select``.
+    """
+
+    rule_id: str = "DMW000"
+    description: str = ""
+    invariant: str = ""
+    include_parts: Tuple[str, ...] = ()
+    exempt_names: Tuple[str, ...] = ()
+    default_enabled: bool = True
+
+    def applies_to(self, context: FileContext) -> bool:
+        if context.filename in self.exempt_names:
+            return False
+        if not self.include_parts:
+            return True
+        parts = context.parts
+        return any(part in parts for part in self.include_parts)
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, context: FileContext, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(
+            rule_id=self.rule_id,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain, else None.
+
+    ``x`` -> ``"x"``; ``self.coefficients`` -> ``"coefficients"``;
+    ``a.b.c`` -> ``"c"``; anything else -> ``None``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a Name/Attribute chain as ``a.b.c``, else None."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield every function/async-function definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The dotted name of a call target, else None."""
+    return dotted_name(node.func)
+
+
+def assigned_names(target: ast.AST) -> Sequence[str]:
+    """Plain names bound by an assignment target (tuples flattened)."""
+    if isinstance(target, ast.Name):
+        return (target.id,)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(assigned_names(element))
+        return tuple(names)
+    return ()

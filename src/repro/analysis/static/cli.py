@@ -1,0 +1,106 @@
+"""Command-line interface for dmwlint.
+
+Usage::
+
+    python -m repro.lint src/              # lint a tree, human output
+    dmwlint --format json src/             # machine-readable report
+    dmwlint --list-rules                   # rule catalog with invariants
+    dmwlint --select DMW001,DMW004 src/    # run a subset
+    dmwlint --check-annotations src/       # add DMW000 strict-typing rule
+
+Exit status: 0 when clean, 1 when violations or parse errors were found,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .base import Rule
+from .engine import run_paths
+from .rules import ALL_RULES, DEFAULT_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dmwlint",
+        description="DMW-aware static analysis: mechanically enforce the "
+                    "paper invariants (determinism, secrecy, field "
+                    "arithmetic, message immutability) on the codebase.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--select", metavar="RULES", default=None,
+                        help="comma-separated rule ids to run "
+                             "(e.g. DMW001,DMW004)")
+    parser.add_argument("--ignore", metavar="RULES", default=None,
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--check-annotations", action="store_true",
+                        help="also run DMW000 (strict annotation coverage "
+                             "on crypto/core/network)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _resolve_rules(select: Optional[str], ignore: Optional[str],
+                   check_annotations: bool) -> List[Rule]:
+    if select:
+        wanted = {token.strip().upper()
+                  for token in select.split(",") if token.strip()}
+        unknown = wanted - {rule.rule_id for rule in ALL_RULES}
+        if unknown:
+            raise SystemExit(
+                "dmwlint: unknown rule id(s): %s" % ", ".join(sorted(unknown)))
+        rules = [rule for rule in ALL_RULES if rule.rule_id in wanted]
+    else:
+        rules = list(DEFAULT_RULES)
+        if check_annotations:
+            rules = [r for r in ALL_RULES if r.rule_id == "DMW000"] + rules
+    if ignore:
+        dropped = {token.strip().upper()
+                   for token in ignore.split(",") if token.strip()}
+        rules = [rule for rule in rules if rule.rule_id not in dropped]
+    return rules
+
+
+def _render_rule_catalog() -> str:
+    lines = ["dmwlint rule catalog", "====================", ""]
+    for rule in ALL_RULES:
+        status = "default" if rule.default_enabled else "opt-in"
+        scope = ("/".join(rule.include_parts)
+                 if rule.include_parts else "everywhere")
+        lines.append("%s (%s, scope: %s)" % (rule.rule_id, status, scope))
+        lines.append("  %s" % rule.description)
+        lines.append("  invariant: %s" % rule.invariant)
+        if rule.exempt_names:
+            lines.append("  exempt files: %s" % ", ".join(rule.exempt_names))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_render_rule_catalog())
+        return 0
+    try:
+        rules = _resolve_rules(args.select, args.ignore,
+                               args.check_annotations)
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return 2
+    report = run_paths(args.paths, rules)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_human())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""The dmwlint engine: file discovery, rule execution, reporting.
+
+The engine is a pure function from (paths, rules) to a
+:class:`LintReport`; all I/O (reading files, walking directories) happens
+here so the rules stay testable on in-memory source strings.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .base import FileContext, Rule, Violation
+from .suppressions import parse_suppressions
+
+#: Directory names never descended into during discovery.
+SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache",
+             "build", "dist", ".eggs"}
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_count: int = 0
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def sorted_violations(self) -> List[Violation]:
+        return sorted(self.violations,
+                      key=lambda v: (v.path, v.line, v.col, v.rule_id))
+
+    def render_human(self) -> str:
+        lines = [v.format_human() for v in self.sorted_violations()]
+        for path, error in self.parse_errors:
+            lines.append("%s: PARSE-ERROR %s" % (path, error))
+        summary = ("dmwlint: %d file(s) checked, %d violation(s), "
+                   "%d suppressed" % (self.files_checked,
+                                      len(self.violations),
+                                      self.suppressed_count))
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "tool": "dmwlint",
+            "files_checked": self.files_checked,
+            "violation_count": len(self.violations),
+            "suppressed_count": self.suppressed_count,
+            "violations": [v.to_dict() for v in self.sorted_violations()],
+            "parse_errors": [
+                {"path": path, "error": error}
+                for path, error in self.parse_errors
+            ],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def merge(self, other: "LintReport") -> None:
+        self.violations.extend(other.violations)
+        self.files_checked += other.files_checked
+        self.suppressed_count += other.suppressed_count
+        self.parse_errors.extend(other.parse_errors)
+
+
+def lint_source(path: str, source: str,
+                rules: Sequence[Rule]) -> LintReport:
+    """Lint one in-memory source file against ``rules``."""
+    report = LintReport(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        report.parse_errors.append((path, str(error)))
+        return report
+    context = FileContext(path=path, source=source, tree=tree)
+    raw: List[Violation] = []
+    for rule in rules:
+        if rule.applies_to(context):
+            raw.extend(rule.check(context))
+    suppressions = parse_suppressions(source)
+    kept = suppressions.filter(raw)
+    report.violations = kept
+    report.suppressed_count = len(raw) - len(kept)
+    return report
+
+
+def lint_file(path: str, rules: Sequence[Rule]) -> LintReport:
+    """Lint one file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(path, source, rules)
+
+
+def discover_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                found.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in SKIP_DIRS)
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+    return sorted(dict.fromkeys(found))
+
+
+def run_paths(paths: Iterable[str],
+              rules: Optional[Sequence[Rule]] = None) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` with ``rules``.
+
+    ``rules`` defaults to the six domain rules (``DEFAULT_RULES``).
+    """
+    if rules is None:
+        from .rules import DEFAULT_RULES
+        rules = DEFAULT_RULES
+    report = LintReport()
+    for path in discover_files(paths):
+        report.merge(lint_file(path, rules))
+    return report

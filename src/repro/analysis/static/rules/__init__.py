@@ -1,0 +1,48 @@
+"""Rule registry for dmwlint.
+
+``DEFAULT_RULES`` are the six domain rules that run by default;
+``ALL_RULES`` additionally contains opt-in rules (``DMW000`` strict
+annotation coverage, enabled via ``--check-annotations`` or ``--select``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from ..base import Rule
+from .dmw000_annotations import AnnotationCoverageRule
+from .dmw001_global_random import GlobalRandomRule
+from .dmw002_raw_pow import RawPowOnBaseRule
+from .dmw003_unreduced_field import UnreducedFieldArithmeticRule
+from .dmw004_secret_taint import SecretTaintRule
+from .dmw005_post_send_mutation import PostSendMutationRule
+from .dmw006_float_in_crypto import FloatInCryptoRule
+
+RULE_CLASSES: List[Type[Rule]] = [
+    AnnotationCoverageRule,
+    GlobalRandomRule,
+    RawPowOnBaseRule,
+    UnreducedFieldArithmeticRule,
+    SecretTaintRule,
+    PostSendMutationRule,
+    FloatInCryptoRule,
+]
+
+ALL_RULES: List[Rule] = [cls() for cls in RULE_CLASSES]
+
+DEFAULT_RULES: List[Rule] = [r for r in ALL_RULES if r.default_enabled]
+
+_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def rule_by_id(rule_id: str) -> Optional[Rule]:
+    """Look up a rule instance by its canonical id (``DMW003``)."""
+    return _BY_ID.get(rule_id.upper())
+
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_RULES",
+    "RULE_CLASSES",
+    "rule_by_id",
+]

@@ -1,0 +1,99 @@
+"""DMW000 — strict annotation coverage for the typed packages (opt-in).
+
+The repo ships a ``py.typed`` marker and promises ``mypy --strict``
+cleanliness on ``crypto/``, ``core/``, and ``network/``.  mypy itself runs
+in CI (it is not vendored here); this opt-in rule gives a fast local
+approximation so annotation regressions are caught before CI: every
+function parameter (except ``self``/``cls``) and every return type must be
+annotated, and annotations must not use bare generics (``tuple`` for
+``Tuple[int, ...]``), which ``--strict`` rejects as implicit ``Any``.
+
+Enable with ``dmwlint --check-annotations`` or ``--select DMW000``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..base import FileContext, Rule, Violation
+
+BARE_GENERICS = {
+    "tuple", "dict", "list", "set", "frozenset",
+    "Tuple", "Dict", "List", "Set", "FrozenSet",
+}
+
+
+class AnnotationCoverageRule(Rule):
+    rule_id = "DMW000"
+    description = "missing or bare-generic annotation in a typed package"
+    invariant = ("mypy --strict cleanliness on crypto/core/network: every "
+                 "signature fully annotated, no bare generics")
+    include_parts = ("crypto", "core", "network")
+    default_enabled = False
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_signature(context, node)
+
+    def _check_signature(self, context: FileContext,
+                         function: ast.AST) -> Iterator[Violation]:
+        args = function.args  # type: ignore[attr-defined]
+        name = function.name  # type: ignore[attr-defined]
+        positional: List[ast.arg] = args.posonlyargs + args.args
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                yield self.violation(
+                    context, arg,
+                    "parameter `%s` of `%s` lacks a type annotation"
+                    % (arg.arg, name))
+            else:
+                yield from self._check_annotation(context, arg.annotation,
+                                                 name)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                yield self.violation(
+                    context, arg,
+                    "keyword-only parameter `%s` of `%s` lacks a type "
+                    "annotation" % (arg.arg, name))
+            else:
+                yield from self._check_annotation(context, arg.annotation,
+                                                 name)
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None and vararg.annotation is None:
+                yield self.violation(
+                    context, vararg,
+                    "`*%s` of `%s` lacks a type annotation"
+                    % (vararg.arg, name))
+        if function.returns is None:  # type: ignore[attr-defined]
+            yield self.violation(
+                context, function,
+                "function `%s` lacks a return annotation" % name)
+        else:
+            yield from self._check_annotation(
+                context, function.returns, name)  # type: ignore[attr-defined]
+
+    def _check_annotation(self, context: FileContext, annotation: ast.AST,
+                          function_name: str) -> Iterator[Violation]:
+        """Flag bare generics used directly as an annotation node."""
+        # Only the annotation root and Subscript roots need checking: a
+        # bare `tuple` *inside* a Subscript (e.g. Tuple[tuple, int]) is
+        # still caught because ast.walk visits it as a Name.
+        for node in ast.walk(annotation):
+            if isinstance(node, ast.Name) and node.id in BARE_GENERICS:
+                parent_is_subscript_value = False
+                for candidate in ast.walk(annotation):
+                    if (isinstance(candidate, ast.Subscript)
+                            and candidate.value is node):
+                        parent_is_subscript_value = True
+                        break
+                if not parent_is_subscript_value:
+                    yield self.violation(
+                        context, node,
+                        "bare generic `%s` in annotation of `%s`; "
+                        "parameterize it (e.g. Tuple[int, ...])"
+                        % (node.id, function_name))

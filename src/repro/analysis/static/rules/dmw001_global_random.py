@@ -1,0 +1,82 @@
+"""DMW001 — global ``random`` use breaks transcript determinism.
+
+Protocol invariant (paper §4, reproduction DESIGN.md): a DMW run seeded
+with the same master seed must produce a *bit-identical* transcript, or
+checkpoint/resume and the auditor's replay both break.  Any call to the
+module-level ``random`` functions (which share hidden global state), any
+*unseeded* ``random.Random()`` instance, and any ``random.seed(...)`` of
+the global generator introduces nondeterminism that survives seeding.
+
+Sanctioned idiom: accept an injected per-run ``random.Random`` (the
+``rng`` parameter convention used throughout ``crypto/`` and
+``network/``), or derive one deterministically (``random.Random(seed)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..base import FileContext, Rule, Violation
+
+#: Module-level functions of ``random`` that mutate/read the hidden
+#: global Mersenne Twister state.
+GLOBAL_RANDOM_FUNCS: Set[str] = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "setstate", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+
+class GlobalRandomRule(Rule):
+    rule_id = "DMW001"
+    description = "global `random` use in crypto/protocol paths"
+    invariant = ("seeded runs must be bit-identical (transcript replay, "
+                 "checkpoint/resume, audit): randomness must flow through "
+                 "an injected per-run random.Random")
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        imported_funcs = self._from_imports(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # random.<fn>(...) on the module's global state.
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr in GLOBAL_RANDOM_FUNCS):
+                yield self.violation(
+                    context, node,
+                    "call to global `random.%s()`; inject a per-run "
+                    "random.Random instead" % func.attr)
+            # Unseeded random.Random() — fresh OS-entropy stream.
+            elif (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr in ("Random", "SystemRandom")
+                    and not node.args and not node.keywords):
+                yield self.violation(
+                    context, node,
+                    "unseeded `random.%s()`; pass an explicit seed or "
+                    "accept an injected rng" % func.attr)
+            # Bare calls to `from random import randrange`-style names.
+            elif (isinstance(func, ast.Name)
+                    and func.id in imported_funcs):
+                yield self.violation(
+                    context, node,
+                    "call to `%s` imported from the random module; inject "
+                    "a per-run random.Random instead" % func.id)
+
+    @staticmethod
+    def _from_imports(tree: ast.Module) -> Set[str]:
+        """Names bound by ``from random import <global fn>``."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in GLOBAL_RANDOM_FUNCS:
+                        names.add(alias.asname or alias.name)
+        return names

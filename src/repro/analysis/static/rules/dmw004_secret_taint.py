@@ -1,0 +1,179 @@
+"""DMW004 — secret-tagged values reaching transcript/log/serialization sinks.
+
+Privacy invariant (paper Theorem 13 / analysis in ``repro.analysis.privacy``):
+below the collusion threshold ``c``, losing bids must remain
+information-theoretically hidden.  The cryptography guarantees this on the
+wire — but a single ``print(bid)``, a log record, or a JSON dump of an
+agent's private state leaks the value out-of-band and voids the theorem.
+The only sanctioned reveals are the outcome of resolution: the minimum bid
+``y*``, the winner's identity, and the second price ``y**`` — and those
+must go through the explicit :func:`repro.crypto.secret.declassify` gate so
+every reveal is auditable.
+
+The rule performs an intra-function taint pass: parameters and variables
+whose names mark them as secret (``bid``/``bids`` segments, ``secret``,
+``true_value``/``valuation``) are tainted, taint propagates through
+assignments, and any tainted name appearing in a sink call —
+``print``, logger methods, ``json.dump(s)``, ``transcript.append/record``
+— is flagged unless wrapped in ``declassify(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from ..base import (FileContext, Rule, Violation, assigned_names,
+                    dotted_name, terminal_name)
+
+#: Underscore-separated segments that mark a name as secret.
+SECRET_SEGMENTS = {"bid", "bids", "valuation", "valuations"}
+#: Substrings that mark a name as secret wherever they appear.
+SECRET_SUBSTRINGS = ("secret", "true_value", "private_value")
+#: Names that *look* secret but denote public protocol data.
+PUBLIC_EXCEPTIONS = {
+    "bid_set", "bid_sets", "bid_range", "num_bids", "max_bid", "bids_allowed",
+}
+
+LOGGER_BASES = ("log", "logger", "logging")
+LOGGER_METHODS = {"debug", "info", "warning", "error", "critical",
+                  "exception", "log"}
+TRANSCRIPT_METHODS = {"append", "record", "write", "publish"}
+
+
+def is_secret_name(name: str) -> bool:
+    lowered = name.lower()
+    if lowered in PUBLIC_EXCEPTIONS:
+        return False
+    if any(sub in lowered for sub in SECRET_SUBSTRINGS):
+        return True
+    return any(segment in SECRET_SEGMENTS
+               for segment in lowered.split("_"))
+
+
+def _is_declassify_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = terminal_name(node.func)
+    return name == "declassify"
+
+
+def _declassified_ids(root: ast.AST) -> Set[int]:
+    """ids of all nodes laundered by an enclosing ``declassify(...)``."""
+    laundered: Set[int] = set()
+    for node in ast.walk(root):
+        if _is_declassify_call(node):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for child in ast.walk(arg):
+                    laundered.add(id(child))
+    return laundered
+
+
+def _sink_description(call: ast.Call) -> str:
+    """Non-empty description when ``call`` is a sink, else empty string."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "print":
+            return "print()"
+        return ""
+    if isinstance(func, ast.Attribute):
+        base = terminal_name(func.value)
+        dotted = dotted_name(func) or func.attr
+        if dotted in ("json.dump", "json.dumps"):
+            return "JSON serialization"
+        if (func.attr in LOGGER_METHODS and base is not None
+                and any(token in base.lower() for token in LOGGER_BASES)):
+            return "logger call `%s`" % dotted
+        if (func.attr in TRANSCRIPT_METHODS and base is not None
+                and "transcript" in base.lower()):
+            return "transcript sink `%s`" % dotted
+    return ""
+
+
+class SecretTaintRule(Rule):
+    rule_id = "DMW004"
+    description = "secret value reaches a transcript/log/serialization sink"
+    invariant = ("losing bids stay hidden below the collusion threshold c "
+                 "(Theorem 13); the only sanctioned reveals (y*, winner, "
+                 "y**) must pass through declassify(...)")
+    include_parts = ("crypto", "core", "auctions", "network")
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(context, node)
+
+    def _check_function(self, context: FileContext,
+                        function: ast.AST) -> Iterator[Violation]:
+        tainted = self._tainted_names(function)
+        if not tainted:
+            return
+        laundered = _declassified_ids(function)
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = _sink_description(node)
+            if not sink:
+                continue
+            leaking = self._tainted_in_args(node, tainted, laundered)
+            for name in leaking:
+                yield self.violation(
+                    context, node,
+                    "secret-tagged `%s` reaches %s outside a declassify() "
+                    "gate" % (name, sink))
+
+    @staticmethod
+    def _tainted_names(function: ast.AST) -> Set[str]:
+        """Seed taint from parameter names, then propagate once through
+        assignments in source order."""
+        tainted: Set[str] = set()
+        args = function.args  # type: ignore[attr-defined]
+        all_args = (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else []))
+        for arg in all_args:
+            if is_secret_name(arg.arg):
+                tainted.add(arg.arg)
+        statements = sorted(
+            (n for n in ast.walk(function)
+             if isinstance(n, (ast.Assign, ast.AnnAssign, ast.AugAssign))),
+            key=lambda n: n.lineno)
+        for statement in statements:
+            value = statement.value
+            if value is None:
+                continue
+            targets: List[str] = []
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    targets.extend(assigned_names(target))
+            else:
+                targets.extend(assigned_names(statement.target))
+            # Direct secret names taint their targets; so does any RHS
+            # mentioning an already-tainted name (unless declassified).
+            rhs_names = {n.id for n in ast.walk(value)
+                         if isinstance(n, ast.Name)}
+            rhs_tainted = any(is_secret_name(n) or n in tainted
+                              for n in rhs_names)
+            if rhs_tainted and not _is_declassify_call(value):
+                tainted.update(targets)
+            for name in targets:
+                if is_secret_name(name):
+                    tainted.add(name)
+        return tainted
+
+    @staticmethod
+    def _tainted_in_args(call: ast.Call, tainted: Set[str],
+                         laundered: Set[int]) -> List[str]:
+        leaking: Dict[str, None] = {}
+        argument_nodes = list(call.args) + [kw.value for kw in call.keywords]
+        for argument in argument_nodes:
+            for node in ast.walk(argument):
+                if id(node) in laundered:
+                    continue
+                if isinstance(node, ast.Name):
+                    if node.id in tainted or is_secret_name(node.id):
+                        leaking[node.id] = None
+                elif isinstance(node, ast.Attribute):
+                    if is_secret_name(node.attr):
+                        leaking[node.attr] = None
+        return list(leaking)

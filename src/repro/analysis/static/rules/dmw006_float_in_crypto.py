@@ -1,0 +1,63 @@
+"""DMW006 — floating-point operations inside ``crypto/`` modules.
+
+Exactness invariant (DESIGN.md): the entire cryptographic substrate is
+built on exact Python integers.  A single float — a ``/`` true division,
+a float literal, ``math.sqrt``/``math.log`` — introduces rounding that is
+platform- and optimization-dependent, so transcripts stop being
+bit-identical and modular identities (``g^a * g^b == g^(a+b)``) silently
+fail for large operands (floats cannot even represent a 56-bit group
+element exactly beyond 2^53).
+
+Sanctioned idioms: ``//`` floor division, ``int.bit_length()`` instead of
+``math.log2``, ``math.isqrt`` instead of ``math.sqrt``, and exact rational
+accounting (numerator/denominator pairs) where ratios are needed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import FileContext, Rule, Violation, dotted_name
+
+#: math-module functions that return floats.
+FLOAT_MATH_FUNCS = {
+    "math.sqrt", "math.log", "math.log2", "math.log10", "math.exp",
+    "math.pow", "math.sin", "math.cos", "math.tan", "math.hypot",
+    "math.ceil", "math.floor", "math.fsum", "math.dist",
+}
+
+
+class FloatInCryptoRule(Rule):
+    rule_id = "DMW006"
+    description = "floating-point operation inside a crypto/ module"
+    invariant = ("crypto operates on exact integers only: floats round "
+                 "above 2^53 and break both modular identities and "
+                 "bit-identical transcripts")
+    include_parts = ("crypto",)
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield self.violation(
+                    context, node,
+                    "true division `/` produces a float; use `//` or exact "
+                    "rational arithmetic")
+            elif (isinstance(node, ast.Constant)
+                    and isinstance(node.value, float)):
+                yield self.violation(
+                    context, node,
+                    "float literal %r in crypto code; use exact integers"
+                    % node.value)
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted == "float":
+                    yield self.violation(
+                        context, node,
+                        "float() conversion in crypto code; keep values as "
+                        "exact integers")
+                elif dotted in FLOAT_MATH_FUNCS:
+                    yield self.violation(
+                        context, node,
+                        "`%s` returns a float; use integer equivalents "
+                        "(bit_length, math.isqrt, //)" % dotted)

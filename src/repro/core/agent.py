@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..crypto.fastexp import PublicValueCache
 from ..crypto.modular import OperationCounter
+from ..crypto.secret import SecretInt, declassify, tag_secret
 from .bidding import (
     AgentCommitments,
     BidPackage,
@@ -60,8 +61,9 @@ class _TaskState:
     psi_value: Optional[int] = None
     valid_lambdas: Dict[int, int] = field(default_factory=dict)
     first_price: Optional[int] = None
-    valid_disclosures: Dict[int, Dict[int, tuple]] = field(default_factory=dict)
-    winner_claimants: Optional[list] = None
+    valid_disclosures: Dict[int, Dict[int, Tuple[int, int]]] = field(
+        default_factory=dict)
+    winner_claimants: Optional[List[int]] = None
     winner: Optional[int] = None
     valid_excluded_lambdas: Dict[int, int] = field(default_factory=dict)
     second_price: Optional[int] = None
@@ -123,15 +125,22 @@ class DMWAgent:
                              detected_by=self.index, offender=offender)
 
     # ==== information-revelation action =====================================
-    def choose_bid(self, task: int) -> int:
+    def choose_bid(self, task: int) -> SecretInt:
         """The bid to encode for ``task``.
 
         The suggested strategy reveals the true type.  Misreporting
         strategies override only this method — the centralized
         truthfulness of MinWork (Theorem 2) is what makes such deviations
         unprofitable.
+
+        Under ``DMW_SANITIZE=1`` the returned value is taint-wrapped in
+        :class:`~repro.crypto.secret.Secret`: any attempt to print, format,
+        or serialize it raises ``SecretLeakError`` unless it first passes
+        the ``declassify`` gate (the paper sanctions revealing only ``y*``,
+        the winner identity, and ``y**``).
         """
-        return self.true_values[task]
+        return tag_secret(self.true_values[task],
+                          label="bid[agent=%d,task=%d]" % (self.index, task))
 
     # ==== Phase II: bidding ====================================================
     def begin_task(self, task: int
@@ -290,13 +299,20 @@ class DMWAgent:
                 state.valid_lambdas.pop(publisher, None)
 
     def resolve_first(self, task: int) -> int:
-        """Eq. (12): resolve and remember the first price ``y*``."""
+        """Eq. (12): resolve and remember the first price ``y*``.
+
+        The minimum bid is one of the three reveals the paper sanctions;
+        it is routed through the ``declassify`` audit gate.
+        """
         state = self._state(task)
         first_price, _ = resolve_first_price(self.parameters,
                                              state.valid_lambdas,
                                              self.counter, self.cache)
-        state.first_price = first_price
-        return first_price
+        state.first_price = declassify(
+            first_price, label="y*",
+            reason="sanctioned reveal: minimum bid y* resolved from the "
+                   "published aggregates (Phase III eq. (12))")
+        return state.first_price
 
     def disclosure_rank(self, task: int) -> Optional[int]:
         """This agent's rank in the disclosure order, or ``None``.
@@ -314,7 +330,8 @@ class DMWAgent:
         rank = order.index(self.index)
         return rank if rank < width else None
 
-    def disclose_f_shares(self, task: int) -> Optional[Dict[int, tuple]]:
+    def disclose_f_shares(self, task: int
+                          ) -> Optional[Dict[int, Tuple[int, int]]]:
         """Step III.3: publish the ``(f, h)`` share row this agent holds.
 
         Returns ``{agent l -> (f_l(alpha_i), h_l(alpha_i))}`` when this
@@ -337,12 +354,20 @@ class DMWAgent:
         a cost optimization, not a trust assumption.
         """
         state = self._state(task)
-        return (state.package is not None
-                and state.first_price is not None
-                and state.package.bid == state.first_price)
+        claiming = (state.package is not None
+                    and state.first_price is not None
+                    and state.package.bid == state.first_price)
+        if claiming and state.package is not None:
+            # Claiming winnership publicly equates this agent's own bid
+            # with the already-public y* — a sanctioned self-reveal.
+            declassify(state.package.bid, label="winner_bid",
+                       reason="sanctioned reveal: winner candidacy equates "
+                              "own bid with the public first price y* "
+                              "(Phase III step 3)")
+        return claiming
 
     def _verify_one_disclosure(self, task: int, discloser: int,
-                               row: Dict[int, tuple]) -> bool:
+                               row: Dict[int, Tuple[int, int]]) -> bool:
         state = self._state(task)
         commitments = [state.commitments[k]
                        for k in range(self.parameters.num_agents)]
@@ -353,7 +378,7 @@ class DMWAgent:
         )
 
     def validate_disclosures(self, task: int,
-                             rows: Dict[int, Dict[int, tuple]]) -> List[int]:
+                             rows: Dict[int, Dict[int, Tuple[int, int]]]) -> List[int]:
         """Verify disclosed rows with eq. (13).
 
         Mirrors :meth:`validate_aggregates`: full local verification in
@@ -377,7 +402,7 @@ class DMWAgent:
         return complaints
 
     def arbitrate_disclosures(self, task: int,
-                              rows: Dict[int, Dict[int, tuple]],
+                              rows: Dict[int, Dict[int, Tuple[int, int]]],
                               complaints: Sequence[int]) -> None:
         """Settle disclosure complaints by full recomputation."""
         if self.parameters.verification_mode == "full":
@@ -396,11 +421,15 @@ class DMWAgent:
         state = self._state(task)
         if claimants is not None:
             state.winner_claimants = list(claimants)
-        state.winner = identify_winner(self.parameters, state.first_price,
-                                       state.valid_disclosures,
-                                       claimants=state.winner_claimants,
-                                       counter=self.counter,
-                                       cache=self.cache)
+        state.winner = declassify(
+            identify_winner(self.parameters, state.first_price,
+                            state.valid_disclosures,
+                            claimants=state.winner_claimants,
+                            counter=self.counter,
+                            cache=self.cache),
+            label="winner",
+            reason="sanctioned reveal: winner identity from the disclosed "
+                   "f-share rows (Phase III eq. (14))")
         return state.winner
 
     def publish_excluded_aggregates(self, task: int
@@ -473,13 +502,20 @@ class DMWAgent:
         second_price, _ = resolve_second_price(
             self.parameters, state.valid_excluded_lambdas, self.counter
         )
-        state.second_price = second_price
-        return second_price
+        state.second_price = declassify(
+            second_price, label="y**",
+            reason="sanctioned reveal: second price y** from the "
+                   "winner-excluded aggregates (Phase III step 4)")
+        return state.second_price
 
     # ==== Phase IV: payments =====================================================
     def payment_claim(self, tasks: Optional[Iterable[int]] = None
-                      ) -> List[float]:
+                      ) -> Optional[List[float]]:
         """Step IV.1: the payment vector this agent believes is correct.
+
+        The return type admits ``None`` (submit nothing) so withholding
+        strategies are expressible in the strategy space ``X``; the honest
+        implementation always returns a full vector.
 
         ``P_i = sum of second prices over the tasks agent i won`` — every
         agent computes the *full* vector from its own transcript and

@@ -37,7 +37,7 @@ assignment/payment comparison (they carry no allocation and no payment).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..crypto.fastexp import PublicValueCache
 from ..crypto.modular import OperationCounter
@@ -51,6 +51,10 @@ from .resolution import (
     resolve_second_price,
 )
 from .verification import CheckStats, verify_f_disclosure, verify_lambda_psi
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.message import Message
+    from .protocol import DMWProtocol
 
 
 @dataclass(frozen=True)
@@ -109,7 +113,8 @@ class TranscriptAuditor:
         self._findings.append(AuditFinding(task=task, check=check,
                                            detail=detail))
 
-    def _published_by_task(self, messages, kind: str) -> Dict[int, Dict[int, object]]:
+    def _published_by_task(self, messages: Iterable["Message"],
+                           kind: str) -> Dict[int, Dict[int, object]]:
         """Group one published kind as ``task -> {sender -> payload}``."""
         grouped: Dict[int, Dict[int, object]] = {}
         for message in messages:
@@ -120,7 +125,7 @@ class TranscriptAuditor:
         return grouped
 
     # -- the audit -------------------------------------------------------------
-    def audit(self, messages, num_tasks: int,
+    def audit(self, messages: Iterable["Message"], num_tasks: int,
               outcome: Optional[DMWOutcome] = None) -> AuditReport:
         """Audit the published ``messages`` of an execution.
 
@@ -207,7 +212,8 @@ class TranscriptAuditor:
 
     def _reconstruct_task(self, task: int,
                           boards: Dict[str, Dict[int, Dict[int, object]]],
-                          flag) -> Optional[Tuple[int, int]]:
+                          flag: Callable[[Optional[int], str, str], None]
+                          ) -> Optional[Tuple[int, int]]:
         """Re-derive one task's ``(winner, second_price)`` from public data.
 
         ``flag`` receives every inconsistency (pass :meth:`_flag` to
@@ -295,7 +301,8 @@ class TranscriptAuditor:
         return winner, second_price
 
 
-def audit_protocol_run(protocol, outcome: Optional[DMWOutcome] = None,
+def audit_protocol_run(protocol: "DMWProtocol",
+                       outcome: Optional[DMWOutcome] = None,
                        num_tasks: Optional[int] = None) -> AuditReport:
     """Audit a finished :class:`~repro.core.protocol.DMWProtocol` run.
 

@@ -32,6 +32,7 @@ from typing import Dict, Tuple
 from ..crypto.commitments import PedersenCommitter, PolynomialCommitment
 from ..crypto.modular import NULL_COUNTER, OperationCounter
 from ..crypto.polynomials import Polynomial
+from ..crypto.secret import SecretInt, local_value
 from .parameters import DMWParameters
 
 
@@ -73,9 +74,13 @@ class BidPackage:
 
     ``polynomials`` stay private to the bidding agent; ``commitments`` are
     published; per-recipient bundles come from :meth:`share_bundle_for`.
+
+    ``bid`` is taint-wrapped (:class:`~repro.crypto.secret.Secret`) when
+    the ``DMW_SANITIZE=1`` sanitizer mode is active, so it cannot be
+    printed or serialized without an audited ``declassify``.
     """
 
-    bid: int
+    bid: SecretInt
     e: Polynomial
     f: Polynomial
     g: Polynomial
@@ -94,7 +99,8 @@ class BidPackage:
         )
 
 
-def encode_bid(parameters: DMWParameters, bid: int, rng: random.Random,
+def encode_bid(parameters: DMWParameters, bid: SecretInt,
+               rng: random.Random,
                counter: OperationCounter = NULL_COUNTER) -> BidPackage:
     """Perform step II.1 for one agent and task.
 
@@ -103,7 +109,10 @@ def encode_bid(parameters: DMWParameters, bid: int, rng: random.Random,
     parameters:
         The published Phase I parameters.
     bid:
-        The agent's (possibly untruthful) bid; must be in ``W``.
+        The agent's (possibly untruthful) bid; must be in ``W``.  May be
+        taint-wrapped (``Secret``): encoding one's *own* bid into share
+        polynomials is owner-local computation, so the raw value is taken
+        via :func:`~repro.crypto.secret.local_value`, not ``declassify``.
     rng:
         The agent's private randomness.
     counter:
@@ -111,12 +120,14 @@ def encode_bid(parameters: DMWParameters, bid: int, rng: random.Random,
 
     Returns
     -------
-    A :class:`BidPackage` with freshly drawn polynomials and commitments.
+    A :class:`BidPackage` with freshly drawn polynomials and commitments;
+    its ``bid`` attribute preserves the taint wrapper.
     """
-    parameters.validate_bid(bid)
+    raw_bid = local_value(bid)
+    parameters.validate_bid(raw_bid)
     q = parameters.group.q
     sigma = parameters.sigma
-    tau = parameters.degree_for_bid(bid)
+    tau = parameters.degree_for_bid(raw_bid)
     e = Polynomial.random(tau, q, rng, zero_constant_term=True)
     f = Polynomial.random(sigma - tau, q, rng, zero_constant_term=True)
     g = Polynomial.random(sigma, q, rng, zero_constant_term=True)

@@ -40,11 +40,14 @@ state transfer, keeping the dependency one-directional.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..network.metrics import NetworkMetrics
 from .exceptions import ParameterError, ProtocolAbort
 from .outcome import AuctionTranscript
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .protocol import DMWProtocol
 
 
 def encode_rng_state(state: Any) -> List[Any]:
@@ -111,7 +114,7 @@ class ProtocolCheckpoint:
 
     # -- capture ---------------------------------------------------------------
     @classmethod
-    def capture(cls, protocol, num_tasks: int,
+    def capture(cls, protocol: "DMWProtocol", num_tasks: int,
                 next_task: int) -> "ProtocolCheckpoint":
         """Snapshot ``protocol`` at an auction boundary.
 
@@ -140,7 +143,7 @@ class ProtocolCheckpoint:
         )
 
     # -- restore ---------------------------------------------------------------
-    def apply(self, protocol) -> None:
+    def apply(self, protocol: "DMWProtocol") -> None:
         """Restore this checkpoint into a freshly constructed protocol.
 
         The protocol must have been built exactly as the original (same

@@ -31,10 +31,18 @@ protocol logic) can pick an honest reference transcript.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .agent import DMWAgent
 from .bidding import AgentCommitments, ShareBundle
+from .parameters import DMWParameters
+
+#: A deviation factory: ``(index, parameters, true_values, rng) -> agent``.
+DeviationFactory = Callable[
+    [int, DMWParameters, Sequence[int], random.Random], DMWAgent]
+
+#: Commitments + per-recipient bundles, as returned by ``begin_task``.
+_BeginTaskResult = Tuple[Optional[AgentCommitments], Dict[int, ShareBundle]]
 
 
 class DeviantAgent(DMWAgent):
@@ -53,7 +61,8 @@ class MisreportBidAgent(DeviantAgent):
         be in ``W``.
     """
 
-    def __init__(self, index: int, parameters, true_values: Sequence[int],
+    def __init__(self, index: int, parameters: DMWParameters,
+                 true_values: Sequence[int],
                  reported_values: Sequence[int],
                  rng: Optional[random.Random] = None) -> None:
         super().__init__(index, parameters, true_values, rng)
@@ -71,16 +80,17 @@ class CorruptSharesAgent(DeviantAgent):
     Detected by the victims' eq. (7)-(9) checks in step III.1.
     """
 
-    def __init__(self, index: int, parameters, true_values: Sequence[int],
+    def __init__(self, index: int, parameters: DMWParameters,
+                 true_values: Sequence[int],
                  victims: Sequence[int],
                  rng: Optional[random.Random] = None) -> None:
         super().__init__(index, parameters, true_values, rng)
         self.victims = set(victims)
 
-    def begin_task(self, task: int):
+    def begin_task(self, task: int) -> _BeginTaskResult:
         commitments, bundles = super().begin_task(task)
         q = self.parameters.group.q
-        corrupted = {}
+        corrupted: Dict[int, ShareBundle] = {}
         for recipient, bundle in bundles.items():
             if recipient in self.victims:
                 corrupted[recipient] = ShareBundle(
@@ -101,7 +111,7 @@ class CorruptCommitmentsAgent(DeviantAgent):
     commitments.
     """
 
-    def begin_task(self, task: int):
+    def begin_task(self, task: int) -> _BeginTaskResult:
         commitments, bundles = super().begin_task(task)
         group = self.parameters.group
         o_elements = list(commitments.o_vector.elements)
@@ -120,13 +130,14 @@ class CorruptCommitmentsAgent(DeviantAgent):
 class WithholdSharesAgent(DeviantAgent):
     """Sends no share bundles to the chosen victims."""
 
-    def __init__(self, index: int, parameters, true_values: Sequence[int],
+    def __init__(self, index: int, parameters: DMWParameters,
+                 true_values: Sequence[int],
                  victims: Sequence[int],
                  rng: Optional[random.Random] = None) -> None:
         super().__init__(index, parameters, true_values, rng)
         self.victims = set(victims)
 
-    def begin_task(self, task: int):
+    def begin_task(self, task: int) -> _BeginTaskResult:
         commitments, bundles = super().begin_task(task)
         return commitments, {recipient: bundle
                              for recipient, bundle in bundles.items()
@@ -136,7 +147,7 @@ class WithholdSharesAgent(DeviantAgent):
 class WithholdCommitmentsAgent(DeviantAgent):
     """Publishes no commitments at all (shares still sent)."""
 
-    def begin_task(self, task: int):
+    def begin_task(self, task: int) -> _BeginTaskResult:
         _, bundles = super().begin_task(task)
         return None, bundles
 
@@ -149,8 +160,9 @@ class WrongAggregatesAgent(DeviantAgent):
     everyone, including the deviant) when the threshold is crossed.
     """
 
-    def publish_aggregates(self, task: int):
+    def publish_aggregates(self, task: int) -> Optional[Tuple[int, int]]:
         published = super().publish_aggregates(task)
+        assert published is not None  # the honest step always publishes
         lambda_value, psi_value = published
         return (self.parameters.group.mul(lambda_value, self.parameters.z1),
                 psi_value)
@@ -160,7 +172,7 @@ class WithholdAggregatesAgent(DeviantAgent):
     """Publishes nothing in step III.2 (but keeps its local copy so its own
     later steps still work)."""
 
-    def publish_aggregates(self, task: int):
+    def publish_aggregates(self, task: int) -> Optional[Tuple[int, int]]:
         super().publish_aggregates(task)
         return None
 
@@ -169,7 +181,8 @@ class FalseDisclosureAgent(DeviantAgent):
     """Discloses a corrupted ``(f, h)`` share row during winner
     identification; detected by eq. (13) and discarded."""
 
-    def disclose_f_shares(self, task: int):
+    def disclose_f_shares(self, task: int
+                          ) -> Optional[Dict[int, Tuple[int, int]]]:
         row = super().disclose_f_shares(task)
         if row is None:
             return None
@@ -184,7 +197,8 @@ class WithholdDisclosureAgent(DeviantAgent):
     """Stays silent during winner identification even when in the
     disclosure set."""
 
-    def disclose_f_shares(self, task: int):
+    def disclose_f_shares(self, task: int
+                          ) -> Optional[Dict[int, Tuple[int, int]]]:
         return None
 
 
@@ -195,7 +209,8 @@ class EagerDisclosureAgent(DeviantAgent):
     honesty — extra valid information never hurts resolution.
     """
 
-    def disclose_f_shares(self, task: int):
+    def disclose_f_shares(self, task: int
+                          ) -> Optional[Dict[int, Tuple[int, int]]]:
         state = self._state(task)
         return {
             sender: (bundle.f_value, bundle.h_value)
@@ -206,8 +221,11 @@ class EagerDisclosureAgent(DeviantAgent):
 class WrongSecondPriceAgent(DeviantAgent):
     """Publishes perturbed winner-excluded aggregates in step III.4."""
 
-    def publish_excluded_aggregates(self, task: int):
-        lambda_prime, psi_prime = super().publish_excluded_aggregates(task)
+    def publish_excluded_aggregates(self, task: int
+                                    ) -> Optional[Tuple[int, int]]:
+        published = super().publish_excluded_aggregates(task)
+        assert published is not None  # only called for resolvable tasks
+        lambda_prime, psi_prime = published
         return (self.parameters.group.mul(lambda_prime, self.parameters.z1),
                 psi_prime)
 
@@ -220,11 +238,15 @@ class FalseComplaintAgent(DeviantAgent):
     arbitration pass and gains the complainer nothing.
     """
 
-    def validate_aggregates(self, task: int, published):
+    def validate_aggregates(self, task: int,
+                            published: Dict[int, Tuple[int, int]]
+                            ) -> List[int]:
         super().validate_aggregates(task, published)
         return [p for p in self._checked_publishers(published)]
 
-    def validate_disclosures(self, task: int, rows):
+    def validate_disclosures(self, task: int,
+                             rows: Dict[int, Dict[int, Tuple[int, int]]]
+                             ) -> List[int]:
         super().validate_disclosures(task, rows)
         assigned = set(self.parameters.verification_assignments(self.index))
         return [d for d in rows if d in assigned and d != self.index]
@@ -259,14 +281,17 @@ class InflatedPaymentClaimAgent(DeviantAgent):
     The unanimity escrow sees the conflict and dispenses nothing.
     """
 
-    def __init__(self, index: int, parameters, true_values: Sequence[int],
+    def __init__(self, index: int, parameters: DMWParameters,
+                 true_values: Sequence[int],
                  inflation: float = 10.0,
                  rng: Optional[random.Random] = None) -> None:
         super().__init__(index, parameters, true_values, rng)
         self.inflation = inflation
 
-    def payment_claim(self, tasks=None) -> List[float]:
+    def payment_claim(self, tasks: Optional[Iterable[int]] = None
+                      ) -> Optional[List[float]]:
         claim = super().payment_claim(tasks)
+        assert claim is not None  # the honest claim is always a full vector
         claim[self.index] += self.inflation
         return claim
 
@@ -274,28 +299,35 @@ class InflatedPaymentClaimAgent(DeviantAgent):
 class WithholdPaymentClaimAgent(DeviantAgent):
     """Submits no payment claim at all."""
 
-    def payment_claim(self, tasks=None):
+    def payment_claim(self, tasks: Optional[Iterable[int]] = None
+                      ) -> Optional[List[float]]:
         return None
 
 
 #: Deviation factories for the faithfulness sweep: name -> callable taking
 #: ``(index, parameters, true_values, rng)`` and returning an agent.
-def standard_deviations() -> Dict[str, callable]:
+def standard_deviations() -> Dict[str, DeviationFactory]:
     """Return the named deviation factory table used by experiment E5."""
-    def make(cls, **kwargs):
-        def factory(index, parameters, true_values, rng):
+    def make(cls: Callable[..., DMWAgent], **kwargs: Any) -> DeviationFactory:
+        def factory(index: int, parameters: DMWParameters,
+                    true_values: Sequence[int],
+                    rng: random.Random) -> DMWAgent:
             return cls(index, parameters, true_values, rng=rng, **kwargs)
         return factory
 
-    def make_victims(cls):
-        def factory(index, parameters, true_values, rng):
+    def make_victims(cls: Callable[..., DMWAgent]) -> DeviationFactory:
+        def factory(index: int, parameters: DMWParameters,
+                    true_values: Sequence[int],
+                    rng: random.Random) -> DMWAgent:
             victims = [k for k in range(parameters.num_agents) if k != index][:1]
             return cls(index, parameters, true_values, victims=victims, rng=rng)
         return factory
 
-    def make_misreport():
-        def factory(index, parameters, true_values, rng):
-            reported = []
+    def make_misreport() -> DeviationFactory:
+        def factory(index: int, parameters: DMWParameters,
+                    true_values: Sequence[int],
+                    rng: random.Random) -> DMWAgent:
+            reported: List[int] = []
             bid_values = parameters.bid_values
             for value in true_values:
                 position = bid_values.index(value)

@@ -34,6 +34,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..mechanisms.base import MechanismResult
 from ..mechanisms.minwork import MinWork
 from ..network.metrics import NetworkMetrics
 from ..network.simulator import SynchronousNetwork
@@ -61,7 +62,7 @@ class NaiveAgent:
     def observe(self, sender: int, bids: Sequence[float]) -> None:
         self.observed_bids[sender] = tuple(bids)
 
-    def compute_outcome(self, num_agents: int):
+    def compute_outcome(self, num_agents: int) -> MechanismResult:
         """Recompute MinWork from the observed (public) bids."""
         missing = [k for k in range(num_agents)
                    if k not in self.observed_bids]

@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..crypto.groups import GroupParameters, fixture_group
+from ..crypto.groups import GroupParameters, SchnorrGroup, fixture_group
 from .exceptions import ParameterError
 
 
@@ -114,7 +114,7 @@ class DMWParameters:
         return self.bid_values[-1] + self.fault_bound + 1
 
     @property
-    def group(self):
+    def group(self) -> SchnorrGroup:
         return self.group_parameters.group
 
     @property

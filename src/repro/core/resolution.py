@@ -85,7 +85,7 @@ def resolve_first_price(parameters: DMWParameters,
 
 def identify_winner(parameters: DMWParameters,
                     first_price: int,
-                    disclosed_rows: Dict[int, Dict[int, tuple]],
+                    disclosed_rows: Dict[int, Dict[int, Tuple[int, int]]],
                     claimants: Optional[Sequence[int]] = None,
                     counter: OperationCounter = NULL_COUNTER,
                     cache: Optional[PublicValueCache] = None) -> int:

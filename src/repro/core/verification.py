@@ -18,9 +18,7 @@ exact.  See ``docs/PERFORMANCE.md``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
-
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..crypto.fastexp import PublicValueCache
 from ..crypto.modular import NULL_COUNTER, OperationCounter
@@ -166,7 +164,7 @@ def verify_lambda_psi(parameters: DMWParameters,
 def verify_f_disclosure(parameters: DMWParameters,
                         all_commitments: Sequence[AgentCommitments],
                         discloser_pseudonym: int,
-                        disclosed: Dict[int, tuple],
+                        disclosed: Dict[int, Tuple[int, int]],
                         counter: OperationCounter = NULL_COUNTER,
                         cache: Optional[PublicValueCache] = None,
                         stats: Optional[CheckStats] = None) -> bool:
@@ -185,9 +183,12 @@ def verify_f_disclosure(parameters: DMWParameters,
     return valid
 
 
-def _f_disclosure_consistent(parameters, all_commitments,
-                             discloser_pseudonym, disclosed, counter,
-                             cache) -> bool:
+def _f_disclosure_consistent(parameters: DMWParameters,
+                             all_commitments: Sequence[AgentCommitments],
+                             discloser_pseudonym: int,
+                             disclosed: Dict[int, Tuple[int, int]],
+                             counter: OperationCounter,
+                             cache: Optional[PublicValueCache]) -> bool:
     if set(disclosed) != set(range(len(all_commitments))):
         return False
     for index, commitments in enumerate(all_commitments):

@@ -36,6 +36,18 @@ from .modular import (
     mod_sub,
 )
 from .polynomials import Polynomial, sum_polynomials
+from .secret import (
+    DeclassificationEvent,
+    Secret,
+    SecretLeakError,
+    clear_declassification_audit,
+    declassification_audit,
+    declassify,
+    local_value,
+    sanitize_enabled,
+    secret_json_default,
+    tag_secret,
+)
 from .primes import (
     find_subgroup_generator,
     generate_schnorr_parameters,
@@ -52,6 +64,7 @@ from .secretsharing import (
 
 __all__ = [
     "NULL_COUNTER",
+    "DeclassificationEvent",
     "DegreeEncodedSharing",
     "DegreeEncodingScheme",
     "FixedBaseTable",
@@ -62,9 +75,18 @@ __all__ = [
     "PolynomialCommitment",
     "PublicValueCache",
     "SchnorrGroup",
+    "Secret",
+    "SecretLeakError",
     "ShamirScheme",
     "Share",
     "batch_mod_inv",
+    "clear_declassification_audit",
+    "declassification_audit",
+    "declassify",
+    "local_value",
+    "sanitize_enabled",
+    "secret_json_default",
+    "tag_secret",
     "find_subgroup_generator",
     "fixed_base_table",
     "fixture_group",

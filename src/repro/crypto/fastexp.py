@@ -50,9 +50,14 @@ from __future__ import annotations
 import contextlib
 import math
 from functools import lru_cache
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .modular import NULL_COUNTER, OperationCounter
+
+#: Cache keys/entries are heterogeneous tuples (namespace tag + ints);
+#: the cache itself is shape-agnostic, so both sides are Tuple[Any, ...].
+CacheKey = Tuple[Any, ...]
+CacheEntry = Tuple[Any, ...]
 
 #: Module-wide switch consulted by every fast-path call site.
 _ENABLED = True
@@ -339,9 +344,9 @@ class PublicValueCache:
                  "weight_misses")
 
     def __init__(self) -> None:
-        self._evaluations: Dict[tuple, tuple] = {}
-        self._weights: Dict[tuple, tuple] = {}
-        self._tables: Dict[tuple, tuple] = {}
+        self._evaluations: Dict[CacheKey, CacheEntry] = {}
+        self._weights: Dict[CacheKey, CacheEntry] = {}
+        self._tables: Dict[CacheKey, CacheEntry] = {}
         self.hits = 0
         self.misses = 0
         # Per-namespace breakdown (the observability layer exports these
@@ -352,7 +357,7 @@ class PublicValueCache:
         self.weight_misses = 0
 
     # -- commitment evaluations ---------------------------------------------
-    def get_evaluation(self, key: tuple) -> Optional[tuple]:
+    def get_evaluation(self, key: CacheKey) -> Optional[CacheEntry]:
         entry = self._evaluations.get(key)
         if entry is None:
             self.misses += 1
@@ -362,11 +367,11 @@ class PublicValueCache:
             self.evaluation_hits += 1
         return entry
 
-    def put_evaluation(self, key: tuple, entry: tuple) -> None:
+    def put_evaluation(self, key: CacheKey, entry: CacheEntry) -> None:
         self._evaluations[key] = entry
 
     # -- Straus digit tables -------------------------------------------------
-    def get_tables(self, key: tuple) -> Optional[tuple]:
+    def get_tables(self, key: CacheKey) -> Optional[CacheEntry]:
         """Precomputed :func:`straus_tables` for one commitment vector.
 
         Table reuse is *not* counted as a hit/miss: the tables are an
@@ -375,11 +380,11 @@ class PublicValueCache:
         """
         return self._tables.get(key)
 
-    def put_tables(self, key: tuple, entry: tuple) -> None:
+    def put_tables(self, key: CacheKey, entry: CacheEntry) -> None:
         self._tables[key] = entry
 
     # -- Lagrange weight vectors --------------------------------------------
-    def get_weights(self, key: tuple) -> Optional[tuple]:
+    def get_weights(self, key: CacheKey) -> Optional[CacheEntry]:
         entry = self._weights.get(key)
         if entry is None:
             self.misses += 1
@@ -389,7 +394,7 @@ class PublicValueCache:
             self.weight_hits += 1
         return entry
 
-    def put_weights(self, key: tuple, entry: tuple) -> None:
+    def put_weights(self, key: CacheKey, entry: CacheEntry) -> None:
         self._weights[key] = entry
 
     # -- reporting -----------------------------------------------------------
@@ -409,9 +414,13 @@ class PublicValueCache:
         }
 
     def hit_rate(self) -> float:
-        """Hit fraction over all counted lookups (0.0 when none)."""
+        """Hit fraction over all counted lookups (0.0 when none).
+
+        Diagnostic-only value exported to run reports; never feeds back
+        into field arithmetic, hence the DMW006 suppression.
+        """
         total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self.hits / total if total else 0.0  # dmwlint: disable=DMW006
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "PublicValueCache(%r)" % (self.stats(),)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from . import fastexp
 from .modular import NULL_COUNTER, OperationCounter, mod_exp, mod_inv, mod_mul
@@ -60,7 +60,8 @@ class SchnorrGroup:
         """Return ``a * b^{-1} mod p``."""
         return mod_mul(a, mod_inv(b, self.p, counter), self.p, counter)
 
-    def product(self, elements, counter: OperationCounter = NULL_COUNTER) -> int:
+    def product(self, elements: Iterable[int],
+                counter: OperationCounter = NULL_COUNTER) -> int:
         """Return the product of ``elements`` mod ``p`` (1 for empty input)."""
         result = 1
         for element in elements:
@@ -77,7 +78,8 @@ class SchnorrGroup:
         low = 1 if nonzero else 0
         return rng.randrange(low, self.q)
 
-    def find_generator(self, rng: random.Random, exclude: tuple = ()) -> int:
+    def find_generator(self, rng: random.Random,
+                       exclude: Tuple[int, ...] = ()) -> int:
         """Return a fresh generator of the subgroup, avoiding ``exclude``."""
         return find_subgroup_generator(self.p, self.q, rng, exclude)
 
@@ -165,8 +167,14 @@ class GroupParameters:
     @classmethod
     def generate(cls, q_bits: int, p_bits: int,
                  rng: Optional[random.Random] = None) -> "GroupParameters":
-        """Generate fresh parameters of the requested sizes."""
-        rng = rng or random.Random()
+        """Generate fresh parameters of the requested sizes.
+
+        When no ``rng`` is supplied, a generator seeded deterministically
+        from the requested sizes is used so that repeated calls (and
+        reruns) produce identical parameters — unseeded entropy would
+        break bit-identical transcripts (dmwlint DMW001).
+        """
+        rng = rng or random.Random((q_bits << 16) | p_bits)
         p, q = generate_schnorr_parameters(q_bits, p_bits, rng)
         group = SchnorrGroup(p=p, q=q)
         z1 = group.find_generator(rng)

@@ -38,6 +38,7 @@ from typing import List, Optional, Sequence
 
 from . import fastexp
 from .fastexp import PublicValueCache, batch_mod_inv, multi_exp
+from .groups import SchnorrGroup
 from .modular import (
     NULL_COUNTER,
     OperationCounter,
@@ -243,7 +244,8 @@ def resolve_degree(points: Sequence[int], values: Sequence[int], modulus: int,
     return None
 
 
-def _exponent_product(group, values: Sequence[int], weights: Sequence[int],
+def _exponent_product(group: SchnorrGroup, values: Sequence[int],
+                      weights: Sequence[int],
                       counter: OperationCounter,
                       tables: Optional[Sequence[Sequence[int]]] = None) -> int:
     """Return ``prod_k values[k] ** weights[k] mod p`` (the eq. (12) test).
@@ -272,7 +274,7 @@ def _exponent_product(group, values: Sequence[int], weights: Sequence[int],
     return multi_exp(list(values), reduced, group.p)
 
 
-def resolve_degree_in_exponent(group, points: Sequence[int],
+def resolve_degree_in_exponent(group: SchnorrGroup, points: Sequence[int],
                                exponent_values: Sequence[int],
                                candidates: Optional[Sequence[int]] = None,
                                counter: OperationCounter = NULL_COUNTER,
@@ -336,7 +338,7 @@ def resolve_degree_in_exponent(group, points: Sequence[int],
                                        candidates, counter, incremental)
 
 
-def _resolve_degree_in_exponent(group, points: Sequence[int],
+def _resolve_degree_in_exponent(group: SchnorrGroup, points: Sequence[int],
                                 exponent_values: Sequence[int],
                                 candidates: List[int],
                                 counter: OperationCounter,

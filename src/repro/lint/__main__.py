@@ -1,0 +1,10 @@
+"""Module runner: ``python -m repro.lint [paths...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from ..analysis.static.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple
 
 from .message import Message
+
+if TYPE_CHECKING:  # avoid an import cycle with asynchronous.py at runtime
+    from .simulator import SynchronousNetwork
 
 #: A sampler takes (sender, recipient) and returns a delay in seconds.
 DelaySampler = Callable[[int, int], float]
@@ -120,7 +123,8 @@ def timeline_for_rounds(messages: Sequence[Message], num_rounds: int,
                     total_seconds=total, slowest_round=slowest)
 
 
-def estimate_protocol_latency(network, model: LatencyModel) -> Timeline:
+def estimate_protocol_latency(network: "SynchronousNetwork",
+                              model: LatencyModel) -> Timeline:
     """Estimate the completion time of a finished simulator execution.
 
     Exact when the network was created with ``record_deliveries=True``

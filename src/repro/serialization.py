@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional
 from .core.checkpoint import ProtocolCheckpoint
 from .core.outcome import AuctionTranscript, DMWOutcome
 from .core.trace import ProtocolTrace
+from .crypto.secret import secret_json_default
 from .network.metrics import NetworkMetrics
 from .scheduling.problem import SchedulingProblem, Task
 from .scheduling.schedule import PartialSchedule, Schedule
@@ -305,7 +306,7 @@ def save_checkpoint(checkpoint: ProtocolCheckpoint, path: str) -> None:
     so a crash mid-write never corrupts the previous checkpoint)."""
     import os
     text = json.dumps(checkpoint_to_dict(checkpoint), indent=2,
-                      sort_keys=True)
+                      sort_keys=True, default=secret_json_default)
     temp_path = path + ".tmp"
     with open(temp_path, "w") as handle:
         handle.write(text + "\n")
@@ -352,7 +353,10 @@ def dumps(artifact, trace: Optional[ProtocolTrace] = None) -> str:
                 document = outcome_to_dict(artifact, trace=trace)
             else:
                 document = encoder(artifact)
-            return json.dumps(document, indent=2, sort_keys=True)
+            # default=secret_json_default turns an accidental Secret in a
+            # document into SecretLeakError instead of a bare TypeError.
+            return json.dumps(document, indent=2, sort_keys=True,
+                              default=secret_json_default)
     raise SerializationError("cannot serialize %r" % type(artifact).__name__)
 
 

@@ -1,0 +1,10 @@
+"""Fixture: injected per-run RNG (DMW001-clean)."""
+import random
+
+
+def draw_nonce(rng: random.Random) -> int:
+    return rng.randrange(1 << 32)
+
+
+def fresh_stream(seed: int) -> random.Random:
+    return random.Random(seed)

@@ -1,0 +1,6 @@
+"""Fixture: DMW001 violation silenced by a line suppression."""
+import random
+
+
+def draw_nonce():
+    return random.randrange(1 << 32)  # dmwlint: disable=DMW001

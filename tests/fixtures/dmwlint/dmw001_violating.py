@@ -1,0 +1,10 @@
+"""Fixture: global `random` use (DMW001) — two violations."""
+import random
+
+
+def draw_nonce():
+    return random.randrange(1 << 32)
+
+
+def fresh_stream():
+    return random.Random()

@@ -1,0 +1,10 @@
+"""Fixture: exponentiation through the fastexp fast path (DMW002-clean)."""
+
+
+def commit(group_parameters, exponent, counter):
+    return group_parameters.exp_z1(exponent, counter)
+
+
+def square(steps):
+    # Two-argument pow is plain integer arithmetic, not modular exp.
+    return pow(steps, 2)

@@ -1,0 +1,5 @@
+"""Fixture: DMW002 violation silenced by a line suppression."""
+
+
+def commit(z1, exponent, p):
+    return pow(z1, exponent, p)  # dmwlint: disable=DMW002

@@ -1,0 +1,5 @@
+"""Fixture: raw pow() on a commitment base (DMW002)."""
+
+
+def commit(z1, exponent, p):
+    return pow(z1, exponent, p)

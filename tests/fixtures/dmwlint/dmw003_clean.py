@@ -1,0 +1,16 @@
+"""Fixture: reduced field arithmetic (DMW003-clean)."""
+
+from repro.crypto.modular import mod_mul
+
+
+def combine(share_a, share_b, q):
+    return (share_a + share_b) % q
+
+
+def weigh(coeff, scalar, p, counter):
+    return mod_mul(coeff, scalar, p, counter)
+
+
+def tally(num_shares, batch_index):
+    # Index/size arithmetic is exempt by naming convention.
+    return num_shares + batch_index + 1

@@ -1,0 +1,5 @@
+"""Fixture: DMW003 violation silenced by a line suppression."""
+
+
+def combine(share_a, share_b):
+    return share_a + share_b  # dmwlint: disable=DMW003

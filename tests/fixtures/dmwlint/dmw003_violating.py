@@ -1,0 +1,6 @@
+"""Fixture: field arithmetic without reduction (DMW003)."""
+
+
+def combine(share_a, share_b):
+    total = share_a + share_b
+    return total

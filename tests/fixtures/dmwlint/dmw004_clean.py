@@ -1,0 +1,13 @@
+"""Fixture: reveal routed through declassify (DMW004-clean)."""
+
+from repro.crypto.secret import declassify
+
+
+def log_outcome(bid, logger):
+    revealed = declassify(bid, reason="sanctioned reveal: second price y**")
+    logger.info("second price %s", revealed)
+
+
+def report_shape(num_bids):
+    # `num_bids` is public protocol data, not a secret.
+    print(num_bids)

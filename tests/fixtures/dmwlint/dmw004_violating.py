@@ -1,0 +1,9 @@
+"""Fixture: secret value reaching log/print sinks (DMW004)."""
+
+
+def log_outcome(bid, logger):
+    logger.info("agent bid %s", bid)
+
+
+def dump_state(true_value):
+    print(true_value)

@@ -1,0 +1,8 @@
+"""Fixture: payload finalized before send (DMW005-clean)."""
+
+
+def broadcast_result(network, build_message, payload):
+    payload["price"] = 7
+    message = build_message(payload)
+    network.send(0, message)
+    return message

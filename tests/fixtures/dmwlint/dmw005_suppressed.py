@@ -1,0 +1,6 @@
+"""Fixture: DMW005 violation silenced by a line suppression."""
+
+
+def broadcast_result(network, message):
+    network.send(0, message)
+    message.payload["price"] = 7  # dmwlint: disable=DMW005

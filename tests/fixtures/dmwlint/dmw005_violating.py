@@ -1,0 +1,6 @@
+"""Fixture: Message mutated after send (DMW005)."""
+
+
+def broadcast_result(network, message):
+    network.send(0, message)
+    message.payload["price"] = 7

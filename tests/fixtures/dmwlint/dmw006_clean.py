@@ -1,0 +1,9 @@
+"""Fixture: exact integer arithmetic (DMW006-clean)."""
+
+
+def floor_average(total, count):
+    return total // count
+
+
+def bit_size(value):
+    return value.bit_length()

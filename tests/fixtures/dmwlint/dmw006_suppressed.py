@@ -1,0 +1,5 @@
+"""Fixture: DMW006 violation silenced by a line suppression."""
+
+
+def hit_rate(hits, total):
+    return hits / total  # dmwlint: disable=DMW006

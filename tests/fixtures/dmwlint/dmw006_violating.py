@@ -1,0 +1,9 @@
+"""Fixture: float arithmetic inside crypto code (DMW006) — three hits."""
+
+
+def average_share(total, count):
+    return total / count
+
+
+def scale(value):
+    return float(value) * 0.5
