@@ -85,13 +85,16 @@ def obs_summary(outcome):
 
 
 def write_json_record(bench, params, wall_clock_s=None, counters=None,
-                      obs=None):
+                      obs=None, extra=None):
     """Record one ``{bench, params, wall_clock_s, counters, obs}``
     measurement.
 
     Records accumulate (and are replaced on matching ``params``) in
     ``benchmarks/results/BENCH_<bench>.json`` so a parametrised bench
-    writes one file holding every configuration.  Returns the file path.
+    writes one file holding every configuration.  ``extra`` merges
+    additional bench-specific fields into the record (e.g. the parallel
+    speedup bench's equivalence verdict and speedup ratio).  Returns the
+    file path.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = json_path(bench)
@@ -108,6 +111,8 @@ def write_json_record(bench, params, wall_clock_s=None, counters=None,
     }
     if obs is not None:
         record["obs"] = obs
+    if extra is not None:
+        record["extra"] = dict(extra)
     records.append(record)
     records.sort(key=lambda record: json.dumps(record["params"],
                                                sort_keys=True))

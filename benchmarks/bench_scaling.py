@@ -9,8 +9,26 @@ machine-readable record to ``benchmarks/results/BENCH_scaling.json``
 (best-of-three wall clock plus the summed per-agent operation counters);
 ``benchmarks/check_regression.py`` gates CI on those records against the
 committed baseline in ``benchmarks/baseline/``.
+
+Process-pool speedup curves
+---------------------------
+This module is also runnable as a script::
+
+    python benchmarks/bench_scaling.py [--smoke]
+
+which measures ``execute(parallel=True, workers=k)`` for ``k`` in
+{1, 2, 4} against the sequential driver on one task-heavy instance and
+writes ``benchmarks/results/BENCH_parallel.json``.  Each record carries
+the pool wall-clock, the sequential wall-clock, the speedup ratio, the
+machine's CPU count, and — hard-gated by ``check_regression.py`` — an
+``equivalent`` verdict: schedule, payments, transcripts, per-agent
+counters, and network totals must be bit-identical to the sequential
+run.  The speedup itself is gated only on runners with at least as many
+cores as workers and never in ``--smoke`` mode (a 1-core container can
+verify equivalence but cannot demonstrate parallel speedup).
 """
 
+import os
 import random
 
 import pytest
@@ -84,3 +102,114 @@ def test_minwork_baseline(benchmark, n):
     problem = workloads.uniform_random(n, 2, random.Random(0))
     mechanism = MinWork()
     benchmark(lambda: mechanism.run(truthful_bids(problem)))
+
+
+# -- process-pool speedup curves ---------------------------------------------
+
+def _outcome_signature(outcome):
+    """The fields the equivalence verdict pins down bit-for-bit."""
+    return (
+        outcome.completed,
+        list(outcome.schedule.assignment),
+        list(outcome.payments),
+        [(t.task, t.first_price, t.winner, t.second_price)
+         for t in outcome.transcripts],
+        outcome.agent_operations,
+        outcome.network_metrics.as_dict(),
+    )
+
+
+def measure_parallel_speedup(n=8, m=8, workers_counts=(1, 2, 4),
+                             rounds=3, smoke=False):
+    """Measure the pool drivers against the sequential baseline.
+
+    Writes one ``BENCH_parallel.json`` record per worker count and
+    returns the record list.  ``smoke`` shrinks the instance and the
+    round count so CI can verify the equivalence contract quickly; the
+    speedup numbers of a smoke run are not meaningful (and the
+    regression gate ignores them).
+    """
+    if smoke:
+        n, m, workers_counts, rounds = 6, 4, (1, 2), 1
+    parameters = DMWParameters.generate(n, fault_bound=1,
+                                        group_size="small")
+    problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                        random.Random(0))
+
+    def sequential():
+        outcome = run_dmw(problem, parameters=parameters,
+                          rng=random.Random(1))
+        assert outcome.completed
+        return outcome
+
+    seq_best, seq_outcome = best_wall_clock(sequential, rounds=rounds,
+                                            warmup=1)
+    seq_signature = _outcome_signature(seq_outcome)
+    records = []
+    for workers in workers_counts:
+
+        def pooled(workers=workers):
+            outcome = run_dmw(problem, parameters=parameters,
+                              rng=random.Random(1), parallel=True,
+                              workers=workers)
+            assert outcome.completed
+            return outcome
+
+        pool_best, pool_outcome = best_wall_clock(pooled, rounds=rounds,
+                                                  warmup=1)
+        equivalent = _outcome_signature(pool_outcome) == seq_signature
+        speedup = seq_best / pool_best if pool_best else 0.0
+        extra = {
+            "sequential_wall_clock_s": round(seq_best, 6),
+            "speedup": round(speedup, 4),
+            "equivalent": equivalent,
+            "cpu_count": os.cpu_count() or 1,
+            "smoke": smoke,
+        }
+        write_json_record(
+            "parallel", {"sweep": "workers", "n": n, "m": m,
+                         "workers": workers},
+            wall_clock_s=round(pool_best, 6),
+            counters=_summed_operations(pool_outcome),
+            obs=obs_summary(pool_outcome),
+            extra=extra,
+        )
+        records.append(extra)
+        print("parallel[n=%d, m=%d, workers=%d]: %.4fs vs %.4fs "
+              "sequential (%.2fx), equivalent=%s"
+              % (n, m, workers, pool_best, seq_best, speedup, equivalent))
+    write_json_record("scaling_calibration", {"machine": "local"},
+                      wall_clock_s=round(calibration_loop(), 6))
+    return records
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_dmw_pool_speedup(benchmark, workers):
+    """pytest-benchmark view of one pool configuration (n=8, m=8)."""
+    parameters = DMWParameters.generate(8, fault_bound=1,
+                                        group_size="small")
+    problem = workloads.random_discrete(8, 8, parameters.bid_values,
+                                        random.Random(0))
+    benchmark.pedantic(
+        lambda: run_dmw(problem, parameters=parameters,
+                        rng=random.Random(1), parallel=True,
+                        workers=workers),
+        rounds=1, iterations=1)
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Measure process-pool speedup curves and write "
+                    "BENCH_parallel.json for the regression gate.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small instance, single round: verifies the "
+                             "equivalence contract without gating speedup")
+    args = parser.parse_args(argv)
+    measure_parallel_speedup(smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

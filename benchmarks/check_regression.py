@@ -31,13 +31,27 @@ baseline committed under ``benchmarks/baseline/``:
   fault-free, so every counter must be *exactly zero*; this gate needs
   no baseline.
 
+* **parallel** records (``bench_scaling.py [--smoke]``) carry the
+  process-pool speedup curves plus an ``equivalent`` verdict.  The
+  verdict is hard-gated with no baseline — the pool driver must be
+  bit-identical to the sequential driver, always.  The workers=4
+  speedup is gated at >= 1.8x, but only when the measuring machine has
+  at least 4 cores and the record is not a smoke run (a 1-core CI
+  container can prove equivalence, not speedup).
+
 Exit status 0 iff every gate holds.
 
 Usage::
 
     python benchmarks/check_regression.py \
         [--baseline benchmarks/baseline] [--results benchmarks/results] \
-        [--threshold 0.25]
+        [--threshold 0.25] [--only SECTION ...]
+
+``--only`` restricts the run to the named gate sections (``scaling``,
+``table1``, ``cache``, ``resilience``, ``parallel``); CI's
+parallel-differential job uses ``--only parallel`` because its smoke
+run produces only ``BENCH_parallel.json``, which must not trip the
+"baseline exists but no fresh results" failure of the scaling gate.
 """
 
 import argparse
@@ -216,6 +230,60 @@ def check_resilience(results_dir, failures, lines):
                          % label)
 
 
+#: Minimum accepted workers=4 speedup on a machine with >= 4 cores
+#: (ISSUE acceptance: the pool must demonstrate real parallelism).
+_MIN_SPEEDUP_AT_4 = 1.8
+
+
+def check_parallel(results_dir, failures, lines):
+    """Gate the process-pool records: equivalence always, speedup when
+    the machine can physically show it.
+
+    Equivalence (``extra.equivalent``) needs no baseline and no
+    tolerance: the pool driver's outcomes must be bit-identical to the
+    sequential driver's on every configuration, smoke or not.  The
+    speedup gate applies only to non-smoke workers=4 records measured
+    on a machine with at least 4 cores; elsewhere the ratio is
+    reported but informational.
+    """
+    fresh = _load(results_dir, "parallel")
+    if fresh is None:
+        lines.append("parallel: no records; skipping "
+                     "(run benchmarks/bench_scaling.py [--smoke])")
+        return
+    for record in fresh:
+        label = ", ".join("%s=%s" % item for item in _params_key(record))
+        extra = record.get("extra") or {}
+        if "equivalent" not in extra:
+            failures.append("parallel[%s]: record carries no equivalence "
+                            "verdict" % label)
+            continue
+        if not extra["equivalent"]:
+            failures.append(
+                "parallel[%s]: pool outcome DIVERGED from the sequential "
+                "driver (determinism contract broken)" % label)
+            continue
+        workers = record["params"].get("workers", 0)
+        speedup = extra.get("speedup", 0.0)
+        cores = extra.get("cpu_count", 1)
+        smoke = extra.get("smoke", False)
+        if workers >= 4 and cores >= workers and not smoke:
+            if speedup < _MIN_SPEEDUP_AT_4:
+                failures.append(
+                    "parallel[%s]: speedup %.2fx below the %.1fx gate "
+                    "on a %d-core machine"
+                    % (label, speedup, _MIN_SPEEDUP_AT_4, cores))
+                continue
+            lines.append("parallel[%s]: equivalent, %.2fx speedup (gated)"
+                         % (label, speedup))
+        else:
+            reason = ("smoke" if smoke
+                      else "%d cores < %d workers" % (cores, workers)
+                      if cores < workers else "informational")
+            lines.append("parallel[%s]: equivalent, %.2fx speedup (%s)"
+                         % (label, speedup, reason))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail on benchmark regressions against the committed "
@@ -226,15 +294,28 @@ def main(argv=None):
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional wall-clock regression "
                              "(default 0.25 = 25%%)")
+    parser.add_argument("--only", action="append", dest="only",
+                        choices=["scaling", "table1", "cache",
+                                 "resilience", "parallel"],
+                        help="run only the named gate section(s); "
+                             "repeatable (default: all sections)")
     args = parser.parse_args(argv)
 
+    sections = set(args.only or ["scaling", "table1", "cache",
+                                 "resilience", "parallel"])
     failures = []
     lines = []
-    check_scaling(args.baseline, args.results, args.threshold,
-                  failures, lines)
-    check_table1(args.baseline, args.results, failures, lines)
-    check_cache_stats(args.baseline, args.results, failures, lines)
-    check_resilience(args.results, failures, lines)
+    if "scaling" in sections:
+        check_scaling(args.baseline, args.results, args.threshold,
+                      failures, lines)
+    if "table1" in sections:
+        check_table1(args.baseline, args.results, failures, lines)
+    if "cache" in sections:
+        check_cache_stats(args.baseline, args.results, failures, lines)
+    if "resilience" in sections:
+        check_resilience(args.results, failures, lines)
+    if "parallel" in sections:
+        check_parallel(args.results, failures, lines)
 
     for line in lines:
         print(line)

@@ -154,7 +154,13 @@ def cmd_run(args) -> int:
               % (args.resume, resume.next_task, len(resume.transcripts)))
     outcome = protocol.execute(problem.num_tasks, degraded=args.degraded,
                                checkpoint_path=args.checkpoint,
-                               resume=resume)
+                               resume=resume, parallel=args.parallel,
+                               workers=args.workers)
+    if outcome.parallelism:
+        print("process pool: %d workers, %d tasks pooled, %d batches"
+              % (outcome.parallelism.get("workers", 0),
+                 outcome.parallelism.get("tasks_pooled", 0),
+                 outcome.parallelism.get("batches", 0)))
     if args.trace:
         print("\nprotocol trace:")
         print(trace.render())
@@ -381,10 +387,20 @@ def build_parser() -> argparse.ArgumentParser:
                                  "retries (default 2.0)")
     run_parser.add_argument("--checkpoint", default=None, metavar="PATH",
                             help="write a resume checkpoint to PATH after "
-                                 "every auction (sequential driver)")
+                                 "every completed auction (sequential or "
+                                 "process-pool driver)")
     run_parser.add_argument("--resume", default=None, metavar="PATH",
                             help="resume a crashed run from the "
                                  "checkpoint at PATH")
+    run_parser.add_argument("--parallel", action="store_true",
+                            help="run the auctions concurrently: the "
+                                 "phase-barrier driver by default, or the "
+                                 "process-pool engine with --workers or "
+                                 "--checkpoint/--resume")
+    run_parser.add_argument("--workers", type=int, default=None, metavar="N",
+                            help="shard the auctions across N OS processes "
+                                 "(requires --parallel); outcomes are "
+                                 "bit-identical to the sequential driver")
     run_parser.set_defaults(handler=cmd_run)
 
     minwork_parser = subparsers.add_parser(

@@ -20,6 +20,7 @@ the corresponding theorem says it must.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -95,6 +96,13 @@ class DMWAgent:
         for value in self.true_values:
             parameters.validate_bid(value)
         self.rng = rng or random.Random(index)
+        # Determinism contract (docs/PERFORMANCE.md, "Process-pool
+        # execution"): private randomness is consumed through per-task
+        # substreams derived from this root, so every driver — sequential,
+        # phase-barrier, process-pool — draws identical polynomial
+        # coefficients for a given (seed, task) regardless of execution
+        # order or process boundaries.
+        self.rng_root = self.rng.getrandbits(64)
         self.counter = OperationCounter()
         # Memo for publicly derivable values (Gamma/Phi, commitment
         # evaluations, Lagrange weights).  The protocol replaces it with
@@ -118,6 +126,19 @@ class DMWAgent:
 
     def _state(self, task: int) -> _TaskState:
         return self._tasks.setdefault(task, _TaskState())
+
+    def task_rng(self, task: int) -> random.Random:
+        """The private randomness substream for ``task``'s auction.
+
+        Derived by hashing ``(rng_root, task)`` so the stream is a pure
+        function of the agent's seed and the task index — independent of
+        the order auctions are run in and of process boundaries.  This is
+        what makes the process-pool driver (:mod:`repro.parallel`)
+        bit-identical to the sequential one.
+        """
+        digest = hashlib.sha256(
+            b"dmw-task-rng|%d|%d" % (self.rng_root, task)).digest()
+        return random.Random(int.from_bytes(digest, "big"))
 
     def _abort(self, reason: str, phase: str, task: Optional[int] = None,
                offender: Optional[int] = None) -> ProtocolAbort:
@@ -154,7 +175,7 @@ class DMWAgent:
         """
         state = self._state(task)
         state.package = encode_bid(self.parameters, self.choose_bid(task),
-                                   self.rng, self.counter)
+                                   self.task_rng(task), self.counter)
         bundles = all_share_bundles(self.parameters, state.package,
                                     self.counter)
         state.received_bundles[self.index] = bundles.pop(self.index)

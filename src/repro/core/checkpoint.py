@@ -1,46 +1,51 @@
 """Checkpoint/resume: serializable protocol state at auction boundaries.
 
-The sequential driver runs one complete auction per iteration; between
-two auctions the distributed state is *quiescent* — every inbox is
-drained, no message is in flight, and the only state that determines the
-rest of the execution is (a) each agent's private randomness stream, (b)
-the resolved transcripts so far, (c) the accumulated accounting (operation
-counters, network metrics, wall clock), and (d) the degraded-mode
-quarantine record.  :class:`ProtocolCheckpoint` captures exactly that, so
-a crashed orchestrator can be restarted from the last boundary and
-produce an outcome **identical** to the uninterrupted run: same schedule,
-same payments, same transcripts, same operation counts, same network
-totals (``tests/test_checkpoint.py`` pins this down).
+Both drivers that support checkpointing reach *quiescent* boundaries —
+instants where every inbox is drained and no message is in flight:
+
+* the **sequential driver** after each completed auction (a prefix
+  frontier ``{0, ..., k-1}``);
+* the **process-pool driver** (:mod:`repro.parallel`) after merging each
+  shard — a *completed-auction frontier*, in general any subset of
+  ``range(m)`` (tracked explicitly in :attr:`completed_tasks`).
+
+At a boundary the only state that determines the rest of the execution
+is (a) each agent's private randomness (per-task substreams derived from
+``rng_root``, plus the residual stream state), (b) the resolved
+transcripts so far, (c) the accumulated accounting (operation counters,
+network metrics, wall clock), (d) the degraded-mode quarantine record,
+and (e) the public-value cache.  :class:`ProtocolCheckpoint` captures
+exactly that, so a crashed orchestrator can be restarted from the last
+boundary and produce an outcome **identical** to the uninterrupted run:
+same schedule, same payments, same transcripts, same operation counts,
+same network totals, same ``cache_stats``
+(``tests/test_checkpoint.py`` / ``tests/test_process_pool.py`` pin this
+down).
 
 What is deliberately *not* captured:
 
 * Cryptographic secrets — shares, polynomials, commitments.  Completed
   auctions are summarised by their public transcript (winner and prices
   are all the payments phase needs), and the in-flight auction is simply
-  re-run from its start, regenerating shares from the restored rng
-  streams.  A checkpoint file therefore leaks nothing the bulletin board
-  did not already reveal.
+  re-run from its start, regenerating shares from the per-task rng
+  substreams.  A checkpoint file therefore leaks nothing the bulletin
+  board did not already reveal — the cache state in :attr:`cache_state`
+  consists purely of bulletin-board-derivable values (commitment
+  evaluations, Lagrange weights, memoised resolution results).
 * The bulletin-board history.  Resuming restores the *outcome*-relevant
   state; a post-resume transcript audit only covers the auctions run
   since the restart.
-* The shared public-value cache.  It is rebuilt cold on resume;
-  operation counters are unaffected because the analytic schedule is
-  charged on cache hits too (``docs/PERFORMANCE.md``), so only the
-  ``cache_stats`` diagnostic differs from the uninterrupted run.
 
-Checkpointing is a sequential-driver feature: the parallel driver has no
-quiescent boundary short of the whole Phase II-III block, so
-:meth:`~repro.core.protocol.DMWProtocol.execute` rejects the combination.
-
-Serialization lives in :mod:`repro.serialization` (format version 3,
-document type ``dmw_checkpoint``); this module holds only the in-memory
-state transfer, keeping the dependency one-directional.
+Serialization lives in :mod:`repro.serialization` (format version 4,
+document type ``dmw_checkpoint``; version-3 documents without the
+frontier/cache fields remain loadable); this module holds only the
+in-memory state transfer, keeping the dependency one-directional.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
 
 from ..network.metrics import NetworkMetrics
 from .exceptions import ParameterError, ProtocolAbort
@@ -68,14 +73,15 @@ def decode_rng_state(encoded: List[Any]) -> Any:
 
 @dataclass
 class ProtocolCheckpoint:
-    """Everything needed to resume a sequential execution at a boundary.
+    """Everything needed to resume an execution at a quiescent boundary.
 
     Attributes
     ----------
     num_tasks:
         Total number of auctions the execution runs.
     next_task:
-        First task index the resumed run must execute.
+        One past the highest attempted task (kept for format-version-3
+        compatibility; :meth:`completed_set` is authoritative).
     degraded:
         Whether the interrupted execution ran in graceful-degradation
         mode (a resume must use the same mode).
@@ -98,6 +104,17 @@ class ProtocolCheckpoint:
         Extra :class:`~repro.network.asynchronous.TimeoutNetwork` wall
         state (``clock``/``late_messages``/``retries``/``recovered``),
         empty for plain synchronous networks.
+    completed_tasks:
+        The completed-auction frontier: every task already attempted
+        (completed or quarantined).  ``None`` on documents written before
+        format version 4, in which case the prefix ``range(next_task)``
+        is implied (see :meth:`completed_set`).
+    cache_state:
+        :meth:`~repro.crypto.fastexp.PublicValueCache.export_state`
+        snapshot of the shared public-value cache (sequential driver), or
+        a stats-only snapshot of the merged per-shard statistics
+        (process-pool driver).  Restoring it makes a resumed run's
+        ``cache_stats`` agree exactly with the uninterrupted run.
     """
 
     num_tasks: int
@@ -111,6 +128,18 @@ class ProtocolCheckpoint:
     network_metrics: Dict[str, int] = field(default_factory=dict)
     round_index: int = 0
     timeout_state: Dict[str, Any] = field(default_factory=dict)
+    completed_tasks: Optional[List[int]] = None
+    cache_state: Dict[str, Any] = field(default_factory=dict)
+
+    def completed_set(self) -> Set[int]:
+        """Tasks the resumed run must *not* re-execute.
+
+        Version-4 documents carry the frontier explicitly; older
+        documents imply the prefix ``range(next_task)``.
+        """
+        if self.completed_tasks is not None:
+            return set(self.completed_tasks)
+        return set(range(self.next_task))
 
     # -- capture ---------------------------------------------------------------
     @classmethod
@@ -126,6 +155,16 @@ class ProtocolCheckpoint:
         for attr in ("clock", "late_messages", "retries", "recovered"):
             if hasattr(network, attr):
                 timeout_state[attr] = getattr(network, attr)
+        completed = sorted({t.task for t in protocol._transcripts}
+                           | set(protocol._task_aborts))
+        cache_state: Dict[str, Any] = {}
+        override = getattr(protocol, "_cache_stats_override", None)
+        if override is not None:
+            # Process-pool driver: per-shard caches die with their
+            # workers; persist the merged cumulative statistics.
+            cache_state = {"stats": dict(override)}
+        elif protocol._shared_cache is not None:
+            cache_state = protocol._shared_cache.export_state()
         return cls(
             num_tasks=num_tasks,
             next_task=next_task,
@@ -140,6 +179,8 @@ class ProtocolCheckpoint:
             network_metrics=network.metrics.as_dict(),
             round_index=network.round_index,
             timeout_state=timeout_state,
+            completed_tasks=completed,
+            cache_state=cache_state,
         )
 
     # -- restore ---------------------------------------------------------------
@@ -184,6 +225,11 @@ class ProtocolCheckpoint:
         for attr, value in self.timeout_state.items():
             if hasattr(protocol.network, attr):
                 setattr(protocol.network, attr, value)
+        # Public-value cache: restore counters (and, for full sequential
+        # snapshots, the memoised entries) so the resumed run's
+        # ``cache_stats`` agree exactly with the uninterrupted run.
+        if self.cache_state and protocol._shared_cache is not None:
+            protocol._shared_cache.import_state(self.cache_state)
 
 
 def _metrics_from_totals(totals: Dict[str, int]) -> NetworkMetrics:

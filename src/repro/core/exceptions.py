@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 
 class DMWError(Exception):
@@ -48,3 +48,9 @@ class ProtocolAbort(DMWError):
         return ("ProtocolAbort(reason=%r, phase=%r, task=%r, detected_by=%r, "
                 "offender=%r)" % (self.reason, self.phase, self.task,
                                   self.detected_by, self.offender))
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        """Pickle support (the process-pool driver ships aborts between
+        processes; the default exception reduction would drop ``phase``)."""
+        return (ProtocolAbort, (self.reason, self.phase, self.task,
+                                self.detected_by, self.offender))

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from typing import Union
 
@@ -64,6 +64,9 @@ class DMWOutcome:
     #: Per-task aborts that were quarantined instead of voiding the run
     #: (empty outside degraded mode and on fault-free degraded runs).
     task_aborts: Dict[int, ProtocolAbort] = field(default_factory=dict)
+    #: Process-pool driver metadata (``workers``, ``batches``,
+    #: ``tasks_pooled``); empty for the in-process drivers.
+    parallelism: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def quarantined_tasks(self) -> Tuple[int, ...]:

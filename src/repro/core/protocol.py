@@ -46,8 +46,10 @@ per-task structure to degrade along.  See ``docs/RESILIENCE.md``.
 
 from __future__ import annotations
 
+import os
 import random
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set,
+                    Tuple)
 
 if TYPE_CHECKING:  # pragma: no cover - import for annotations only
     from .checkpoint import ProtocolCheckpoint
@@ -134,6 +136,12 @@ class DMWProtocol:
         self._task_aborts: Dict[int, ProtocolAbort] = {}
         self._shared_cache: Optional[PublicValueCache] = None
         self._degraded = False
+        # Process-pool driver state: the merged per-shard cache statistics
+        # (shards use per-task caches, so the shared cache's own counters
+        # are not the execution's cache_stats) and the driver metadata
+        # attached to the outcome's ``parallelism`` section.
+        self._cache_stats_override: Optional[Dict[str, int]] = None
+        self._parallelism: Dict[str, Any] = {}
 
     # -- helpers --------------------------------------------------------------
     @property
@@ -167,11 +175,20 @@ class DMWProtocol:
             network_metrics=self.network.metrics,
             agent_operations=[agent.counter.snapshot()
                               for agent in self.agents],
-            cache_stats=(self._shared_cache.stats()
-                         if self._shared_cache is not None else {}),
+            cache_stats=self._execution_cache_stats(),
             degraded=self._degraded,
             task_aborts=dict(self._task_aborts),
+            parallelism=dict(self._parallelism),
         )
+
+    def _execution_cache_stats(self) -> Dict[str, int]:
+        """The outcome's ``cache_stats``: merged shard sums (pool driver)
+        or the shared execution cache's own tallies (in-process drivers)."""
+        if self._cache_stats_override is not None:
+            return dict(self._cache_stats_override)
+        if self._shared_cache is not None:
+            return self._shared_cache.stats()
+        return {}
 
     def _quarantine(self, task: int, abort: ProtocolAbort) -> None:
         """Degraded mode: condemn one auction instead of the whole run."""
@@ -757,7 +774,8 @@ class DMWProtocol:
     def execute(self, num_tasks: int, parallel: bool = False,
                 degraded: bool = False,
                 checkpoint_path: Optional[str] = None,
-                resume: Optional["ProtocolCheckpoint"] = None) -> DMWOutcome:
+                resume: Optional["ProtocolCheckpoint"] = None,
+                workers: Optional[int] = None) -> DMWOutcome:
         """Run all ``num_tasks`` auctions plus the payments phase.
 
         Parameters
@@ -765,10 +783,19 @@ class DMWProtocol:
         num_tasks:
             Number of auctions ``m``.
         parallel:
-            When True, all auctions advance phase-by-phase inside shared
-            barriers (the paper's "parallel and independent" reading):
+            When True, the auctions run concurrently instead of strictly
+            one after another.  Without ``workers`` (and without
+            checkpoint/resume) this selects the in-process phase-barrier
+            driver: all auctions advance phase-by-phase inside shared
+            barriers (the paper's "parallel and independent" reading),
             5-7 rounds total instead of ``4m + 1``, identical messages
-            and outcomes.
+            and outcomes.  With ``workers`` (or with
+            ``checkpoint_path``/``resume``, which imply the pool) the
+            process-pool engine in :mod:`repro.parallel` shards the
+            auctions across worker processes and merges them back
+            deterministically — outcomes, transcripts, payments, and
+            per-agent operation counts are bit-identical to the
+            sequential driver (see ``docs/PERFORMANCE.md``).
         degraded:
             When True, a per-task abort quarantines that auction instead
             of voiding the run: surviving tasks complete with transcripts
@@ -779,23 +806,42 @@ class DMWProtocol:
             whole execution (see ``docs/RESILIENCE.md``).
         checkpoint_path:
             When given, a ``dmw_checkpoint`` document is written to this
-            path after every completed (or quarantined) auction, so a
-            crashed orchestrator can be resumed from the last boundary.
-            Sequential driver only.
+            path after every completed (or quarantined) auction — the
+            sequential driver's prefix boundary, or the process-pool
+            driver's completed-auction frontier — so a crashed
+            orchestrator can be resumed from the last boundary.  The
+            phase-barrier driver (``parallel=True`` without ``workers``)
+            has no quiescent auction boundary, so combining it with
+            checkpointing routes the run through the process pool.
         resume:
             A :class:`~repro.core.checkpoint.ProtocolCheckpoint` to
-            restore before running: completed auctions are skipped and
-            the execution continues from ``resume.next_task``, producing
-            an outcome identical to the uninterrupted run (cache_stats
-            excepted — the shared cache restarts cold).  The protocol
-            must be freshly constructed with the original configuration.
-            Sequential driver only.
+            restore before running: auctions inside the checkpoint's
+            completed frontier are skipped and the execution runs exactly
+            the remaining ones, producing an outcome identical to the
+            uninterrupted run — ``cache_stats`` included, since the
+            checkpoint carries the public-value cache state.  The
+            protocol must be freshly constructed with the original
+            configuration.
+        workers:
+            Number of OS processes for the process-pool engine; requires
+            ``parallel=True``.  ``workers=1`` exercises the pool
+            machinery on a single worker (useful for differential
+            tests).
         """
-        if parallel and (checkpoint_path is not None or resume is not None):
-            raise ParameterError(
-                "checkpoint/resume requires the sequential driver: the "
-                "parallel driver has no quiescent auction boundary"
-            )
+        if workers is not None:
+            if not parallel:
+                raise ParameterError(
+                    "workers=%d requires parallel=True" % workers)
+            if workers < 1:
+                raise ParameterError("workers must be >= 1, got %d" % workers)
+        # checkpoint/resume needs a quiescent auction boundary; the
+        # phase-barrier driver has none, so those runs go through the
+        # process pool (which checkpoints at its completed-task frontier).
+        use_pool = parallel and (
+            workers is not None or checkpoint_path is not None
+            or resume is not None)
+        if use_pool and workers is None:
+            workers = os.cpu_count() or 1
         if resume is not None:
             if resume.num_tasks != num_tasks:
                 raise ParameterError(
@@ -819,16 +865,29 @@ class DMWProtocol:
             agent.adopt_cache(shared_cache)
         self._shared_cache = shared_cache
         self._degraded = degraded
-        start_task = 0
+        skip: Set[int] = set()
         if resume is not None:
             # Restore happens before the observer binds its delta sources,
             # so the run span measures only post-resume work and the
             # phase-partition invariant is preserved.
             resume.apply(self)
-            start_task = resume.next_task
-            self.trace.record("resumed", next_task=start_task,
+            skip = resume.completed_set()
+            self.trace.record("resumed", next_task=resume.next_task,
                               completed=len(self._transcripts),
                               quarantined=sorted(self._task_aborts))
+        if use_pool:
+            # The pool's shards each use a fresh per-task cache; the
+            # execution's cache_stats are the merged per-shard sums,
+            # accumulated here (continuing a resumed run's saved tallies).
+            override: Dict[str, int] = {
+                key: 0 for key in shared_cache.stats()}
+            if resume is not None:
+                for key, value in (resume.cache_state.get("stats")
+                                   or {}).items():
+                    override[key] = int(value)
+            self._cache_stats_override = override
+            self._parallelism = {"workers": workers,
+                                 "tasks_pooled": num_tasks - len(skip)}
         obs = self.observer
         if obs.enabled:
             # Delta sources for the span attribution: summed counted work
@@ -836,13 +895,24 @@ class DMWProtocol:
             obs.bind(self._summed_operations, self.network.metrics.as_dict)
         with obs.span("run", kind=KIND_RUN, num_tasks=num_tasks,
                       num_agents=self.parameters.num_agents,
-                      parallel=parallel):
-            if parallel:
+                      parallel=parallel, workers=workers):
+            if use_pool:
+                # Imported lazily: repro.parallel imports core modules, so
+                # a top-level import here would be circular.
+                from ..parallel import run_pool_auctions
+                assert workers is not None
+                abort = run_pool_auctions(self, num_tasks, workers,
+                                          checkpoint_path)
+                if abort is not None:
+                    return self._void(abort)
+            elif parallel:
                 abort = self._run_parallel_auctions(range(num_tasks))
                 if abort is not None:
                     return self._void(abort)
             else:
-                for task in range(start_task, num_tasks):
+                for task in range(num_tasks):
+                    if task in skip:
+                        continue
                     abort = self._run_auction(task)
                     if abort is not None:
                         if not degraded:
@@ -851,17 +921,18 @@ class DMWProtocol:
                     if checkpoint_path is not None:
                         self._write_checkpoint(checkpoint_path, num_tasks,
                                                task + 1)
+            # Resuming from a mid-run frontier can append transcripts out
+            # of task order; payments and the outcome expect task order.
+            self._transcripts.sort(key=lambda t: t.task)
             completed_tasks = sorted(t.task for t in self._transcripts)
             with obs.span(PAYMENTS_PHASE):
                 abort = self._run_payments(
                     completed_tasks if degraded else None)
             if abort is not None:
                 return self._void(abort)
-            return self._build_completed_outcome(num_tasks, shared_cache)
+            return self._build_completed_outcome(num_tasks)
 
-    def _build_completed_outcome(self, num_tasks: int,
-                                 shared_cache: PublicValueCache
-                                 ) -> DMWOutcome:
+    def _build_completed_outcome(self, num_tasks: int) -> DMWOutcome:
         """Assemble the outcome once payments have been dispensed."""
         if self._task_aborts:
             partial: List[Optional[int]] = [None] * num_tasks
@@ -881,9 +952,10 @@ class DMWProtocol:
             network_metrics=self.network.metrics,
             agent_operations=[agent.counter.snapshot()
                               for agent in self.agents],
-            cache_stats=shared_cache.stats(),
+            cache_stats=self._execution_cache_stats(),
             degraded=self._degraded,
             task_aborts=dict(self._task_aborts),
+            parallelism=dict(self._parallelism),
         )
 
 
@@ -895,7 +967,8 @@ def run_dmw(problem: SchedulingProblem,
             parallel: bool = False,
             degraded: bool = False,
             trace: Optional[ProtocolTrace] = None,
-            observer: Optional[SpanRecorder] = None) -> DMWOutcome:
+            observer: Optional[SpanRecorder] = None,
+            workers: Optional[int] = None) -> DMWOutcome:
     """Convenience entry point: run DMW on an integer-valued instance.
 
     Every ``t_i^j`` must be an integer in the (derived or given) bid set
@@ -921,6 +994,9 @@ def run_dmw(problem: SchedulingProblem,
     observer:
         Optional :class:`~repro.obs.spans.SpanRecorder` for span-based
         observability (see ``docs/OBSERVABILITY.md``).
+    workers:
+        With ``parallel=True``, shard the auctions across this many OS
+        processes via the pool engine (:mod:`repro.parallel`).
     """
     rng = rng or random.Random(0)
     if parameters is None:
@@ -936,4 +1012,4 @@ def run_dmw(problem: SchedulingProblem,
     protocol = DMWProtocol(parameters, agents, trace=trace,
                            observer=observer)
     return protocol.execute(problem.num_tasks, parallel=parallel,
-                            degraded=degraded)
+                            degraded=degraded, workers=workers)

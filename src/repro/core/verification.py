@@ -68,6 +68,17 @@ class CheckStats:
         return {"%s:%s" % (eq, "pass" if ok else "fail"): count
                 for (eq, ok), count in self.items()}
 
+    def merge(self, entries: Sequence[Tuple[Tuple[str, bool], int]]) -> None:
+        """Fold :meth:`items`-shaped tallies into this instance.
+
+        Used by the process-pool driver (:mod:`repro.parallel`) to fold
+        each shard's verification tallies back into the parent agents so
+        the merged observability export matches the sequential driver.
+        """
+        for (equation, passed), count in entries:
+            key = (equation, bool(passed))
+            self._counts[key] = self._counts.get(key, 0) + count
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "CheckStats(%r)" % (self.as_dict(),)
 

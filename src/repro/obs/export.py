@@ -31,7 +31,13 @@ from .spans import SpanRecorder
 #: Bumped whenever the run-report schema changes shape.  Version 2 adds
 #: the ``resilience`` section (retry/quarantine accounting — exact zeros
 #: on fault-free runs, which the benchmark regression gate asserts).
-REPORT_VERSION = 2
+#: Version 3 adds the ``parallelism`` section (process-pool driver
+#: metadata — ``workers``/``tasks_pooled``/``batches``; empty for the
+#: in-process drivers); version-2 documents remain valid.
+REPORT_VERSION = 3
+
+#: Versions :func:`validate_run_report` accepts.
+_ACCEPTED_VERSIONS = (2, 3)
 
 
 def _sum_operations(agent_operations) -> Dict[str, int]:
@@ -100,6 +106,7 @@ def run_report(outcome: Any,
         },
         "cache": dict(getattr(outcome, "cache_stats", None) or {}),
         "resilience": resilience_summary(outcome),
+        "parallelism": dict(getattr(outcome, "parallelism", None) or {}),
         "phases": phases,
         "spans": spans,
         "events": events,
@@ -193,11 +200,15 @@ def validate_run_report(document: Any) -> None:
     _require(isinstance(document, dict), "report must be a JSON object")
     _require(document.get("type") == "dmw_run_report",
              "type must be 'dmw_run_report'")
-    _require(document.get("version") == REPORT_VERSION,
+    _require(document.get("version") in _ACCEPTED_VERSIONS,
              "unsupported report version %r" % document.get("version"))
     for key in ("params", "completed", "totals", "cache", "resilience",
                 "phases", "spans", "events", "metrics"):
         _require(key in document, "missing key %r" % key)
+    if document["version"] >= 3:
+        _require("parallelism" in document, "missing key 'parallelism'")
+        _require(isinstance(document["parallelism"], dict),
+                 "parallelism must be an object")
     _require(isinstance(document["completed"], bool),
              "completed must be a bool")
 

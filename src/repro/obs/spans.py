@@ -86,6 +86,26 @@ class Span:
             "network": dict(self.network),
         }
 
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "Span":
+        """Decode a span encoded by :meth:`to_dict` (round-trip).
+
+        Used by the process-pool driver (:mod:`repro.parallel`) to graft
+        worker-side spans back into the parent recorder.
+        """
+        return cls(
+            span_id=document["span_id"],
+            parent_id=document["parent_id"],
+            name=document["name"],
+            kind=document["kind"],
+            task=document["task"],
+            start=document["start_s"],
+            end=document["end_s"],
+            attributes=dict(document.get("attributes") or {}),
+            operations=dict(document.get("operations") or {}),
+            network=dict(document.get("network") or {}),
+        )
+
 
 @dataclass(frozen=True)
 class SpanEvent:

@@ -1,0 +1,395 @@
+"""Process-pool execution engine: the ``m`` auctions across N OS processes.
+
+The paper's auctions are "parallel and independent" — nothing computed in
+task ``j``'s auction feeds task ``k``'s.  The in-process phase-barrier
+driver (``DMWProtocol.execute(parallel=True)``) exploits that to compress
+*rounds* (``4m + 1`` down to 5) but still serialises all computation on
+one core.  This module adds the missing axis: ``execute(parallel=True,
+workers=N)`` shards the per-task auctions across ``N`` worker *processes*
+and deterministically merges the results back into the parent protocol,
+bit-identical to the sequential driver.
+
+Determinism contract (``docs/PERFORMANCE.md``)
+----------------------------------------------
+* **Private randomness** is drawn from per-``(agent, task)`` substreams:
+  :meth:`~repro.core.agent.DMWAgent.task_rng` hashes the agent's
+  ``rng_root`` (itself derived from the run seed at construction) with
+  the task index, so the polynomial coefficients for a given task are a
+  pure function of ``(seed, task)`` — independent of execution order,
+  interleaving, and process boundaries.  Every driver uses the same
+  substreams, so outcomes, transcripts, and per-agent
+  :class:`~repro.crypto.modular.OperationCounter` totals are identical
+  across drivers by construction.
+* **Work units** are picklable: a worker receives only the task index;
+  the shared :class:`PoolSpec` (parameters, true values, rng roots) is
+  installed once per worker process via the pool initializer.  Nothing
+  secret crosses the process boundary that the agents would not have
+  derived themselves; shard *results* carry only public data (the
+  transcript, accounting totals, trace/span exports).
+* **Dispatch is batched and the merge is ordered**: tasks are submitted
+  in deterministic batches of ``workers`` and merged strictly in task
+  order, so the frontier only ever grows as a prefix of the remaining
+  tasks, the merged trace replays in the sequential driver's order, and
+  a strict-mode abort voids the run with exactly the accounting the
+  sequential driver would have accumulated (completed tasks before the
+  aborting one, plus the aborting auction's partial work — shards after
+  the lowest aborting task are discarded unmerged).
+
+Merge semantics
+---------------
+Each shard runs the full auction for one task on a fresh network with
+fresh zeroed counters and a fresh per-task
+:class:`~repro.crypto.fastexp.PublicValueCache`.  The parent folds, per
+shard and in task order:
+
+* per-agent operation counters (additive) and verification tallies;
+* :class:`~repro.network.metrics.NetworkMetrics` totals and the round
+  index (per-task rounds sum back to the sequential ``4m`` total);
+* the public transcript, including the winner/price fields the payments
+  phase reads from each parent agent's task state;
+* cache statistics (per-task sums — see the note below);
+* trace events (replayed through the parent trace) and observability
+  spans (grafted under the open ``run`` span with renumbered ids and
+  rebased timestamps, so the phase-partition invariant of
+  ``validate_run_report`` holds exactly on the merged report).
+
+The one documented accounting difference vs. the sequential driver is
+``cache_stats``: the sequential driver shares one cache across all ``m``
+auctions (cross-task Lagrange-weight hits), while the pool driver's
+shards use per-task caches.  The merged statistics are the deterministic
+per-task sums — identical for every ``workers`` count ≥ 1 (pinned by
+``tests/test_process_pool.py``) — but not equal to the shared-cache
+numbers.  Counters are unaffected either way: the analytic schedule is
+charged on cache hits too (``docs/PERFORMANCE.md``).
+
+Checkpointing
+-------------
+With ``checkpoint_path`` the parent writes a *completed-auction frontier*
+checkpoint after every merged task, carrying the cumulative merged cache
+statistics; a killed run resumes (``resume=...``) by re-running exactly
+the tasks outside the frontier and produces an outcome identical to the
+uninterrupted run, ``cache_stats`` included (``docs/RESILIENCE.md``).
+
+Scope: the pool driver covers the fault-free fast path — plain
+:class:`~repro.core.agent.DMWAgent` strategies over an obedient
+:class:`~repro.network.simulator.SynchronousNetwork`.  Deviation studies,
+fault injection, and latency/timeout models use the in-process drivers,
+which simulate those adversarial schedules faithfully; the engine rejects
+unsupported configurations with :class:`~repro.core.exceptions.ParameterError`
+rather than silently dropping the fault plan.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from .core.agent import DMWAgent
+from .core.exceptions import ParameterError, ProtocolAbort
+from .core.outcome import AuctionTranscript
+from .core.trace import NullTrace, ProtocolTrace
+from .crypto.fastexp import PublicValueCache, merge_cache_stats
+from .crypto.modular import OperationCounter
+from .network.simulator import SynchronousNetwork
+from .obs.spans import Span, SpanEvent, SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core.protocol import DMWProtocol
+
+#: Test hook invoked after each shard merge (and checkpoint write) with
+#: the just-merged :class:`ShardResult`; ``tests/test_process_pool.py``
+#: raises from it to simulate a crash between frontier checkpoints.
+_POST_MERGE_HOOK: Optional[Callable[["ShardResult"], None]] = None
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Everything a worker process needs to rebuild the execution context.
+
+    Installed once per worker via the pool initializer; deliberately tiny
+    and picklable (parameters are a few hundred bytes).  ``rng_roots``
+    are the parent agents' substream roots, so worker-side agents derive
+    exactly the parent's per-task randomness.
+    """
+
+    parameters: Any
+    true_values: Tuple[Tuple[int, ...], ...]
+    rng_roots: Tuple[int, ...]
+    degraded: bool
+    observe: bool
+    trace_enabled: bool
+
+
+@dataclass
+class ShardResult:
+    """One task's auction, fully accounted, as returned by a worker."""
+
+    task: int
+    abort: Optional[ProtocolAbort]
+    transcript: Optional[AuctionTranscript]
+    agent_operations: List[Dict[str, int]] = field(default_factory=list)
+    check_stats: List[List[Tuple[Tuple[str, bool], int]]] = \
+        field(default_factory=list)
+    network_totals: Dict[str, int] = field(default_factory=dict)
+    round_index: int = 0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    trace_events: List[Dict[str, Any]] = field(default_factory=list)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    span_events: List[Dict[str, Any]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_SPEC: Optional[PoolSpec] = None
+
+
+def _init_worker(spec: PoolSpec) -> None:
+    """Pool initializer: stash the shared spec in the worker process."""
+    global _SPEC
+    _SPEC = spec
+
+
+def _run_shard(task: int) -> ShardResult:
+    """Run one task's full auction in this worker and account it.
+
+    Builds a fresh, self-contained execution context — agents seeded
+    with the parent's substream roots, an obedient synchronous network,
+    a per-task public-value cache — and runs the same
+    ``DMWProtocol._run_auction`` code path the sequential driver uses,
+    so the shard's counters, messages, rounds, spans, and trace are
+    exactly what the sequential driver would have recorded for this
+    task.
+    """
+    spec = _SPEC
+    if spec is None:  # pragma: no cover - initializer contract
+        raise RuntimeError("worker used before _init_worker installed a spec")
+    # Local import: repro.core.protocol imports this module lazily, so the
+    # reverse import must happen at call time to stay cycle-free.
+    from .core.protocol import DMWProtocol
+
+    agents = []
+    for index in range(spec.parameters.num_agents):
+        agent = DMWAgent(index, spec.parameters,
+                         list(spec.true_values[index]),
+                         rng=random.Random(0))
+        # Adopt the parent's substream root: task_rng(task) now yields the
+        # exact coefficients the parent's agent would have drawn.
+        agent.rng_root = spec.rng_roots[index]
+        agents.append(agent)
+    trace = ProtocolTrace() if spec.trace_enabled else None
+    recorder = SpanRecorder() if spec.observe else None
+    protocol = DMWProtocol(spec.parameters, agents, trace=trace,
+                           observer=recorder)
+    cache = PublicValueCache()
+    for agent in agents:
+        agent.adopt_cache(cache)
+    protocol._shared_cache = cache
+    protocol._degraded = spec.degraded
+    if recorder is not None:
+        recorder.bind(protocol._summed_operations,
+                      protocol.network.metrics.as_dict)
+
+    abort = protocol._run_auction(task)
+
+    transcript = None
+    if abort is None:
+        transcript = protocol._transcripts[-1]
+    return ShardResult(
+        task=task,
+        abort=abort,
+        transcript=transcript,
+        agent_operations=[agent.counter.snapshot() for agent in agents],
+        check_stats=[list(agent.check_stats.items()) for agent in agents],
+        network_totals=protocol.network.metrics.as_dict(),
+        round_index=protocol.network.round_index,
+        cache_stats=cache.stats(),
+        trace_events=(trace.to_list() if trace is not None else []),
+        spans=([span.to_dict() for span in recorder.spans]
+               if recorder is not None else []),
+        span_events=([event.to_dict() for event in recorder.events]
+                     if recorder is not None else []),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parent side: validation, merge, drive
+# ---------------------------------------------------------------------------
+
+def _plan_is_obedient(plan: Any) -> bool:
+    """True iff the fault plan injects nothing (Theorem 3's network)."""
+    return (not plan.crashed_from_round and not plan.dropped_links
+            and not plan.drop_probability and not plan.corruptors)
+
+
+def _validate_poolable(protocol: "DMWProtocol") -> None:
+    """Reject configurations the process-pool driver cannot shard.
+
+    The shards rebuild the execution context inside worker processes;
+    anything that cannot be reconstructed faithfully there — deviating
+    agent strategies, injected faults, timeout/latency network models,
+    delivery recording — must use the in-process drivers instead.
+    """
+    for agent in protocol.agents:
+        if type(agent) is not DMWAgent:
+            raise ParameterError(
+                "process-pool driver requires plain DMWAgent strategies; "
+                "agent %d is %s (use the sequential or phase-barrier "
+                "driver for deviation studies)"
+                % (agent.index, type(agent).__name__))
+    network = protocol.network
+    if type(network) is not SynchronousNetwork:
+        raise ParameterError(
+            "process-pool driver requires the plain SynchronousNetwork; "
+            "got %s (timeout/latency models are in-process only)"
+            % type(network).__name__)
+    if not _plan_is_obedient(network.fault_plan):
+        raise ParameterError(
+            "process-pool driver requires an obedient fault plan; "
+            "fault injection studies use the in-process drivers")
+    if network.record_deliveries:
+        raise ParameterError(
+            "process-pool driver does not reconstruct per-copy delivery "
+            "logs; disable record_deliveries")
+
+
+def _metrics_from_totals_dict(totals: Dict[str, int]) -> Any:
+    from .core.checkpoint import _metrics_from_totals
+    return _metrics_from_totals(totals)
+
+
+def _graft_spans(recorder: SpanRecorder, result: ShardResult) -> None:
+    """Splice a shard's spans/events under the parent's open run span.
+
+    Ids are renumbered into the parent's id space, shard roots are
+    re-parented under the currently open span, and timestamps are
+    rebased so every grafted span ends at (or before) the merge instant
+    — preserving both id uniqueness and the ``end >= start`` schema rule
+    while keeping the per-span operation/network deltas untouched, which
+    is all the phase-partition invariant reads.
+    """
+    if not recorder.enabled or not result.spans:
+        return
+    base = recorder._next_id
+    parent_id = recorder._stack[-1] if recorder._stack else None
+    now = recorder.clock() - recorder.epoch
+    max_end = max(span["end_s"] for span in result.spans)
+    offset = now - max_end
+    highest = 0
+    for document in result.spans:
+        span = Span.from_dict(document)
+        highest = max(highest, span.span_id)
+        span.span_id = base + span.span_id
+        span.parent_id = (base + span.parent_id
+                          if span.parent_id is not None else parent_id)
+        span.start += offset
+        span.end += offset
+        recorder.spans.append(span)
+    for document in result.span_events:
+        recorder.events.append(SpanEvent(
+            timestamp=document["timestamp_s"] + offset,
+            span_id=(base + document["span_id"]
+                     if document["span_id"] is not None else parent_id),
+            name=document["name"],
+            attributes=dict(document.get("attributes") or {}),
+        ))
+    recorder._next_id = base + highest + 1
+
+
+def _merge_shard(protocol: "DMWProtocol", result: ShardResult) -> None:
+    """Fold one shard's accounting into the parent protocol (additive).
+
+    Mirrors :meth:`~repro.core.checkpoint.ProtocolCheckpoint.apply`:
+    counters and network totals continue from the parent's state, the
+    transcript's public results are installed into every parent agent's
+    task state (what the payments phase reads), and trace/span exports
+    are replayed/grafted.  Merging is additive and per-task, so the
+    final state after merging all shards in task order equals the
+    sequential driver's state exactly.
+    """
+    for agent, operations, tallies in zip(protocol.agents,
+                                          result.agent_operations,
+                                          result.check_stats):
+        delta = OperationCounter()
+        delta.restore(operations)
+        agent.counter.merge(delta)
+        agent.check_stats.merge(tallies)
+    protocol.network.metrics.merge(
+        _metrics_from_totals_dict(result.network_totals))
+    protocol.network.round_index += result.round_index
+    if result.transcript is not None:
+        transcript = result.transcript
+        for agent in protocol.agents:
+            state = agent.task_state(transcript.task)
+            state.first_price = transcript.first_price
+            state.winner = transcript.winner
+            state.second_price = transcript.second_price
+        protocol._transcripts.append(transcript)
+    if protocol._cache_stats_override is not None:
+        merge_cache_stats(protocol._cache_stats_override, result.cache_stats)
+    for event in result.trace_events:
+        protocol.trace.record(event["kind"], task=event["task"],
+                              **event["detail"])
+    _graft_spans(protocol.observer, result)
+
+
+def _batches(items: List[int], size: int) -> List[List[int]]:
+    return [items[start:start + size]
+            for start in range(0, len(items), size)]
+
+
+def run_pool_auctions(protocol: "DMWProtocol", num_tasks: int, workers: int,
+                      checkpoint_path: Optional[str]
+                      ) -> Optional[ProtocolAbort]:
+    """Drive the remaining auctions through a process pool and merge.
+
+    Called by :meth:`~repro.core.protocol.DMWProtocol.execute` inside the
+    open ``run`` span, after any ``resume`` checkpoint has been applied.
+    Returns the abort that voids the run (strict mode), or ``None``.
+    """
+    _validate_poolable(protocol)
+    done = {t.task for t in protocol._transcripts}
+    done.update(protocol._task_aborts)
+    remaining = [task for task in range(num_tasks) if task not in done]
+    spec = PoolSpec(
+        parameters=protocol.parameters,
+        true_values=tuple(tuple(agent.true_values)
+                          for agent in protocol.agents),
+        rng_roots=tuple(agent.rng_root for agent in protocol.agents),
+        degraded=protocol._degraded,
+        observe=protocol.observer.enabled,
+        trace_enabled=not isinstance(protocol.trace, NullTrace),
+    )
+    batch_count = 0
+    if not remaining:
+        return None
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=_init_worker,
+                             initargs=(spec,)) as pool:
+        for batch in _batches(remaining, workers):
+            batch_count += 1
+            futures = [pool.submit(_run_shard, task) for task in batch]
+            # Deterministic ordered merge: results are consumed in task
+            # order regardless of which worker finishes first.
+            for future in futures:
+                result = future.result()
+                if result.abort is not None and not protocol._degraded:
+                    # Strict mode: merge the aborting auction's partial
+                    # accounting (the sequential driver charges it too),
+                    # discard everything after it, and void the run.
+                    _merge_shard(protocol, result)
+                    protocol._parallelism["batches"] = batch_count
+                    return result.abort
+                _merge_shard(protocol, result)
+                if result.abort is not None:
+                    protocol._quarantine(result.task, result.abort)
+                if checkpoint_path is not None:
+                    protocol._write_checkpoint(checkpoint_path, num_tasks,
+                                               result.task + 1)
+                if _POST_MERGE_HOOK is not None:
+                    _POST_MERGE_HOOK(result)
+    protocol._parallelism["batches"] = batch_count
+    return None

@@ -33,10 +33,15 @@ from .scheduling.schedule import PartialSchedule, Schedule
 #: (``null`` assignment entries for quarantined tasks), and the optional
 #: ``degraded``/``task_aborts`` outcome fields; version-1/2 documents
 #: remain loadable (the new keys default to empty/False).
-FORMAT_VERSION = 3
+#: Version 4 adds the checkpoint's completed-auction frontier
+#: (``completed_tasks``) and public-value cache snapshot (``cache_state``)
+#: plus the optional ``parallelism`` outcome section (process-pool driver
+#: metadata); version-3 documents remain loadable (the frontier defaults
+#: to the ``next_task`` prefix, the cache snapshot to empty).
+FORMAT_VERSION = 4
 
 #: Document versions :func:`loads` accepts.
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 #: First format version that can carry each v3-only document type.
 _CHECKPOINT_MIN_VERSION = 3
@@ -161,6 +166,7 @@ def outcome_to_dict(outcome: DMWOutcome,
         "task_aborts": {str(task): _abort_to_dict(abort)
                         for task, abort in sorted(
                             outcome.task_aborts.items())},
+        "parallelism": dict(outcome.parallelism),
         "trace": trace.to_list() if trace is not None else None,
     }
 
@@ -212,6 +218,7 @@ def outcome_from_dict(document: Dict[str, Any]) -> DMWOutcome:
         task_aborts={int(task): _abort_from_dict(raw)
                      for task, raw in
                      (document.get("task_aborts") or {}).items()},
+        parallelism=dict(document.get("parallelism") or {}),
     )
 
 
@@ -249,9 +256,11 @@ def trace_from_dict(document: Dict[str, Any]) -> Optional[ProtocolTrace]:
 def checkpoint_to_dict(checkpoint: ProtocolCheckpoint) -> Dict[str, Any]:
     """Encode a :class:`~repro.core.checkpoint.ProtocolCheckpoint`.
 
-    Format version 3+ only.  The rng states are the JSON encodings
-    produced by :func:`repro.core.checkpoint.encode_rng_state`; no
-    cryptographic secret appears in the document (see the module
+    Format version 3+ only (version 4 adds the completed-auction
+    frontier and the cache snapshot).  The rng states are the JSON
+    encodings produced by :func:`repro.core.checkpoint.encode_rng_state`;
+    no cryptographic secret appears in the document — the cache snapshot
+    holds only bulletin-board-derivable public values (see the module
     docstring of :mod:`repro.core.checkpoint`).
     """
     return {
@@ -272,6 +281,10 @@ def checkpoint_to_dict(checkpoint: ProtocolCheckpoint) -> Dict[str, Any]:
         "network_metrics": dict(checkpoint.network_metrics),
         "round_index": checkpoint.round_index,
         "timeout_state": dict(checkpoint.timeout_state),
+        "completed_tasks": (list(checkpoint.completed_tasks)
+                            if checkpoint.completed_tasks is not None
+                            else None),
+        "cache_state": dict(checkpoint.cache_state),
     }
 
 
@@ -298,6 +311,12 @@ def checkpoint_from_dict(document: Dict[str, Any]) -> ProtocolCheckpoint:
         network_metrics=dict(document["network_metrics"]),
         round_index=document["round_index"],
         timeout_state=dict(document.get("timeout_state") or {}),
+        # Version-3 documents predate the explicit frontier; None keeps
+        # ProtocolCheckpoint.completed_set() on its prefix fallback.
+        completed_tasks=(list(document["completed_tasks"])
+                         if document.get("completed_tasks") is not None
+                         else None),
+        cache_state=dict(document.get("cache_state") or {}),
     )
 
 

@@ -3,8 +3,9 @@
 The acceptance criterion (ISSUE tentpole 3): an execution interrupted
 after auction ``k`` and resumed from its checkpoint in a *fresh* process
 produces an outcome identical to the uninterrupted run — schedule,
-payments, transcripts, per-agent operation counters, and network
-metrics all match exactly.
+payments, transcripts, per-agent operation counters, network metrics,
+and (format version 4) ``cache_stats`` all match exactly.  Process-pool
+checkpointing is covered by ``tests/test_process_pool.py``.
 """
 
 import json
@@ -91,6 +92,22 @@ class TestCheckpointDocument:
         assert loaded.agent_rng_states == checkpoint.agent_rng_states
         assert loaded.agent_operations == checkpoint.agent_operations
         assert loaded.network_metrics == checkpoint.network_metrics
+        assert loaded.completed_tasks == checkpoint.completed_tasks
+        assert loaded.completed_set() == {0}
+
+    def test_version3_document_implies_prefix_frontier(self, params5,
+                                                       problem, tmp_path):
+        """Pre-frontier documents fall back to the ``next_task`` prefix."""
+        path = str(tmp_path / "cp.json")
+        checkpoint_after(params5, problem, 2, path)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["version"] = 3
+        document.pop("completed_tasks")
+        document.pop("cache_state")
+        loaded = serialization.checkpoint_from_dict(document)
+        assert loaded.completed_tasks is None
+        assert loaded.completed_set() == {0, 1}
 
     def test_document_is_versioned(self, params5, problem, tmp_path):
         path = str(tmp_path / "cp.json")
@@ -148,23 +165,60 @@ class TestResume:
         assert outcome.transcripts == baseline.transcripts
         assert list(outcome.payments) == list(baseline.payments)
 
+    @pytest.mark.parametrize("boundary", [1, 2])
+    def test_resume_restores_cache_stats_exactly(self, params5, problem,
+                                                 baseline, tmp_path,
+                                                 boundary):
+        """The v4 fix: resumed ``cache_stats`` equal the uninterrupted
+        run's — counters *and* entry counts — because the checkpoint
+        carries the full public-value cache snapshot."""
+        path = str(tmp_path / "cp.json")
+        crash = DMWProtocol(params5, make_agents(params5, problem))
+        original = crash._run_auction
+        completed = []
+
+        def interrupted(task):
+            if len(completed) == boundary:
+                raise RuntimeError("simulated crash")
+            completed.append(task)
+            return original(task)
+
+        crash._run_auction = interrupted
+        with pytest.raises(RuntimeError):
+            crash.execute(problem.num_tasks, checkpoint_path=path)
+        loaded = serialization.load_checkpoint(path)
+        assert loaded.completed_set() == set(range(boundary))
+        assert loaded.cache_state["stats"]
+        fresh = DMWProtocol(params5, make_agents(params5, problem))
+        outcome = fresh.execute(problem.num_tasks, resume=loaded)
+        assert outcome.completed
+        assert outcome.transcripts == baseline.transcripts
+        assert outcome.cache_stats == baseline.cache_stats
+
 
 class TestResumeValidation:
-    def test_parallel_with_checkpoint_is_rejected(self, params5, problem,
-                                                  tmp_path):
+    def test_workers_without_parallel_is_rejected(self, params5, problem):
         protocol = DMWProtocol(params5, make_agents(params5, problem))
         with pytest.raises(ParameterError):
-            protocol.execute(problem.num_tasks, parallel=True,
-                             checkpoint_path=str(tmp_path / "cp.json"))
+            protocol.execute(problem.num_tasks, workers=2)
 
-    def test_parallel_with_resume_is_rejected(self, params5, problem,
-                                              tmp_path):
-        path = str(tmp_path / "cp.json")
-        checkpoint_after(params5, problem, 1, path)
-        loaded = serialization.load_checkpoint(path)
+    def test_nonpositive_workers_is_rejected(self, params5, problem):
         protocol = DMWProtocol(params5, make_agents(params5, problem))
         with pytest.raises(ParameterError):
-            protocol.execute(problem.num_tasks, parallel=True, resume=loaded)
+            protocol.execute(problem.num_tasks, parallel=True, workers=0)
+
+    def test_parallel_with_checkpoint_uses_the_pool(self, params5, problem,
+                                                    baseline, tmp_path):
+        """Previously rejected; now routed through the process pool."""
+        path = str(tmp_path / "cp.json")
+        protocol = DMWProtocol(params5, make_agents(params5, problem))
+        outcome = protocol.execute(problem.num_tasks, parallel=True,
+                                   workers=1, checkpoint_path=path)
+        assert outcome.completed
+        assert outcome.parallelism["workers"] == 1
+        assert outcome.transcripts == baseline.transcripts
+        loaded = serialization.load_checkpoint(path)
+        assert loaded.completed_set() == set(range(problem.num_tasks))
 
     def test_num_tasks_mismatch_is_rejected(self, params5, problem,
                                             tmp_path):

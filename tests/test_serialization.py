@@ -180,10 +180,10 @@ class TestVersionCompatibility:
         assert restored.cache_stats == {}
         assert serialization.trace_from_dict(document) is None
 
-    def test_current_documents_carry_version_3(self, problem53):
+    def test_current_documents_carry_version_4(self, problem53):
         document = json.loads(serialization.dumps(problem53))
-        assert document["version"] == serialization.FORMAT_VERSION == 3
-        assert serialization.SUPPORTED_VERSIONS == (1, 2, 3)
+        assert document["version"] == serialization.FORMAT_VERSION == 4
+        assert serialization.SUPPORTED_VERSIONS == (1, 2, 3, 4)
 
 
 class TestNaiveOutcomeRoundTrip:
