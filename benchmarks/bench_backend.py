@@ -1,0 +1,212 @@
+"""Arithmetic-backend and batched-verification benchmarks.
+
+Measures the reference DMW execution (n=12, m=2, small group) under each
+available arithmetic backend (``repro.crypto.backend``) and under both
+share-verification modes (per-share eqs. (7)-(9) vs the random-linear-
+combination batch), and writes ``benchmarks/results/BENCH_backend.json``
+records carrying:
+
+* the best-of-three wall-clock per configuration,
+* an ``equivalent`` verdict — outcomes, transcripts, and per-agent
+  operation counters must be *bit-identical* to the python/per-share
+  reference (the counted-vs-measured contract of
+  ``docs/PERFORMANCE.md``), and
+* the speedup ratio over that reference, plus a ``gmpy2_available``
+  flag so the regression gate (``check_regression.py --only backend``)
+  knows whether the >= 3x gmpy2 speedup gate applies at all.
+
+gmpy2 is optional (``pip install .[fast]``): without it the bench still
+records the python-backend and share-verification rows, and the gate
+degrades to equivalence-only.
+
+Runnable as a script::
+
+    python benchmarks/bench_backend.py [--smoke]
+
+``--smoke`` shrinks the instance and round count so CI can verify the
+equivalence contract quickly; smoke speedups are informational only.
+"""
+
+import random
+
+import pytest
+
+from _report import best_wall_clock, obs_summary, write_json_record
+
+from repro.core import DMWParameters
+from repro.core.protocol import run_dmw
+from repro.crypto import fastexp, gmpy2_available, using_backend
+from repro.scheduling import workloads
+
+
+def _summed_operations(outcome):
+    totals = {}
+    for snapshot in outcome.agent_operations:
+        for key, value in snapshot.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def _outcome_signature(outcome):
+    """The fields the equivalence verdict pins down bit-for-bit.
+
+    Cache hit/miss statistics are deliberately *excluded*: the batched
+    verifier skips the per-share evaluation caches by design
+    (``docs/PERFORMANCE.md``), so only outcomes, transcripts, and the
+    per-agent operation counters are required to match.
+    """
+    return (
+        outcome.completed,
+        list(outcome.schedule.assignment),
+        list(outcome.payments),
+        [(t.task, t.first_price, t.winner, t.second_price)
+         for t in outcome.transcripts],
+        outcome.agent_operations,
+        outcome.network_metrics.as_dict(),
+    )
+
+
+def reference_runner(n, m, share_verification_mode="per-share"):
+    """An honest reference execution at (n, m) returning the outcome."""
+    parameters = DMWParameters.generate(
+        n, fault_bound=1, group_size="small",
+        share_verification_mode=share_verification_mode)
+    problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                        random.Random(0))
+
+    def run():
+        outcome = run_dmw(problem, parameters=parameters,
+                          rng=random.Random(1))
+        assert outcome.completed
+        return outcome
+
+    return run
+
+
+def _timed(run, backend, rounds):
+    """best_wall_clock under ``backend`` with cold fixed-base tables.
+
+    The process-wide ``fixed_base_table`` lru_cache is cleared before the
+    warmup run so each backend builds (and then amortises) its *own*
+    native tables — otherwise the second backend measured would inherit
+    tables wrapped by the first and the comparison would be unfair.
+    """
+    fastexp.fixed_base_table.cache_clear()
+    with using_backend(backend, strict=True):
+        return best_wall_clock(run, rounds=rounds, warmup=1)
+
+
+def measure_backends(n=12, m=2, rounds=3, smoke=False):
+    """python vs gmpy2 on the reference run; returns the record extras."""
+    if smoke:
+        n, m, rounds = 6, 2, 1
+    run = reference_runner(n, m)
+    available = gmpy2_available()
+    py_best, py_outcome = _timed(run, "python", rounds)
+    py_signature = _outcome_signature(py_outcome)
+    records = []
+    measured = [("python", py_best, py_outcome, True)]
+    if available:
+        g_best, g_outcome = _timed(run, "gmpy2", rounds)
+        fastexp.fixed_base_table.cache_clear()  # drop mpz tables
+        measured.append(("gmpy2", g_best, g_outcome,
+                         _outcome_signature(g_outcome) == py_signature))
+    for backend, best, outcome, equivalent in measured:
+        speedup = py_best / best if best else 0.0
+        extra = {
+            "gmpy2_available": available,
+            "equivalent": equivalent,
+            "speedup": round(speedup, 4),
+            "reference_wall_clock_s": round(py_best, 6),
+            "smoke": smoke,
+        }
+        write_json_record(
+            "backend", {"sweep": "backend", "backend": backend,
+                        "n": n, "m": m},
+            wall_clock_s=round(best, 6),
+            counters=_summed_operations(outcome),
+            obs=obs_summary(outcome),
+            extra=extra,
+        )
+        records.append(extra)
+        print("backend[%s, n=%d, m=%d]: %.4fs (%.2fx vs python), "
+              "equivalent=%s" % (backend, n, m, best, speedup, equivalent))
+    if not available:
+        print("backend[gmpy2]: not importable; python-only record written "
+              "(equivalence gate still applies, speedup gate does not)")
+    return records
+
+
+def measure_share_verification(n=12, m=2, rounds=3, smoke=False):
+    """per-share vs batched verification; returns the record extras."""
+    if smoke:
+        n, m, rounds = 6, 2, 1
+    per_best, per_outcome = best_wall_clock(
+        reference_runner(n, m, "per-share"), rounds=rounds, warmup=1)
+    per_signature = _outcome_signature(per_outcome)
+    records = []
+    measured = [("per-share", per_best, per_outcome, True)]
+    bat_best, bat_outcome = best_wall_clock(
+        reference_runner(n, m, "batched"), rounds=rounds, warmup=1)
+    measured.append(("batched", bat_best, bat_outcome,
+                     _outcome_signature(bat_outcome) == per_signature))
+    for mode, best, outcome, equivalent in measured:
+        speedup = per_best / best if best else 0.0
+        extra = {
+            "equivalent": equivalent,
+            "speedup": round(speedup, 4),
+            "reference_wall_clock_s": round(per_best, 6),
+            "smoke": smoke,
+        }
+        write_json_record(
+            "backend", {"sweep": "share_verification", "mode": mode,
+                        "n": n, "m": m},
+            wall_clock_s=round(best, 6),
+            counters=_summed_operations(outcome),
+            obs=obs_summary(outcome),
+            extra=extra,
+        )
+        records.append(extra)
+        print("share_verification[%s, n=%d, m=%d]: %.4fs (%.2fx vs "
+              "per-share), equivalent=%s"
+              % (mode, n, m, best, speedup, equivalent))
+    return records
+
+
+# -- pytest-benchmark view ---------------------------------------------------
+
+def test_backend_python(benchmark):
+    benchmark.pedantic(reference_runner(8, 2), rounds=1, iterations=1)
+
+
+@pytest.mark.skipif(not gmpy2_available(), reason="gmpy2 not installed")
+def test_backend_gmpy2(benchmark):
+    run = reference_runner(8, 2)
+    with using_backend("gmpy2", strict=True):
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    fastexp.fixed_base_table.cache_clear()
+
+
+@pytest.mark.parametrize("mode", ["per-share", "batched"])
+def test_share_verification_modes(benchmark, mode):
+    benchmark.pedantic(reference_runner(8, 2, mode), rounds=1, iterations=1)
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="Measure arithmetic-backend and batched-verification "
+                    "speedups and write BENCH_backend.json for the "
+                    "regression gate.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small instance, single round: verifies the "
+                             "equivalence contract without gating speedup")
+    args = parser.parse_args(argv)
+    measure_backends(smoke=args.smoke)
+    measure_share_verification(smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -31,6 +31,16 @@ baseline committed under ``benchmarks/baseline/``:
   fault-free, so every counter must be *exactly zero*; this gate needs
   no baseline.
 
+* **backend** records (``bench_backend.py [--smoke]``) compare the
+  arithmetic backends (python vs gmpy2) and the share-verification
+  modes (per-share vs batched) on the reference run.  The
+  ``equivalent`` verdict — outcomes, transcripts, and per-agent
+  operation counters bit-identical to the python/per-share reference —
+  is hard-gated with no baseline, always.  The gmpy2 speedup is gated
+  at >= 3x, but only when the record says gmpy2 was importable and the
+  run was not a smoke run (a python-only environment can prove
+  equivalence, not native speedup).
+
 * **parallel** records (``bench_scaling.py [--smoke]``) carry the
   process-pool speedup curves plus an ``equivalent`` verdict.  The
   verdict is hard-gated with no baseline — the pool driver must be
@@ -48,7 +58,7 @@ Usage::
         [--threshold 0.25] [--only SECTION ...]
 
 ``--only`` restricts the run to the named gate sections (``scaling``,
-``table1``, ``cache``, ``resilience``, ``parallel``); CI's
+``table1``, ``cache``, ``resilience``, ``parallel``, ``backend``); CI's
 parallel-differential job uses ``--only parallel`` because its smoke
 run produces only ``BENCH_parallel.json``, which must not trip the
 "baseline exists but no fresh results" failure of the scaling gate.
@@ -284,6 +294,59 @@ def check_parallel(results_dir, failures, lines):
                          % (label, speedup, reason))
 
 
+#: Minimum accepted gmpy2-over-python speedup when gmpy2 is importable
+#: (ISSUE acceptance: the native backend must demonstrate real gains).
+_MIN_GMPY2_SPEEDUP = 3.0
+
+
+def check_backend(results_dir, failures, lines):
+    """Gate the arithmetic-backend records: equivalence always, native
+    speedup only where gmpy2 exists to show it.
+
+    Equivalence (``extra.equivalent``) needs no baseline and no
+    tolerance: a backend or verification mode that changes any outcome,
+    transcript, or per-agent counter has broken the counted-vs-measured
+    contract, whatever its wall-clock.  The >= 3x speedup gate applies
+    only to non-smoke gmpy2 records whose environment actually had
+    gmpy2; everywhere else the ratio is informational (the batched
+    share-verification speedup is always informational — its win is
+    workload-dependent, its equivalence is not).
+    """
+    fresh = _load(results_dir, "backend")
+    if fresh is None:
+        lines.append("backend: no records; skipping "
+                     "(run benchmarks/bench_backend.py [--smoke])")
+        return
+    for record in fresh:
+        label = ", ".join("%s=%s" % item for item in _params_key(record))
+        extra = record.get("extra") or {}
+        if "equivalent" not in extra:
+            failures.append("backend[%s]: record carries no equivalence "
+                            "verdict" % label)
+            continue
+        if not extra["equivalent"]:
+            failures.append(
+                "backend[%s]: outcome DIVERGED from the python/per-share "
+                "reference (bit-identical contract broken)" % label)
+            continue
+        speedup = extra.get("speedup", 0.0)
+        smoke = extra.get("smoke", False)
+        gated = (record["params"].get("backend") == "gmpy2"
+                 and extra.get("gmpy2_available", False) and not smoke)
+        if gated:
+            if speedup < _MIN_GMPY2_SPEEDUP:
+                failures.append(
+                    "backend[%s]: gmpy2 speedup %.2fx below the %.1fx gate"
+                    % (label, speedup, _MIN_GMPY2_SPEEDUP))
+                continue
+            lines.append("backend[%s]: equivalent, %.2fx speedup (gated)"
+                         % (label, speedup))
+        else:
+            reason = "smoke" if smoke else "informational"
+            lines.append("backend[%s]: equivalent, %.2fx speedup (%s)"
+                         % (label, speedup, reason))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail on benchmark regressions against the committed "
@@ -296,13 +359,13 @@ def main(argv=None):
                              "(default 0.25 = 25%%)")
     parser.add_argument("--only", action="append", dest="only",
                         choices=["scaling", "table1", "cache",
-                                 "resilience", "parallel"],
+                                 "resilience", "parallel", "backend"],
                         help="run only the named gate section(s); "
                              "repeatable (default: all sections)")
     args = parser.parse_args(argv)
 
     sections = set(args.only or ["scaling", "table1", "cache",
-                                 "resilience", "parallel"])
+                                 "resilience", "parallel", "backend"])
     failures = []
     lines = []
     if "scaling" in sections:
@@ -316,6 +379,8 @@ def main(argv=None):
         check_resilience(args.results, failures, lines)
     if "parallel" in sections:
         check_parallel(args.results, failures, lines)
+    if "backend" in sections:
+        check_backend(args.results, failures, lines)
 
     for line in lines:
         print(line)

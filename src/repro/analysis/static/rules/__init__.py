@@ -1,6 +1,6 @@
 """Rule registry for dmwlint.
 
-``DEFAULT_RULES`` are the six domain rules that run by default;
+``DEFAULT_RULES`` are the seven domain rules that run by default;
 ``ALL_RULES`` additionally contains opt-in rules (``DMW000`` strict
 annotation coverage, enabled via ``--check-annotations`` or ``--select``).
 """
@@ -17,6 +17,7 @@ from .dmw003_unreduced_field import UnreducedFieldArithmeticRule
 from .dmw004_secret_taint import SecretTaintRule
 from .dmw005_post_send_mutation import PostSendMutationRule
 from .dmw006_float_in_crypto import FloatInCryptoRule
+from .dmw007_backend_bypass import BackendBypassRule
 
 RULE_CLASSES: List[Type[Rule]] = [
     AnnotationCoverageRule,
@@ -26,6 +27,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     SecretTaintRule,
     PostSendMutationRule,
     FloatInCryptoRule,
+    BackendBypassRule,
 ]
 
 ALL_RULES: List[Rule] = [cls() for cls in RULE_CLASSES]

@@ -71,8 +71,10 @@ def _load_instance(args, parameters: DMWParameters,
 
 
 def _build_parameters(args) -> DMWParameters:
-    return DMWParameters.generate(args.agents, fault_bound=args.faults,
-                                  group_size=args.group_size)
+    return DMWParameters.generate(
+        args.agents, fault_bound=args.faults, group_size=args.group_size,
+        share_verification_mode=getattr(args, "share_verification",
+                                        "per-share"))
 
 
 def _print_instance(problem: SchedulingProblem) -> None:
@@ -351,6 +353,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cryptographic group size (default small)")
         sub.add_argument("--instance", default=None,
                          help="JSON file with a row-major time matrix")
+        sub.add_argument("--backend", default=None,
+                         choices=("python", "gmpy2", "auto"),
+                         help="arithmetic backend (default: DMW_BACKEND "
+                              "env var, else python); 'auto' picks gmpy2 "
+                              "when importable")
+        sub.add_argument("--share-verification", default="per-share",
+                         choices=("per-share", "batched"),
+                         help="share-bundle check mode: the paper's "
+                              "per-share listing (default) or one RLC "
+                              "multi-exp per sender (same counters, "
+                              "lower wall-clock)")
 
     run_parser = subparsers.add_parser(
         "run", help="execute DMW on an instance")
@@ -442,6 +455,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "backend", None):
+        from .crypto import backend as crypto_backend
+        crypto_backend.select_backend(args.backend)
     return args.handler(args)
 
 

@@ -140,6 +140,23 @@ class DMWAgent:
             b"dmw-task-rng|%d|%d" % (self.rng_root, task)).digest()
         return random.Random(int.from_bytes(digest, "big"))
 
+    def batch_verify_rng(self, task: int, sender: int) -> random.Random:
+        """The RLC-coefficient substream for batched share verification.
+
+        Batched mode (``share_verification_mode == "batched"``) folds each
+        sender's eq. (7)-(9) checks into one random-linear-combination
+        multi-exp; the combination coefficients come from this stream.
+        Like :meth:`task_rng` it is a pure function of
+        ``(rng_root, task, sender)`` — a distinct domain-separation tag
+        keeps it disjoint from the bidding stream — so replays, resumed
+        checkpoints, and the process-pool driver all draw identical
+        coefficients regardless of execution order.
+        """
+        digest = hashlib.sha256(
+            b"dmw-batch-verify|%d|%d|%d"
+            % (self.rng_root, task, sender)).digest()
+        return random.Random(int.from_bytes(digest, "big"))
+
     def _abort(self, reason: str, phase: str, task: Optional[int] = None,
                offender: Optional[int] = None) -> ProtocolAbort:
         return ProtocolAbort(reason=reason, phase=phase, task=task,
@@ -215,10 +232,12 @@ class DMWAgent:
                     "agent %d sent no share bundle" % sender,
                     phase="bidding", task=task, offender=sender,
                 )
+            batched = self.parameters.share_verification_mode == "batched"
             valid = verify_share_bundle(
                 self.parameters, state.commitments[sender], self.pseudonym,
                 state.received_bundles[sender], self.counter, self.cache,
                 stats=self.check_stats,
+                rng=self.batch_verify_rng(task, sender) if batched else None,
             )
             if not valid:
                 return self._abort(

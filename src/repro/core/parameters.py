@@ -60,12 +60,28 @@ class DMWParameters:
     #: * ``"full"`` — every agent recomputes every check itself
     #:   (``O(m n^3 log p)`` per agent); kept as the cost-model ablation.
     verification_mode: str = "assigned"
+    #: How each received share bundle is checked against eqs. (7)-(9)
+    #: (distinct from :attr:`verification_mode`, which governs the
+    #: aggregate-check regime):
+    #:
+    #: * ``"per-share"`` (default) — three independent openings and
+    #:   homomorphic evaluations per sender, exactly the paper's listing.
+    #: * ``"batched"`` — one random-linear-combination multi-exp per
+    #:   sender (:func:`repro.crypto.commitments.verify_share_batch`);
+    #:   same accept/reject verdicts up to a ``1/q`` soundness error,
+    #:   identical counted cost, lower wall-clock.
+    share_verification_mode: str = "per-share"
 
     def __post_init__(self) -> None:
         if self.verification_mode not in ("assigned", "full"):
             raise ParameterError(
                 "verification_mode must be 'assigned' or 'full', got %r"
                 % (self.verification_mode,)
+            )
+        if self.share_verification_mode not in ("per-share", "batched"):
+            raise ParameterError(
+                "share_verification_mode must be 'per-share' or 'batched', "
+                "got %r" % (self.share_verification_mode,)
             )
         q = self.group_parameters.group.q
         n = len(self.pseudonyms)
@@ -187,7 +203,9 @@ class DMWParameters:
                  bid_values: Optional[Sequence[int]] = None,
                  group_parameters: Optional[GroupParameters] = None,
                  group_size: str = "small",
-                 verification_mode: str = "assigned") -> "DMWParameters":
+                 verification_mode: str = "assigned",
+                 share_verification_mode: str = "per-share"
+                 ) -> "DMWParameters":
         """Build a standard parameter set for ``num_agents`` agents.
 
         Parameters
@@ -220,4 +238,5 @@ class DMWParameters:
                    fault_bound=fault_bound,
                    pseudonyms=pseudonyms,
                    bid_values=tuple(bid_values),
-                   verification_mode=verification_mode)
+                   verification_mode=verification_mode,
+                   share_verification_mode=share_verification_mode)

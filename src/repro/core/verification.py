@@ -18,8 +18,11 @@ exact.  See ``docs/PERFORMANCE.md``.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..crypto import fastexp
+from ..crypto.commitments import verify_share_batch
 from ..crypto.fastexp import PublicValueCache
 from ..crypto.modular import NULL_COUNTER, OperationCounter
 from .bidding import AgentCommitments, ShareBundle
@@ -89,7 +92,8 @@ def verify_share_bundle(parameters: DMWParameters,
                         bundle: ShareBundle,
                         counter: OperationCounter = NULL_COUNTER,
                         cache: Optional[PublicValueCache] = None,
-                        stats: Optional[CheckStats] = None) -> bool:
+                        stats: Optional[CheckStats] = None,
+                        rng: Optional[random.Random] = None) -> bool:
     """Step III.1: check a received bundle against public commitments.
 
     Verifies, at the receiver's pseudonym ``alpha``:
@@ -99,17 +103,41 @@ def verify_share_bundle(parameters: DMWParameters,
       constant/linear terms — this binds ``deg e + deg f = sigma``);
     * eq. (8): ``z1^{e(a)} z2^{h(a)} = prod Q_l^{a^l}``;
     * eq. (9): ``z1^{f(a)} z2^{h(a)} = prod R_l^{a^l}``.
+
+    When ``parameters.share_verification_mode == "batched"`` and an
+    ``rng`` is supplied, the three equations are folded into one
+    random-linear-combination multi-exponentiation
+    (:func:`~repro.crypto.commitments.verify_share_batch`): same counted
+    cost, same verdicts up to a ``1/q`` soundness error, one combined
+    Straus chain instead of three openings plus three evaluations.  The
+    batched path is an execution fast path, so it defers to the
+    per-share listing under :func:`~repro.crypto.fastexp.naive_mode`.
     """
     q = parameters.group.q
     product_value = (bundle.e_value * bundle.f_value) % q
-    valid = (
-        commitments.o_vector.verify_share(pseudonym, product_value,
-                                          bundle.g_value, counter, cache)
-        and commitments.q_vector.verify_share(pseudonym, bundle.e_value,
-                                              bundle.h_value, counter, cache)
-        and commitments.r_vector.verify_share(pseudonym, bundle.f_value,
-                                              bundle.h_value, counter, cache)
-    )
+    if (parameters.share_verification_mode == "batched"
+            and rng is not None and fastexp.enabled()):
+        coefficients = [rng.randrange(1, q) for _ in range(3)]
+        valid = verify_share_batch(
+            [commitments.o_vector, commitments.q_vector,
+             commitments.r_vector],
+            pseudonym,
+            [(product_value, bundle.g_value),
+             (bundle.e_value, bundle.h_value),
+             (bundle.f_value, bundle.h_value)],
+            coefficients, counter, cache,
+        )
+    else:
+        valid = (
+            commitments.o_vector.verify_share(pseudonym, product_value,
+                                              bundle.g_value, counter, cache)
+            and commitments.q_vector.verify_share(pseudonym, bundle.e_value,
+                                                  bundle.h_value, counter,
+                                                  cache)
+            and commitments.r_vector.verify_share(pseudonym, bundle.f_value,
+                                                  bundle.h_value, counter,
+                                                  cache)
+        )
     if stats is not None:
         stats.record("share_bundle", valid)
     return valid

@@ -8,7 +8,20 @@ group generation (:mod:`.primes`, :mod:`.groups`), polynomials over ``Z_q``
 degree-encoded secret-sharing scheme (:mod:`.secretsharing`).
 """
 
-from .commitments import PedersenCommitter, PolynomialCommitment
+from .backend import (
+    ArithmeticBackend,
+    BackendUnavailableError,
+    active_backend,
+    available_backends,
+    gmpy2_available,
+    select_backend,
+    using_backend,
+)
+from .commitments import (
+    PedersenCommitter,
+    PolynomialCommitment,
+    verify_share_batch,
+)
 from .fastexp import (
     FixedBaseTable,
     PublicValueCache,
@@ -64,6 +77,8 @@ from .secretsharing import (
 
 __all__ = [
     "NULL_COUNTER",
+    "ArithmeticBackend",
+    "BackendUnavailableError",
     "DeclassificationEvent",
     "DegreeEncodedSharing",
     "DegreeEncodingScheme",
@@ -79,6 +94,8 @@ __all__ = [
     "SecretLeakError",
     "ShamirScheme",
     "Share",
+    "active_backend",
+    "available_backends",
     "batch_mod_inv",
     "clear_declassification_audit",
     "declassification_audit",
@@ -91,6 +108,7 @@ __all__ = [
     "fixed_base_table",
     "fixture_group",
     "generate_schnorr_parameters",
+    "gmpy2_available",
     "interpolate_at_zero",
     "is_prime",
     "lagrange_weights_at_zero",
@@ -107,5 +125,8 @@ __all__ = [
     "random_prime",
     "resolve_degree",
     "resolve_degree_in_exponent",
+    "select_backend",
     "sum_polynomials",
+    "using_backend",
+    "verify_share_batch",
 ]

@@ -21,7 +21,7 @@ evaluation used by those checks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from . import fastexp
 from .fastexp import PublicValueCache, multi_exp
@@ -175,6 +175,118 @@ class PolynomialCommitment:
         """
         left = self.parameters.open_value(value, blinding, counter)
         return left == self.evaluate(point, counter, cache)
+
+
+def verify_share_batch(commitments: Sequence[PolynomialCommitment],
+                       point: int,
+                       openings: Sequence[Tuple[int, int]],
+                       coefficients: Sequence[int],
+                       counter: OperationCounter = NULL_COUNTER,
+                       cache: Optional[PublicValueCache] = None) -> bool:
+    """Batch-verify several share openings with one random linear combination.
+
+    Checks, in a single Straus multi-exponentiation, that every
+    ``(value_j, blinding_j)`` in ``openings`` opens the matching
+    commitment vector at ``point``:
+
+    ``z1^{sum_j c_j v_j} z2^{sum_j c_j b_j}
+    prod_j prod_l C_{j,l}^{-c_j point^l} == 1  (mod p)``
+
+    which holds whenever every per-share equation (eqs. (7)-(9)) holds,
+    and fails — for uniformly random non-zero ``coefficients`` drawn from
+    ``Z_q^*`` — with probability at least ``1 - 1/q`` whenever at least
+    one opening is wrong: conditioned on the other terms, a single
+    deviating term ``D_j != 1`` would need ``c_j`` to hit the unique
+    exponent cancelling the rest.  Callers draw the coefficients from a
+    seeded per-agent substream (:meth:`repro.core.agent.DMWAgent`), so
+    replays stay deterministic.
+
+    Counting parity: the charged schedule is *exactly* the per-share
+    path's — for every opening, two generator exponentiations plus one
+    multiplication (the Pedersen opening) and the per-slot
+    square-and-multiply evaluation schedule — so honest-run
+    :class:`OperationCounter` totals are bit-identical between the
+    batched and per-share verification modes.  The execution shortcut
+    (one combined multi-exp instead of ``3`` openings and ``3``
+    evaluations) is invisible to the counted model, like every other
+    fast path in :mod:`repro.crypto.fastexp`.
+    """
+    if not commitments:
+        raise ValueError("need at least one commitment vector")
+    if not (len(commitments) == len(openings) == len(coefficients)):
+        raise ValueError(
+            "commitments, openings, and coefficients must have equal length")
+    parameters = commitments[0].parameters
+    group = parameters.group
+    q = group.q
+    reduced_point = point % q
+    # Shared powers of the evaluation point (all vectors have width sigma,
+    # but tolerate ragged sizes by extending lazily).
+    max_size = max(c.size for c in commitments)
+    powers: List[int] = []
+    exp_work_prefix: List[int] = [0]
+    power = 1
+    for _ in range(max_size):
+        power = (power * reduced_point) % q
+        powers.append(power)
+        work = power.bit_length() + power.bit_count() - 2 if power > 1 else 0
+        exp_work_prefix.append(exp_work_prefix[-1] + work)
+    for vector, (value, blinding), coefficient in zip(commitments, openings,
+                                                      coefficients):
+        if coefficient % q == 0:
+            raise ValueError("RLC coefficients must be non-zero mod q")
+        # Charged schedule of PolynomialCommitment.verify_share: the
+        # Pedersen opening (two generator exps + one mul) ...
+        counter.count_exp(value % q)
+        counter.count_exp(blinding % q)
+        counter.count_mul()
+        # ... plus the homomorphic evaluation (sigma exps + sigma muls).
+        counter.count_exp_batch(vector.size, exp_work_prefix[vector.size])
+        counter.count_mul(vector.size)
+    # Execution: fold everything into one multi-exp over 2 + sum sigma_j
+    # bases.  Negated slot exponents are lifted to q - x (the generators
+    # have order q).
+    value_total = 0
+    blinding_total = 0
+    bases: List[int] = [parameters.z1, parameters.z2]
+    exponents: List[int] = [0, 0]
+    for vector, (value, blinding), coefficient in zip(commitments, openings,
+                                                      coefficients):
+        c = coefficient % q
+        value_total = (value_total + c * value) % q
+        blinding_total = (blinding_total + c * blinding) % q
+        for slot in range(vector.size):
+            exponents.append((-(c * powers[slot])) % q)
+        bases.extend(vector.elements)
+    exponents[0] = value_total
+    exponents[1] = blinding_total
+    if cache is not None:
+        # Compose cached window-5 Straus tables: the generator pair is
+        # shared protocol-wide, each vector's tables are the same rows
+        # PolynomialCommitment.evaluate keeps, so per-share and batched
+        # runs amortise the identical table builds.
+        tables: List[Sequence[int]] = []
+        generator_key = ("batch-generators", group.p, parameters.z1,
+                         parameters.z2)
+        generator_tables = cache.get_tables(generator_key)
+        if generator_tables is None:
+            generator_tables = fastexp.straus_tables(
+                [parameters.z1, parameters.z2], group.p, window=5)
+            cache.put_tables(generator_key, generator_tables)
+        tables.extend(generator_tables)
+        for vector in commitments:
+            table_key = (group.p, vector.elements)
+            vector_tables = cache.get_tables(table_key)
+            if vector_tables is None:
+                vector_tables = fastexp.straus_tables(vector.elements,
+                                                      group.p, window=5)
+                cache.put_tables(table_key, vector_tables)
+            tables.extend(vector_tables)
+        combined = fastexp.multi_exp_with_tables(tables, exponents, group.p,
+                                                 window=5)
+    else:
+        combined = multi_exp(bases, exponents, group.p, window=5)
+    return combined == 1
 
 
 def product_of_commitment_evaluations(commitments: Sequence[PolynomialCommitment],

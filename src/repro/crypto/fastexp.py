@@ -52,6 +52,7 @@ import math
 from functools import lru_cache
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from . import backend as _backend
 from .modular import NULL_COUNTER, OperationCounter
 
 #: Cache keys/entries are heterogeneous tuples (namespace tag + ints);
@@ -113,7 +114,10 @@ class FixedBaseTable:
         self.mask = (1 << window) - 1
         num_rows = max(1, -(-exponent_bits // window))
         rows = []
-        radix_power = self.base
+        # Build with backend-native residues (identity for python, mpz
+        # for gmpy2); the native type then propagates through every row
+        # product and the pow() accumulation below at full engine speed.
+        radix_power = _backend.ACTIVE.wrap(self.base)
         for _ in range(num_rows):
             row = [1] * (1 << window)
             acc = 1
@@ -133,7 +137,7 @@ class FixedBaseTable:
         if exponent < 0:
             raise ValueError("exponent must be non-negative")
         if exponent >> (self.window * len(self.rows)):
-            return pow(self.base, exponent, self.modulus)
+            return _backend.ACTIVE.powmod(self.base, exponent, self.modulus)
         result = 1
         mask = self.mask
         window = self.window
@@ -146,7 +150,7 @@ class FixedBaseTable:
                 result = (result * rows[row_index][digit]) % modulus
             exponent >>= window
             row_index += 1
-        return result
+        return int(result)
 
 
 @lru_cache(maxsize=128)
@@ -183,7 +187,7 @@ def straus_tables(bases: Sequence[int], modulus: int,
     table_size = (1 << window) - 1
     tables: List[List[int]] = []
     for base in bases:
-        base %= modulus
+        base = _backend.ACTIVE.wrap(base % modulus)
         row = [base]
         acc = base
         for _ in range(table_size - 1):
@@ -225,7 +229,7 @@ def multi_exp_with_tables(tables: Sequence[Sequence[int]],
             digit = (exponent >> shift) & mask
             if digit:
                 result = (result * row[digit - 1]) % modulus
-    return result
+    return int(result)
 
 
 def multi_exp(bases: Sequence[int], exponents: Sequence[int], modulus: int,
@@ -254,7 +258,7 @@ def multi_exp(bases: Sequence[int], exponents: Sequence[int], modulus: int,
     if not pairs:
         return 1 % modulus
     if len(pairs) == 1:
-        return pow(pairs[0][0], pairs[0][1], modulus)
+        return _backend.ACTIVE.powmod(pairs[0][0], pairs[0][1], modulus)
     tables = straus_tables([base for base, _ in pairs], modulus, window)
     return multi_exp_with_tables(tables, [e for _, e in pairs], modulus,
                                  window)
@@ -285,30 +289,31 @@ def batch_mod_inv(values: Sequence[int], modulus: int,
     values = list(values)
     if not _ENABLED or len(values) < 2:
         return [mod_inv(value, modulus, counter) for value in values]
-    reduced = [value % modulus for value in values]
+    wrap = _backend.ACTIVE.wrap
+    reduced = [wrap(value % modulus) for value in values]
     for value in reduced:
         if value == 0:
             raise ZeroDivisionError("0 has no inverse modulo %d" % modulus)
     counter.count_inv(len(values))
     prefixes: List[int] = []
-    acc = 1
+    acc = wrap(1)
     for value in reduced:
         prefixes.append(acc)
         acc = (acc * value) % modulus
     try:
-        inv_acc = pow(acc, -1, modulus)
-    except ValueError:
+        inv_acc = _backend.ACTIVE.invert(acc, modulus)
+    except ZeroDivisionError:
         # Surface the same per-element diagnostic mod_inv raises.
         for value in reduced:
-            if math.gcd(value, modulus) != 1:
+            if math.gcd(int(value), modulus) != 1:
                 raise ZeroDivisionError(
                     "%d is not invertible modulo %d (gcd=%d)"
-                    % (value, modulus, math.gcd(value, modulus))
-                )
+                    % (value, modulus, math.gcd(int(value), modulus))
+                ) from None
         raise  # pragma: no cover - unreachable
     inverses = [0] * len(reduced)
     for index in range(len(reduced) - 1, -1, -1):
-        inverses[index] = (inv_acc * prefixes[index]) % modulus
+        inverses[index] = int((inv_acc * prefixes[index]) % modulus)
         inv_acc = (inv_acc * reduced[index]) % modulus
     return inverses
 
@@ -496,6 +501,11 @@ def encode_cache_value(value: Any) -> Any:
         return {"l": [encode_cache_value(item) for item in value]}
     if isinstance(value, OperationCounter):
         return {"c": value.snapshot()}
+    if hasattr(value, "__index__"):
+        # Backend-native residues (e.g. gmpy2 ``mpz`` in Straus tables)
+        # round-trip as exact ints; mixed int/mpz rows multiply fine on
+        # import, so decode does not need to re-wrap.
+        return int(value)
     raise TypeError("cannot encode cache value of type %r"
                     % type(value).__name__)
 

@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
-from . import fastexp
+from . import backend, fastexp
 from .modular import NULL_COUNTER, OperationCounter, mod_exp, mod_inv, mod_mul
 from .primes import find_subgroup_generator, generate_schnorr_parameters, is_prime
 
@@ -71,7 +71,8 @@ class SchnorrGroup:
     # -- membership / sampling ----------------------------------------------
     def contains(self, element: int) -> bool:
         """Return True if ``element`` lies in the order-``q`` subgroup."""
-        return 0 < element < self.p and pow(element, self.q, self.p) == 1
+        return (0 < element < self.p
+                and backend.ACTIVE.powmod(element, self.q, self.p) == 1)
 
     def random_exponent(self, rng: random.Random, nonzero: bool = False) -> int:
         """Draw a uniform exponent from ``Z_q`` (``Z_q^*`` if ``nonzero``)."""

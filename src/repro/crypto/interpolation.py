@@ -30,6 +30,11 @@ per-execution :class:`~repro.crypto.fastexp.PublicValueCache`.  The
 *counted* cost — one ``inv`` per Lagrange basis term, square-and-multiply
 exponentiation — is charged on the paper's analytic schedule regardless,
 including on cache hits (replayed against the caller's counter).
+
+Every mod-mul, batch inversion, and multi-exponentiation here executes on
+the active arithmetic engine (:mod:`repro.crypto.backend`), so selecting
+the ``gmpy2`` backend accelerates degree resolution without touching the
+counted schedule.
 """
 
 from __future__ import annotations

@@ -7,9 +7,10 @@ right-to-left binary decomposition (Knuth vol. 2).  To *measure* those costs
 rather than assume them, every arithmetic routine in this module reports to
 an :class:`OperationCounter`.
 
-Values are computed with Python's built-in arithmetic (which is exact and
-fast) while the *cost* of each operation is accounted analytically using the
-same model the paper uses:
+Values are computed by the active arithmetic engine (:mod:`.backend`:
+pure-Python bigints by default, GMP ``mpz`` when the ``gmpy2`` backend is
+selected) while the *cost* of each operation is accounted analytically —
+identically across backends — using the same model the paper uses:
 
 * ``mod_mul`` and ``mod_add``/``mod_sub`` count one ``mul``/``add`` each;
 * ``mod_inv`` counts one ``inv`` (the paper assumes inversion costs the same
@@ -26,10 +27,10 @@ with near-zero overhead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
 import contextlib
-import math
+from typing import Dict, Iterator
+
+from . import backend as _backend
 
 
 class OperationCounter:
@@ -195,7 +196,7 @@ def mod_sub(a: int, b: int, modulus: int, counter: OperationCounter = NULL_COUNT
 def mod_mul(a: int, b: int, modulus: int, counter: OperationCounter = NULL_COUNTER) -> int:
     """Return ``(a * b) mod modulus``, counting one multiplication."""
     counter.count_mul()
-    return (a * b) % modulus
+    return _backend.ACTIVE.mul(a, b, modulus)
 
 
 def mod_exp(base: int, exponent: int, modulus: int,
@@ -212,7 +213,7 @@ def mod_exp(base: int, exponent: int, modulus: int,
         base = mod_inv(base, modulus, counter)
         exponent = -exponent
     counter.count_exp(exponent)
-    return pow(base, exponent, modulus)
+    return _backend.ACTIVE.powmod(base, exponent, modulus)
 
 
 def mod_inv(a: int, modulus: int, counter: OperationCounter = NULL_COUNTER) -> int:
@@ -227,17 +228,10 @@ def mod_inv(a: int, modulus: int, counter: OperationCounter = NULL_COUNTER) -> i
     a %= modulus
     if a == 0:
         raise ZeroDivisionError("0 has no inverse modulo %d" % modulus)
-    # Native pow(a, -1, modulus) (CPython >= 3.8) is several times faster
-    # than a Python-level extended Euclid; the gcd-based error path keeps
-    # the original diagnostics, and the *counted* cost stays one ``inv``
-    # (the paper's Section 2.4 model) either way.
-    try:
-        return pow(a, -1, modulus)
-    except ValueError:
-        raise ZeroDivisionError(
-            "%d is not invertible modulo %d (gcd=%d)"
-            % (a, modulus, math.gcd(a, modulus))
-        ) from None
+    # The backend normalises the non-invertible error path to one
+    # canonical ZeroDivisionError diagnostic, and the *counted* cost
+    # stays one ``inv`` (the paper's Section 2.4 model) either way.
+    return _backend.ACTIVE.invert(a, modulus)
 
 
 def mod_div(a: int, b: int, modulus: int, counter: OperationCounter = NULL_COUNTER) -> int:

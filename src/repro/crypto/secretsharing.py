@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from . import backend
 from .interpolation import interpolate_at_zero, resolve_degree
 from .modular import NULL_COUNTER, OperationCounter
 from .polynomials import Polynomial
@@ -229,5 +230,6 @@ def _interpolate_at(points: Sequence[int], values: Sequence[int],
             numerator = numerator * ((x - alpha_i) % modulus) % modulus
             denominator = denominator * ((alpha_k - alpha_i) % modulus) % modulus
         total = (total + value_k * numerator
-                 * pow(denominator, modulus - 2, modulus)) % modulus
+                 * backend.ACTIVE.powmod(denominator, modulus - 2, modulus)
+                 ) % modulus
     return total

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..crypto import backend as crypto_backend
 from .metrics import MetricsRegistry, registry_for_run
 from .spans import SpanRecorder
 
@@ -158,7 +159,11 @@ def _params_summary(parameters: Optional[Any],
             "sigma": parameters.sigma,
             "p_bits": parameters.group.p_bits,
             "verification_mode": parameters.verification_mode,
+            "share_verification_mode": parameters.share_verification_mode,
         })
+    # Execution-environment provenance: which arithmetic engine computed
+    # the (backend-invariant) values of this run.
+    summary["arithmetic_backend"] = crypto_backend.ACTIVE.name
     return summary
 
 

@@ -88,6 +88,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from .core.agent import DMWAgent
 from .core.exceptions import ParameterError, ProtocolAbort
+from .crypto import backend as crypto_backend
 from .core.outcome import AuctionTranscript
 from .core.trace import NullTrace, ProtocolTrace
 from .crypto.fastexp import PublicValueCache, merge_cache_stats
@@ -120,6 +121,12 @@ class PoolSpec:
     degraded: bool
     observe: bool
     trace_enabled: bool
+    #: Arithmetic engine selected in the parent (``"python"``/``"gmpy2"``);
+    #: carried by *name* so the worker re-selects it after unpickling.
+    #: Non-strict selection: a worker that cannot import the engine falls
+    #: back to pure python and still produces the identical outcome
+    #: (backends never change counted or computed values).
+    backend: str = "python"
 
 
 @dataclass
@@ -148,9 +155,15 @@ _SPEC: Optional[PoolSpec] = None
 
 
 def _init_worker(spec: PoolSpec) -> None:
-    """Pool initializer: stash the shared spec in the worker process."""
+    """Pool initializer: stash the shared spec in the worker process.
+
+    Also re-selects the parent's arithmetic backend by name — module
+    globals do not survive the process boundary, so the engine choice
+    must be re-established in every worker.
+    """
     global _SPEC
     _SPEC = spec
+    crypto_backend.select_backend(spec.backend)
 
 
 def _run_shard(task: int) -> ShardResult:
@@ -362,6 +375,7 @@ def run_pool_auctions(protocol: "DMWProtocol", num_tasks: int, workers: int,
         degraded=protocol._degraded,
         observe=protocol.observer.enabled,
         trace_enabled=not isinstance(protocol.trace, NullTrace),
+        backend=crypto_backend.ACTIVE.name,
     )
     batch_count = 0
     if not remaining:

@@ -1,0 +1,16 @@
+"""Fixture: arithmetic routed through the pluggable backend (DMW007-clean)."""
+
+from repro.crypto import backend
+
+
+def commit_direct(value, exponent, modulus):
+    return backend.ACTIVE.powmod(value, exponent, modulus)
+
+
+def invert(share, modulus):
+    return backend.ACTIVE.invert(share, modulus)
+
+
+def square(steps):
+    # Two-argument pow is plain integer arithmetic, not modular exp.
+    return pow(steps, 2)

@@ -1,0 +1,5 @@
+"""Fixture: DMW007 violation silenced by a line suppression."""
+
+
+def evaluate(share, exponent, modulus):
+    return pow(share, exponent, modulus)  # dmwlint: disable=DMW007

@@ -1,0 +1,11 @@
+"""Fixture: arithmetic bypassing the backend layer (DMW007)."""
+
+import gmpy2
+
+
+def commit_direct(value, exponent, modulus):
+    return gmpy2.powmod(value, exponent, modulus)
+
+
+def evaluate(share, exponent, modulus):
+    return pow(share, exponent, modulus)

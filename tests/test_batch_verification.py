@@ -1,0 +1,237 @@
+"""Batched share verification: soundness, parity, and fallback.
+
+The random-linear-combination batch (:func:`verify_share_batch`) must
+(1) accept exactly what the per-share eqs. (7)-(9) accept, (2) reject
+tampered openings for (essentially) every coefficient draw, (3) charge
+the per-share counting schedule bit-for-bit, and (4) leave whole-protocol
+outcomes — honest *and* deviant — identical to per-share mode.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.faithfulness import evaluate_deviation
+from repro.core import DMWParameters
+from repro.core.bidding import ShareBundle, encode_bid
+from repro.core.deviant import standard_deviations
+from repro.core.protocol import run_dmw
+from repro.core.verification import verify_share_bundle
+from repro.crypto import fastexp
+from repro.crypto.commitments import PedersenCommitter, verify_share_batch
+from repro.crypto.modular import OperationCounter
+from repro.crypto.polynomials import Polynomial
+from repro.scheduling import workloads
+from repro.scheduling.problem import SchedulingProblem
+
+
+@pytest.fixture()
+def committer(group_small):
+    return PedersenCommitter(group_small)
+
+
+def _make_vectors(committer, rng, count=3, size=6):
+    """``count`` committed polynomial pairs plus their openings at 3."""
+    q = committer.parameters.group.q
+    point = 3
+    vectors, openings = [], []
+    for _ in range(count):
+        values = Polynomial.random(3, q, rng)
+        blindings = Polynomial.random(size, q, rng)
+        vectors.append(committer.commit_polynomial(values, blindings, size))
+        openings.append((values.evaluate(point), blindings.evaluate(point)))
+    return point, vectors, openings
+
+
+def _coefficients(q, seed):
+    draw = random.Random(seed)
+    return [draw.randrange(1, q) for _ in range(3)]
+
+
+class TestBatchSoundness:
+    def test_honest_openings_accepted(self, committer, rng):
+        q = committer.parameters.group.q
+        point, vectors, openings = _make_vectors(committer, rng)
+        for seed in range(20):
+            assert verify_share_batch(vectors, point, openings,
+                                      _coefficients(q, seed))
+
+    @pytest.mark.parametrize("slot", [0, 1, 2])
+    @pytest.mark.parametrize("component", ["value", "blinding"])
+    def test_tampered_opening_rejected(self, committer, rng, slot,
+                                       component):
+        """One corrupted share survives a random RLC with probability
+        1/q (~2^-55 for the small group): 20 draws must all reject."""
+        q = committer.parameters.group.q
+        point, vectors, openings = _make_vectors(committer, rng)
+        value, blinding = openings[slot]
+        openings = list(openings)
+        openings[slot] = ((value + 1) % q, blinding) \
+            if component == "value" else (value, (blinding + 1) % q)
+        for seed in range(20):
+            assert not verify_share_batch(vectors, point, openings,
+                                          _coefficients(q, seed))
+
+    def test_zero_coefficient_rejected(self, committer, rng):
+        """c_j = 0 would blind the batch to slot j entirely."""
+        q = committer.parameters.group.q
+        point, vectors, openings = _make_vectors(committer, rng)
+        with pytest.raises(ValueError, match="non-zero"):
+            verify_share_batch(vectors, point, openings, [1, q, 2])
+
+    def test_length_mismatch_rejected(self, committer, rng):
+        point, vectors, openings = _make_vectors(committer, rng)
+        with pytest.raises(ValueError, match="equal length"):
+            verify_share_batch(vectors, point, openings, [1, 2])
+        with pytest.raises(ValueError, match="at least one"):
+            verify_share_batch([], point, [], [])
+
+    def test_counter_parity_with_per_share_path(self, committer, rng):
+        """The batch charges exactly three verify_share schedules."""
+        q = committer.parameters.group.q
+        point, vectors, openings = _make_vectors(committer, rng)
+        per_share = OperationCounter()
+        for vector, (value, blinding) in zip(vectors, openings):
+            assert vector.verify_share(point, value, blinding, per_share)
+        batched = OperationCounter()
+        assert verify_share_batch(vectors, point, openings,
+                                  _coefficients(q, 7), batched)
+        assert batched.snapshot() == per_share.snapshot()
+
+
+def _bundle_fixture(params5, seed=0):
+    """One honest bid package plus its bundle for a receiver pseudonym."""
+    draw = random.Random(seed)
+    package = encode_bid(params5, params5.bid_values[0], draw)
+    pseudonym = 2
+    return package.commitments, pseudonym, \
+        package.share_bundle_for(pseudonym)
+
+
+def _batched_params(params5):
+    return DMWParameters.generate(
+        5, fault_bound=1, group_parameters=params5.group_parameters,
+        share_verification_mode="batched")
+
+
+class TestBundleDispatch:
+    def test_batched_and_per_share_verdicts_agree(self, params5):
+        commitments, pseudonym, bundle = _bundle_fixture(params5)
+        batched = _batched_params(params5)
+        rng = random.Random(11)
+        assert verify_share_bundle(params5, commitments, pseudonym, bundle)
+        assert verify_share_bundle(batched, commitments, pseudonym, bundle,
+                                   rng=rng)
+
+    def test_batched_rejects_corrupted_bundle(self, params5):
+        commitments, pseudonym, bundle = _bundle_fixture(params5)
+        batched = _batched_params(params5)
+        q = params5.group.q
+        corrupt = ShareBundle(e_value=(bundle.e_value + 1) % q,
+                              f_value=bundle.f_value,
+                              g_value=bundle.g_value,
+                              h_value=bundle.h_value)
+        for seed in range(10):
+            assert not verify_share_bundle(batched, commitments, pseudonym,
+                                           corrupt,
+                                           rng=random.Random(seed))
+
+    def test_no_rng_falls_back_to_per_share(self, params5):
+        """Batched mode without a coefficient stream uses the listing."""
+        commitments, pseudonym, bundle = _bundle_fixture(params5)
+        batched = _batched_params(params5)
+        assert verify_share_bundle(batched, commitments, pseudonym, bundle,
+                                   rng=None)
+
+    def test_naive_mode_falls_back_to_per_share(self, params5):
+        """The batch is a fast path; naive mode must not take it."""
+        commitments, pseudonym, bundle = _bundle_fixture(params5)
+        batched = _batched_params(params5)
+        with fastexp.naive_mode():
+            assert verify_share_bundle(batched, commitments, pseudonym,
+                                       bundle, rng=random.Random(3))
+
+
+def _outcome_signature(outcome):
+    """Outcome fields pinned bit-for-bit across verification modes
+    (cache statistics are intentionally excluded: the batch skips the
+    per-share evaluation caches by design — docs/PERFORMANCE.md)."""
+    return (
+        outcome.completed,
+        list(outcome.schedule.assignment),
+        list(outcome.payments),
+        [(t.task, t.first_price, t.winner, t.second_price)
+         for t in outcome.transcripts],
+        outcome.agent_operations,
+        outcome.network_metrics.as_dict(),
+    )
+
+
+class TestWholeProtocolEquivalence:
+    def _run(self, group, mode, n=6, m=2, seed=0):
+        parameters = DMWParameters.generate(
+            n, fault_bound=1, group_parameters=group,
+            share_verification_mode=mode)
+        problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                            random.Random(seed))
+        outcome = run_dmw(problem, parameters=parameters,
+                          rng=random.Random(seed + 1))
+        assert outcome.completed
+        return outcome
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_honest_runs_bit_identical(self, group_small, seed):
+        per_share = self._run(group_small, "per-share", seed=seed)
+        batched = self._run(group_small, "batched", seed=seed)
+        assert (_outcome_signature(per_share)
+                == _outcome_signature(batched))
+
+    def test_counters_identical_per_agent(self, group_small):
+        """Counter parity specifically, agent by agent (Theorem 12)."""
+        per_share = self._run(group_small, "per-share")
+        batched = self._run(group_small, "batched")
+        for mine, theirs in zip(per_share.agent_operations,
+                                batched.agent_operations):
+            assert mine == theirs
+
+
+class TestDeviantEquivalence:
+    """Batching must not weaken detection: every fatal share deviation
+    aborts in the same phase with the same (zero) deviant utility."""
+
+    @pytest.fixture()
+    def instance(self, params5):
+        problem = SchedulingProblem([
+            [2, 1],
+            [1, 3],
+            [3, 2],
+            [2, 2],
+            [3, 3],
+        ])
+        return problem, _batched_params(params5)
+
+    @pytest.mark.parametrize("strategy", ["corrupt_shares",
+                                          "corrupt_commitments"])
+    def test_share_corruption_detected_in_batched_mode(self, instance,
+                                                       strategy):
+        problem, batched = instance
+        factory = standard_deviations()[strategy]
+        outcome = evaluate_deviation(problem, batched, strategy, factory,
+                                     deviant_index=0)
+        assert not outcome.completed
+        assert outcome.abort_phase == "allocating"
+        assert outcome.deviant_utility == 0.0
+
+    @pytest.mark.parametrize("strategy", ["corrupt_shares",
+                                          "misreport_bid"])
+    def test_verdict_matches_per_share_mode(self, params5, instance,
+                                            strategy):
+        problem, batched = instance
+        factory = standard_deviations()[strategy]
+        baseline = evaluate_deviation(problem, params5, strategy, factory,
+                                      deviant_index=0)
+        under_batch = evaluate_deviation(problem, batched, strategy,
+                                         factory, deviant_index=0)
+        assert under_batch.completed == baseline.completed
+        assert under_batch.abort_phase == baseline.abort_phase
+        assert under_batch.deviant_utility == baseline.deviant_utility

@@ -34,6 +34,7 @@ SCOPE_PATHS = {
     "DMW004": "src/repro/core/fixture.py",
     "DMW005": "src/repro/network/fixture.py",
     "DMW006": "src/repro/crypto/fixture.py",
+    "DMW007": "src/repro/crypto/fixture.py",
 }
 
 RULE_IDS = sorted(SCOPE_PATHS)
