@@ -49,6 +49,14 @@ baseline committed under ``benchmarks/baseline/``:
   at least 4 cores and the record is not a smoke run (a 1-core CI
   container can prove equivalence, not speedup).
 
+* the **history** store (``benchmarks/results/history.jsonl``, built by
+  ``dmw history ingest-bench`` and appended to by ``dmw run
+  --history``) is gated per config fingerprint: trend anomaly flags
+  (Theorem 11 band violations, impossible round counts, counter drift
+  within a fingerprint) always fail, and the latest
+  calibration-normalised wall-clock must stay within ``--threshold``
+  of the best stored run for the same fingerprint.
+
 Exit status 0 iff every gate holds.
 
 Usage::
@@ -58,7 +66,8 @@ Usage::
         [--threshold 0.25] [--only SECTION ...]
 
 ``--only`` restricts the run to the named gate sections (``scaling``,
-``table1``, ``cache``, ``resilience``, ``parallel``, ``backend``); CI's
+``table1``, ``cache``, ``resilience``, ``parallel``, ``backend``,
+``history``); CI's
 parallel-differential job uses ``--only parallel`` because its smoke
 run produces only ``BENCH_parallel.json``, which must not trip the
 "baseline exists but no fresh results" failure of the scaling gate.
@@ -347,6 +356,66 @@ def check_backend(results_dir, failures, lines):
                          % (label, speedup, reason))
 
 
+def check_history(results_dir, threshold, failures, lines):
+    """Gate the persistent run-history store (``history.jsonl``).
+
+    Two checks per stored trajectory (grouped by config fingerprint —
+    see ``repro.obs.history``):
+
+    * every trend anomaly flag (message totals outside the Theorem 11
+      band, impossible round counts, counter drift within a
+      fingerprint) is a hard failure — those invariants have no
+      tolerance;
+    * when a fingerprint has two or more calibration-normalised
+      wall-clock measurements, the latest must not exceed the best
+      prior one by more than ``--threshold`` (the same band as the
+      scaling gate — raw seconds never cross machines, normalised
+      ones do).
+    """
+    path = os.path.join(results_dir, "history.jsonl")
+    if not os.path.exists(path):
+        lines.append("history: no store at %s; skipping" % path)
+        return
+    here = os.path.dirname(os.path.abspath(__file__))
+    sys.path.insert(0, os.path.join(here, os.pardir, "src"))
+    try:
+        from repro.obs.history import HistoryStore, trend_rows
+    finally:
+        sys.path.pop(0)
+    rows = trend_rows(HistoryStore(path).load())
+    normalised_by_fp = {}
+    for row in rows:
+        if row["anomalies"]:
+            failures.append(
+                "history[#%d %s]: %s"
+                % (row["index"], row["fingerprint"],
+                   "; ".join(row["anomalies"])))
+        if row["normalized"] is not None:
+            normalised_by_fp.setdefault(row["fingerprint"],
+                                        []).append(row)
+    if not rows:
+        lines.append("history: store %s is empty" % path)
+        return
+    for fingerprint in sorted(normalised_by_fp):
+        group = normalised_by_fp[fingerprint]
+        if len(group) < 2:
+            lines.append("history[%s]: one normalised entry; trend not "
+                         "gated yet" % fingerprint)
+            continue
+        prior, latest = group[:-1], group[-1]
+        best = min(row["normalized"] for row in prior)
+        ratio = latest["normalized"] / best if best else float("inf")
+        if ratio > 1.0 + threshold:
+            failures.append(
+                "history[%s]: latest normalised wall-clock %.2fx the "
+                "best stored run (entry #%d, threshold %.0f%%)"
+                % (fingerprint, ratio, latest["index"], threshold * 100))
+        else:
+            lines.append("history[%s]: latest %.2fx of best stored "
+                         "normalised wall-clock (ok)"
+                         % (fingerprint, ratio))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail on benchmark regressions against the committed "
@@ -359,13 +428,15 @@ def main(argv=None):
                              "(default 0.25 = 25%%)")
     parser.add_argument("--only", action="append", dest="only",
                         choices=["scaling", "table1", "cache",
-                                 "resilience", "parallel", "backend"],
+                                 "resilience", "parallel", "backend",
+                                 "history"],
                         help="run only the named gate section(s); "
                              "repeatable (default: all sections)")
     args = parser.parse_args(argv)
 
     sections = set(args.only or ["scaling", "table1", "cache",
-                                 "resilience", "parallel", "backend"])
+                                 "resilience", "parallel", "backend",
+                                 "history"])
     failures = []
     lines = []
     if "scaling" in sections:
@@ -381,6 +452,8 @@ def main(argv=None):
         check_parallel(args.results, failures, lines)
     if "backend" in sections:
         check_backend(args.results, failures, lines)
+    if "history" in sections:
+        check_history(args.results, args.threshold, failures, lines)
 
     for line in lines:
         print(line)

@@ -47,8 +47,18 @@ from .core.agent import DMWAgent
 from .core.audit import audit_protocol_run
 from .core.protocol import DMWProtocol
 from .core.trace import ProtocolTrace
-from .obs import SpanRecorder, registry_for_run, run_report, write_run_report
 from .mechanisms import MinWork, truthful_bids
+from .obs import (
+    FlightRecorder,
+    HistoryStore,
+    PhaseProfiler,
+    SpanRecorder,
+    entry_from_report,
+    registry_for_run,
+    run_report,
+    write_chrome_trace,
+    write_run_report,
+)
 from .scheduling import workloads
 from .scheduling.problem import SchedulingProblem
 
@@ -84,17 +94,21 @@ def _print_instance(problem: SchedulingProblem) -> None:
 
 
 def _emit_observability(args, outcome, agents, trace, recorder, parameters,
-                        audit_report) -> None:
+                        audit_report, flight=None) -> None:
     """Write the requested observability artefacts for one ``run``."""
-    if not (args.report or args.metrics or args.trace_json):
+    wants_report = bool(args.report or args.history)
+    if not (wants_report or args.metrics or args.trace_json
+            or args.chrome_trace or args.flight_json):
         return
     registry = registry_for_run(outcome, agents=agents, trace=trace,
                                 recorder=recorder, audit_report=audit_report)
-    if args.report:
+    document = None
+    if wants_report:
         document = run_report(outcome, agents=agents, trace=trace,
                               recorder=recorder, registry=registry,
                               parameters=parameters,
-                              audit_report=audit_report)
+                              audit_report=audit_report, flight=flight)
+    if args.report:
         write_run_report(args.report, document)
         print("run report written to %s" % args.report)
     if args.trace_json:
@@ -110,6 +124,19 @@ def _emit_observability(args, outcome, agents, trace, recorder, parameters,
             with open(args.metrics, "w") as handle:
                 handle.write(text)
             print("metrics written to %s" % args.metrics)
+    if args.chrome_trace:
+        write_chrome_trace(args.chrome_trace, recorder=recorder,
+                           flight=flight)
+        print("chrome trace written to %s" % args.chrome_trace)
+    if args.flight_json and flight is not None:
+        flight.dump(args.flight_json, reason="cli: --flight-json")
+        print("flight log written to %s" % args.flight_json)
+    if args.history and document is not None:
+        store = HistoryStore(args.history)
+        config = {"seed": args.seed, "parallel": bool(args.parallel),
+                  "workers": args.workers}
+        index = store.append(entry_from_report(document, config=config))
+        print("history entry %d appended to %s" % (index, args.history))
 
 
 def _build_network(args, parameters: DMWParameters):
@@ -141,13 +168,23 @@ def cmd_run(args) -> int:
                  rng=random.Random(master.getrandbits(64)))
         for index in range(parameters.num_agents)
     ]
-    observing = bool(args.report or args.metrics or args.trace_json)
+    observing = bool(args.report or args.metrics or args.trace_json
+                     or args.chrome_trace or args.profile or args.history)
     trace = (ProtocolTrace()
-             if (args.trace or args.trace_json or args.report) else None)
+             if (args.trace or args.trace_json or args.report
+                 or args.history) else None)
     recorder = SpanRecorder() if observing else None
+    if recorder is not None and args.profile:
+        recorder.profiler = PhaseProfiler(top_n=args.profile_top)
+    flight = None
+    if args.chrome_trace or args.flight_json or args.flight_dump:
+        flight = FlightRecorder(capacity=args.flight_buffer)
+        if args.flight_dump:
+            flight.dump_on_abort = args.flight_dump
     network = _build_network(args, parameters)
     protocol = DMWProtocol(parameters, agents, trace=trace,
-                           observer=recorder, network=network)
+                           observer=recorder, network=network,
+                           flight=flight)
     resume = None
     if args.resume:
         from . import serialization
@@ -173,7 +210,7 @@ def cmd_run(args) -> int:
         print("\nABORTED: %s (phase %s)" % (outcome.abort.reason,
                                             outcome.abort.phase))
         _emit_observability(args, outcome, agents, trace, recorder,
-                            parameters, None)
+                            parameters, None, flight=flight)
         return 1
     print("\nschedule:", list(outcome.schedule.assignment))
     print("payments:", list(outcome.payments))
@@ -207,7 +244,7 @@ def cmd_run(args) -> int:
             print("  [%s] task=%s: %s" % (finding.check, finding.task,
                                           finding.detail))
     _emit_observability(args, outcome, agents, trace, recorder, parameters,
-                        audit_report)
+                        audit_report, flight=flight)
     if audit_report is not None and not audit_report.ok:
         return 1
     return 0
@@ -331,6 +368,102 @@ def cmd_table1(args) -> int:
     return 0
 
 
+def _history_config_label(config) -> str:
+    """Compact ``n=.. m=.. seed=..`` label for history tables."""
+    parts: List[str] = []
+    for key, label in (("num_agents", "n"), ("num_tasks", "m"),
+                       ("seed", "seed"), ("backend", "backend"),
+                       ("bench", "bench")):
+        value = config.get(key)
+        if value is not None:
+            parts.append("%s=%s" % (label, value))
+    if config.get("parallel"):
+        parts.append("parallel(workers=%s)" % config.get("workers"))
+    return " ".join(parts) or "-"
+
+
+def cmd_history_list(args) -> int:
+    entries = HistoryStore(args.store).load()
+    if not entries:
+        print("history store %s is empty" % args.store)
+        return 0
+    rows = []
+    for index, entry in enumerate(entries, 1):
+        wall = entry.get("wall_clock_s")
+        messages = (entry.get("network") or {}).get(
+            "point_to_point_messages")
+        rows.append([index, entry.get("fingerprint"), entry.get("source"),
+                     _history_config_label(entry.get("config") or {}),
+                     "%.4f" % wall if wall is not None else "-",
+                     messages if messages is not None else "-"])
+    print(render_table(["#", "fingerprint", "source", "config",
+                        "wall (s)", "messages"], rows))
+    return 0
+
+
+def cmd_history_show(args) -> int:
+    entry = HistoryStore(args.store).entry(args.index)
+    print(json.dumps(entry, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_history_diff(args) -> int:
+    from .obs import diff_entries
+    store = HistoryStore(args.store)
+    diff = diff_entries(store.entry(args.a), store.entry(args.b))
+    for line in diff["divergences"]:
+        print("DIVERGENCE %s" % line)
+    for line in diff["informational"]:
+        print("info %s" % line)
+    if diff["clean"]:
+        print("clean: entries %d and %d agree on counters, network "
+              "totals, and outcome" % (args.a, args.b))
+        return 0
+    print("DIVERGENT: %d deterministic field(s) differ between entries "
+          "%d and %d" % (len(diff["divergences"]), args.a, args.b))
+    return 1
+
+
+def cmd_history_trend(args) -> int:
+    from .obs import trend_rows
+    entries = HistoryStore(args.store).load()
+    rows = trend_rows(entries)
+    if args.fingerprint:
+        rows = [r for r in rows if r["fingerprint"] == args.fingerprint]
+    if not rows:
+        print("no matching history entries in %s" % args.store)
+        return 0
+    table = []
+    anomaly_count = 0
+    for row in rows:
+        anomaly_count += len(row["anomalies"])
+        table.append([
+            row["index"], row["fingerprint"], row["source"],
+            _history_config_label(row["config"]),
+            ("%.4f" % row["wall_clock_s"]
+             if row["wall_clock_s"] is not None else "-"),
+            ("%.2f" % row["normalized"]
+             if row["normalized"] is not None else "-"),
+            row["messages"] if row["messages"] is not None else "-",
+            "; ".join(row["anomalies"]) or "-",
+        ])
+    print(render_table(["#", "fingerprint", "source", "config", "wall (s)",
+                        "normalized", "messages", "anomalies"], table))
+    print("\n%d entries, %d anomaly flag(s)" % (len(rows), anomaly_count))
+    return 0
+
+
+def cmd_history_ingest(args) -> int:
+    from .obs import entries_from_bench_dir
+    entries = entries_from_bench_dir(args.results_dir)
+    if not entries:
+        print("no BENCH_*.json records under %s" % args.results_dir)
+        return 1
+    count = HistoryStore(args.store).extend(entries)
+    print("ingested %d bench record(s) into %s" % (count, args.store))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -383,6 +516,30 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--metrics", default=None, metavar="PATH",
                             help="write Prometheus text-format metrics to "
                                  "PATH ('-' for stdout)")
+    run_parser.add_argument("--chrome-trace", default=None, metavar="PATH",
+                            help="write a Chrome-trace (Perfetto-loadable) "
+                                 "JSON merging spans and message events to "
+                                 "PATH")
+    run_parser.add_argument("--flight-json", default=None, metavar="PATH",
+                            help="dump the full flight-recorder event log "
+                                 "as JSON to PATH")
+    run_parser.add_argument("--flight-dump", default=None, metavar="PATH",
+                            help="on abort or quarantine, dump the flight "
+                                 "recorder to PATH automatically")
+    run_parser.add_argument("--flight-buffer", type=int, default=65536,
+                            metavar="N",
+                            help="flight-recorder ring-buffer capacity in "
+                                 "events (default 65536)")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="capture per-phase cProfile hotspots into "
+                                 "the run report")
+    run_parser.add_argument("--profile-top", type=int, default=10,
+                            metavar="N",
+                            help="hotspots per phase in the profile "
+                                 "section (default 10)")
+    run_parser.add_argument("--history", default=None, metavar="PATH",
+                            help="append this run to the history store "
+                                 "(JSONL) at PATH")
     run_parser.add_argument("--degraded", action="store_true",
                             help="graceful degradation: quarantine a "
                                  "faulty task's auction instead of "
@@ -439,6 +596,53 @@ def build_parser() -> argparse.ArgumentParser:
     table1_parser = subparsers.add_parser(
         "table1", help="regenerate Table 1's scaling exponents")
     table1_parser.set_defaults(handler=cmd_table1)
+
+    history_parser = subparsers.add_parser(
+        "history", help="query the persistent run-history store")
+    history_sub = history_parser.add_subparsers(dest="action",
+                                                required=True)
+
+    def add_store(sub):
+        sub.add_argument("--store",
+                         default="benchmarks/results/history.jsonl",
+                         metavar="PATH",
+                         help="history JSONL path "
+                              "(default %(default)s)")
+
+    list_parser = history_sub.add_parser(
+        "list", help="list every stored entry")
+    add_store(list_parser)
+    list_parser.set_defaults(handler=cmd_history_list)
+
+    show_parser = history_sub.add_parser(
+        "show", help="print one entry as JSON")
+    add_store(show_parser)
+    show_parser.add_argument("index", type=int,
+                             help="1-based entry index (see 'list')")
+    show_parser.set_defaults(handler=cmd_history_show)
+
+    diff_parser = history_sub.add_parser(
+        "diff", help="compare two entries; exits 1 on deterministic "
+                     "divergence")
+    add_store(diff_parser)
+    diff_parser.add_argument("a", type=int, help="first entry index")
+    diff_parser.add_argument("b", type=int, help="second entry index")
+    diff_parser.set_defaults(handler=cmd_history_diff)
+
+    trend_parser = history_sub.add_parser(
+        "trend", help="per-fingerprint trajectories with Theorem 11/12 "
+                      "anomaly flags")
+    add_store(trend_parser)
+    trend_parser.add_argument("--fingerprint", default=None,
+                              help="only this config fingerprint")
+    trend_parser.set_defaults(handler=cmd_history_trend)
+
+    ingest_parser = history_sub.add_parser(
+        "ingest-bench", help="ingest committed BENCH_*.json records")
+    add_store(ingest_parser)
+    ingest_parser.add_argument("results_dir",
+                               help="directory holding BENCH_*.json files")
+    ingest_parser.set_defaults(handler=cmd_history_ingest)
 
     reproduce_parser = subparsers.add_parser(
         "reproduce", help="regenerate every experiment in one run")

@@ -57,6 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - import for annotations only
 from ..crypto.fastexp import PublicValueCache
 from ..network.faults import FaultPlan
 from ..network.simulator import SynchronousNetwork
+from ..obs.flight import FlightRecorder
 from ..obs.spans import (
     KIND_RUN,
     KIND_TASK,
@@ -100,7 +101,8 @@ class DMWProtocol:
                  record_deliveries: bool = False,
                  network: Optional[SynchronousNetwork] = None,
                  trace: Optional[ProtocolTrace] = None,
-                 observer: Optional[SpanRecorder] = None) -> None:
+                 observer: Optional[SpanRecorder] = None,
+                 flight: Optional[FlightRecorder] = None) -> None:
         if len(agents) != parameters.num_agents:
             raise ParameterError(
                 "got %d agents for %d pseudonyms"
@@ -132,6 +134,15 @@ class DMWProtocol:
         self.observer = observer if observer is not None else NULL_RECORDER
         # The network emits per-round events through the same recorder.
         self.network.observer = self.observer
+        # Flight recorder: install the supplied one on the network, or
+        # adopt whatever the (possibly caller-built) network carries; the
+        # default is the allocation-free null recorder.
+        if flight is not None:
+            self.network.flight = flight
+        self.flight = self.network.flight
+        if self.flight.enabled and self.observer.enabled:
+            # Share the span recorder's clock epoch and owning-span ids.
+            self.flight.span_source = self.observer
         self._transcripts: List[AuctionTranscript] = []
         self._task_aborts: Dict[int, ProtocolAbort] = {}
         self._shared_cache: Optional[PublicValueCache] = None
@@ -169,6 +180,9 @@ class DMWProtocol:
                                 reason=abort.reason,
                                 detected_by=abort.detected_by,
                                 offender=abort.offender)
+        if self.flight.enabled:
+            self.flight.abort_dump("abort: %s (task=%s phase=%s)"
+                                   % (abort.reason, abort.task, abort.phase))
         return DMWOutcome(
             completed=False, schedule=None, payments=None,
             transcripts=list(self._transcripts), abort=abort,
@@ -202,6 +216,9 @@ class DMWProtocol:
                                 phase=abort.phase, reason=abort.reason,
                                 detected_by=abort.detected_by,
                                 offender=abort.offender)
+        if self.flight.enabled:
+            self.flight.abort_dump("task_quarantined: task %d (%s)"
+                                   % (task, abort.reason))
 
     def _fail_task(self, task: int, abort: ProtocolAbort,
                    active: List[int]) -> Optional[ProtocolAbort]:
@@ -403,8 +420,14 @@ class DMWProtocol:
     def _run_auction(self, task: int) -> Optional[ProtocolAbort]:
         """Run the full distributed Vickrey auction for one task."""
         self.trace.record("auction_start", task=task)
-        with self.observer.span("task", kind=KIND_TASK, task=task):
-            return self._run_auction_phases(task)
+        if self.flight.enabled:
+            self.flight.current_task = task
+        try:
+            with self.observer.span("task", kind=KIND_TASK, task=task):
+                return self._run_auction_phases(task)
+        finally:
+            if self.flight.enabled:
+                self.flight.current_task = None
 
     def _run_auction_phases(self, task: int) -> Optional[ProtocolAbort]:
         obs = self.observer
@@ -968,7 +991,8 @@ def run_dmw(problem: SchedulingProblem,
             degraded: bool = False,
             trace: Optional[ProtocolTrace] = None,
             observer: Optional[SpanRecorder] = None,
-            workers: Optional[int] = None) -> DMWOutcome:
+            workers: Optional[int] = None,
+            flight: Optional[FlightRecorder] = None) -> DMWOutcome:
     """Convenience entry point: run DMW on an integer-valued instance.
 
     Every ``t_i^j`` must be an integer in the (derived or given) bid set
@@ -997,6 +1021,10 @@ def run_dmw(problem: SchedulingProblem,
     workers:
         With ``parallel=True``, shard the auctions across this many OS
         processes via the pool engine (:mod:`repro.parallel`).
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder` capturing one
+        structured event per message lifecycle step (see
+        ``docs/OBSERVABILITY.md``, "Flight recorder").
     """
     rng = rng or random.Random(0)
     if parameters is None:
@@ -1010,6 +1038,6 @@ def run_dmw(problem: SchedulingProblem,
         agents.append(DMWAgent(index, parameters, values,
                                rng=random.Random(rng.getrandbits(64))))
     protocol = DMWProtocol(parameters, agents, trace=trace,
-                           observer=observer)
+                           observer=observer, flight=flight)
     return protocol.execute(problem.num_tasks, parallel=parallel,
                             degraded=degraded, workers=workers)

@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from ..obs.flight import (EVENT_DELIVER, EVENT_DROP, EVENT_LATE,
+                          EVENT_RECOVERY, EVENT_RETRANSMIT, EVENT_SEND)
 from .faults import FaultPlan
 from .latency import LatencyModel
 from .message import Message
@@ -138,10 +140,13 @@ class TimeoutNetwork(SynchronousNetwork):
         fault-plan drops) whether or not they eventually arrive.
         """
         delivered = 0
+        flight = self.flight
         queued, self._outbox = self._outbox, []
         slowest_on_time = 0.0
         withheld_this_round = 0  # fault-plan drops + crashed-sender copies
-        pending: List[Message] = []  # late copies eligible for retry
+        # Late copies eligible for retry, paired with the seq of their
+        # original flight "send" event so retry events link back to it.
+        pending: List[Tuple[Message, Optional[int]]] = []
         for message in queued:
             if self.fault_plan.sender_is_crashed(message.sender,
                                                  self.round_index):
@@ -165,19 +170,48 @@ class TimeoutNetwork(SynchronousNetwork):
                                   kind=stamped.kind, payload=stamped.payload,
                                   field_elements=stamped.field_elements,
                                   round_sent=self.round_index)
+                sent_seq: Optional[int] = None
+                if flight.enabled:
+                    sent = flight.record(
+                        EVENT_SEND, round_index=self.round_index,
+                        kind=unicast.kind, sender=unicast.sender,
+                        receiver=recipient,
+                        field_elements=unicast.field_elements)
+                    sent_seq = sent.seq if sent is not None else None
                 final = self.fault_plan.transform(unicast, self.round_index)
                 if final is None:
                     withheld_this_round += 1
+                    if flight.enabled:
+                        flight.record(EVENT_DROP,
+                                      round_index=self.round_index,
+                                      kind=unicast.kind,
+                                      sender=unicast.sender,
+                                      receiver=recipient,
+                                      field_elements=unicast.field_elements,
+                                      link=sent_seq, detail="fault_plan")
                     continue
                 delay = self.latency_model.sample(stamped.sender, recipient)
                 if delay > self.round_timeout:
-                    pending.append(final)
+                    pending.append((final, sent_seq))
+                    if flight.enabled:
+                        flight.record(EVENT_LATE,
+                                      round_index=self.round_index,
+                                      kind=final.kind, sender=final.sender,
+                                      receiver=recipient,
+                                      field_elements=final.field_elements,
+                                      link=sent_seq, detail="missed_barrier")
                     continue
                 slowest_on_time = max(slowest_on_time, delay)
                 self._inboxes[recipient].append(final)
                 if self.record_deliveries:
                     self.delivery_log.append(final)
                 delivered += 1
+                if flight.enabled:
+                    flight.record(EVENT_DELIVER, round_index=self.round_index,
+                                  kind=final.kind, sender=final.sender,
+                                  receiver=recipient,
+                                  field_elements=final.field_elements,
+                                  link=sent_seq)
         # A barrier waits its full timeout whenever something is missing
         # (late, dropped, or from a crashed sender — all indistinguishable
         # to the receivers); otherwise it releases at the slowest on-time
@@ -192,15 +226,22 @@ class TimeoutNetwork(SynchronousNetwork):
                 break
             window = self.retry_policy.grace_window(self.round_timeout,
                                                     attempt)
-            still_pending: List[Message] = []
+            still_pending: List[Tuple[Message, Optional[int]]] = []
             slowest_recovered = 0.0
-            for copy in pending:
+            for copy, sent_seq in pending:
                 self.metrics.record_retransmission(copy)
                 retries_this_round += 1
+                if flight.enabled:
+                    flight.record(EVENT_RETRANSMIT,
+                                  round_index=self.round_index,
+                                  kind=copy.kind, sender=copy.sender,
+                                  receiver=copy.recipient,
+                                  field_elements=copy.field_elements,
+                                  attempt=attempt, link=sent_seq)
                 delay = self.latency_model.sample(copy.sender,
                                                   copy.recipient)
                 if delay > window:
-                    still_pending.append(copy)
+                    still_pending.append((copy, sent_seq))
                     continue
                 slowest_recovered = max(slowest_recovered, delay)
                 self._inboxes[copy.recipient].append(copy)
@@ -209,10 +250,24 @@ class TimeoutNetwork(SynchronousNetwork):
                 self.metrics.record_recovery()
                 recovered_this_round += 1
                 delivered += 1
+                if flight.enabled:
+                    flight.record(EVENT_RECOVERY,
+                                  round_index=self.round_index,
+                                  kind=copy.kind, sender=copy.sender,
+                                  receiver=copy.recipient,
+                                  field_elements=copy.field_elements,
+                                  attempt=attempt, link=sent_seq)
             # The grace barrier waits its full window while anything is
             # still missing; otherwise it releases at the last recovery.
             duration += window if still_pending else slowest_recovered
             pending = still_pending
+        if flight.enabled:
+            for copy, sent_seq in pending:
+                flight.record(EVENT_DROP, round_index=self.round_index,
+                              kind=copy.kind, sender=copy.sender,
+                              receiver=copy.recipient,
+                              field_elements=copy.field_elements,
+                              link=sent_seq, detail="late")
         late_this_round = len(pending)
         self.late_messages += late_this_round
         self.retries += retries_this_round

@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.flight import (EVENT_DELIVER, EVENT_DROP, EVENT_SEND, NULL_FLIGHT,
+                          FlightRecorder)
 from ..obs.spans import NULL_RECORDER
 from .faults import FaultPlan, obedient_plan
 from .message import BROADCAST, Message
@@ -65,6 +67,11 @@ class SynchronousNetwork:
         #: The default null recorder keeps the hot path allocation-free
         #: (every emission is guarded by ``observer.enabled``).
         self.observer = NULL_RECORDER
+        #: Flight recorder: one :class:`~repro.obs.flight.FlightEvent` per
+        #: unicast copy at each lifecycle step (send/deliver/drop).  The
+        #: default null recorder keeps the hot path allocation-free
+        #: (every emission is guarded by ``flight.enabled``).
+        self.flight: FlightRecorder = NULL_FLIGHT
 
     # -- validation -----------------------------------------------------------
     def _check_participant(self, participant: int, role: str) -> None:
@@ -102,6 +109,7 @@ class SynchronousNetwork:
         it just did not arrive).
         """
         delivered = 0
+        flight = self.flight
         queued, self._outbox = self._outbox, []
         for message in queued:
             if self.fault_plan.sender_is_crashed(message.sender,
@@ -120,12 +128,31 @@ class SynchronousNetwork:
                                   kind=stamped.kind, payload=stamped.payload,
                                   field_elements=stamped.field_elements,
                                   round_sent=self.round_index)
+                if flight.enabled:
+                    # One send event per expanded unicast copy — the unit
+                    # NetworkMetrics charges (Theorem 11), dropped or not.
+                    flight.record(EVENT_SEND, round_index=self.round_index,
+                                  kind=unicast.kind, sender=unicast.sender,
+                                  receiver=recipient,
+                                  field_elements=unicast.field_elements)
                 final = self.fault_plan.transform(unicast, self.round_index)
                 if final is not None:
                     self._inboxes[recipient].append(final)
                     if self.record_deliveries:
                         self.delivery_log.append(final)
                     delivered += 1
+                    if flight.enabled:
+                        flight.record(EVENT_DELIVER,
+                                      round_index=self.round_index,
+                                      kind=final.kind, sender=final.sender,
+                                      receiver=recipient,
+                                      field_elements=final.field_elements)
+                elif flight.enabled:
+                    flight.record(EVENT_DROP, round_index=self.round_index,
+                                  kind=unicast.kind, sender=unicast.sender,
+                                  receiver=recipient,
+                                  field_elements=unicast.field_elements,
+                                  detail="fault_plan")
         self.metrics.record_round()
         if self.observer.enabled:
             self.observer.event("network_round", round=self.round_index,

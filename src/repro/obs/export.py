@@ -23,9 +23,13 @@ Schema documentation lives in ``docs/OBSERVABILITY.md``.
 from __future__ import annotations
 
 import json
+import os
+import platform
+import subprocess
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..crypto import backend as crypto_backend
+from .flight import FlightRecorder
 from .metrics import MetricsRegistry, registry_for_run
 from .spans import SpanRecorder
 
@@ -34,11 +38,16 @@ from .spans import SpanRecorder
 #: on fault-free runs, which the benchmark regression gate asserts).
 #: Version 3 adds the ``parallelism`` section (process-pool driver
 #: metadata — ``workers``/``tasks_pooled``/``batches``; empty for the
-#: in-process drivers); version-2 documents remain valid.
-REPORT_VERSION = 3
+#: in-process drivers).  Version 4 adds ``flight_summary`` (the flight
+#: recorder's per-type/per-kind message-event tallies; empty when flight
+#: recording was off), ``profile`` (per-phase cProfile hotspots; empty
+#: without ``--profile``), and ``provenance`` (package version,
+#: arithmetic backend, git commit when available) so historical runs are
+#: attributable.  Earlier documents remain valid.
+REPORT_VERSION = 4
 
 #: Versions :func:`validate_run_report` accepts.
-_ACCEPTED_VERSIONS = (2, 3)
+_ACCEPTED_VERSIONS = (2, 3, 4)
 
 
 def _sum_operations(agent_operations) -> Dict[str, int]:
@@ -55,12 +64,16 @@ def run_report(outcome: Any,
                recorder: Optional[SpanRecorder] = None,
                registry: Optional[MetricsRegistry] = None,
                parameters: Optional[Any] = None,
-               audit_report: Optional[Any] = None) -> Dict[str, Any]:
+               audit_report: Optional[Any] = None,
+               flight: Optional[FlightRecorder] = None,
+               profiler: Optional[Any] = None) -> Dict[str, Any]:
     """Build the JSON run-report document for one finished execution.
 
     Only ``outcome`` is required; every other source enriches the report
     when available.  When ``registry`` is omitted one is built via
-    :func:`~repro.obs.metrics.registry_for_run` from the same inputs.
+    :func:`~repro.obs.metrics.registry_for_run` from the same inputs;
+    when ``profiler`` is omitted the recorder's installed
+    :class:`~repro.obs.profile.PhaseProfiler` (if any) is used.
     """
     if registry is None:
         registry = registry_for_run(outcome, agents=agents, trace=trace,
@@ -115,7 +128,62 @@ def run_report(outcome: Any,
         "trace": ([event.to_dict() for event in trace]
                   if trace is not None and len(trace) else None),
     }
+    if profiler is None and recorder is not None:
+        profiler = getattr(recorder, "profiler", None)
+    document["flight_summary"] = (flight.summary()
+                                  if flight is not None and flight.enabled
+                                  else {})
+    document["profile"] = profiler.report() if profiler is not None else {}
+    document["provenance"] = provenance_summary()
     return document
+
+
+_GIT_COMMIT_CACHE: List[Optional[str]] = []
+
+
+def _git_commit() -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a work tree.
+
+    Memoized per process: provenance is stamped on every report and a
+    subprocess per call would dominate small runs.
+    """
+    if not _GIT_COMMIT_CACHE:
+        commit: Optional[str] = None
+        try:
+            result = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True, text=True, timeout=5, check=False)
+            if result.returncode == 0 and result.stdout.strip():
+                commit = result.stdout.strip()
+        except Exception:
+            commit = None
+        _GIT_COMMIT_CACHE.append(commit)
+    return _GIT_COMMIT_CACHE[0]
+
+
+def provenance_summary() -> Dict[str, Any]:
+    """The ``provenance`` section: who/what produced this document.
+
+    ``package_version`` and ``arithmetic_backend`` are always present;
+    ``git_commit`` appears when the package runs from a git work tree.
+    """
+    try:
+        # Imported lazily: ``repro.__version__`` is assigned after the
+        # package's re-exports, so a module-level import here would see a
+        # partially-initialized package during startup.
+        from .. import __version__ as package_version
+    except Exception:
+        package_version = "unknown"
+    provenance: Dict[str, Any] = {
+        "package_version": package_version,
+        "arithmetic_backend": crypto_backend.ACTIVE.name,
+        "python_version": platform.python_version(),
+    }
+    commit = _git_commit()
+    if commit is not None:
+        provenance["git_commit"] = commit
+    return provenance
 
 
 def resilience_summary(outcome: Any) -> Dict[str, Any]:
@@ -214,6 +282,39 @@ def validate_run_report(document: Any) -> None:
         _require("parallelism" in document, "missing key 'parallelism'")
         _require(isinstance(document["parallelism"], dict),
                  "parallelism must be an object")
+    if document["version"] >= 4:
+        for key in ("flight_summary", "profile", "provenance"):
+            _require(key in document, "missing key %r" % key)
+            _require(isinstance(document[key], dict),
+                     "%s must be an object" % key)
+        provenance = document["provenance"]
+        for key in ("package_version", "arithmetic_backend"):
+            _require(key in provenance, "provenance missing %r" % key)
+        flight_summary = document["flight_summary"]
+        if flight_summary:
+            for key in ("events_recorded", "events_retained", "capacity",
+                        "messages", "by_type", "by_kind"):
+                _require(key in flight_summary,
+                         "flight_summary missing %r" % key)
+            _require(flight_summary["events_retained"]
+                     <= flight_summary["events_recorded"],
+                     "flight_summary retains more events than recorded")
+            _require(sum(flight_summary["by_type"].values())
+                     == flight_summary["events_recorded"],
+                     "flight_summary.by_type must sum to events_recorded")
+            _require(sum(flight_summary["by_kind"].values())
+                     == flight_summary["events_recorded"],
+                     "flight_summary.by_kind must sum to events_recorded")
+        profile = document["profile"]
+        if profile:
+            _require("phases" in profile and "top_n" in profile,
+                     "profile must carry phases and top_n")
+            for phase_name, body in profile["phases"].items():
+                for key in ("functions_profiled", "calls", "time_s",
+                            "hotspots"):
+                    _require(key in body,
+                             "profile phase %r missing %r"
+                             % (phase_name, key))
     _require(isinstance(document["completed"], bool),
              "completed must be a bool")
 
@@ -310,7 +411,12 @@ def parse_prometheus(text: str
     """
     samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
     typed: Dict[str, str] = {}
-    for line_number, raw in enumerate(text.splitlines(), 1):
+    # Split on "\n" only: the exposition format's line separator.  Using
+    # str.splitlines() here would also break lines at \r, \v, \f, \x85,
+    #   ... — characters _escape_label leaves raw inside quoted
+    # label values — truncating such a sample mid-line and breaking the
+    # to_prometheus round-trip.
+    for line_number, raw in enumerate(text.split("\n"), 1):
         line = raw.strip()
         if not line:
             continue

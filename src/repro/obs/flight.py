@@ -1,0 +1,450 @@
+"""Message-level flight recorder: every transmission as a structured event.
+
+The paper's headline results are *communication* theorems (Table 1,
+Theorem 11 count messages and rounds), but span-level telemetry only sees
+per-phase aggregates.  The flight recorder closes that gap: the network
+simulators emit one structured :class:`FlightEvent` per unicast copy at
+each lifecycle step —
+
+* ``send`` — a copy charged to :class:`~repro.network.metrics.NetworkMetrics`
+  (broadcasts appear as their ``n - 1`` expanded copies, exactly the unit
+  Theorem 11 counts);
+* ``deliver`` — the copy landed in the recipient's inbox;
+* ``drop`` — the copy was lost (fault-plan drop, or declared withheld
+  after the retry budget under :class:`~repro.network.asynchronous.TimeoutNetwork`);
+* ``late`` — the copy missed the base barrier and entered the grace
+  sub-rounds;
+* ``retransmit`` — a grace sub-round re-send (also charged to the
+  metrics, so ``send + retransmit`` events equal
+  ``point_to_point_messages`` exactly);
+* ``recovery`` — a retransmitted copy arrived inside its grace window.
+
+Retry-path events carry ``link`` — the sequence number of the original
+``send`` event for the same copy — so a retransmission chain can be
+replayed end to end.
+
+Events are held in a bounded ring buffer (:class:`FlightRecorder`); the
+per-type/per-kind tallies keep counting past eviction, so summaries stay
+exact even when the buffer wraps.  The recorder is opt-in and follows the
+observability contract: the module-level :data:`NULL_FLIGHT` no-op is
+installed on every network by default, every emission is guarded by
+``flight.enabled``, and recording never perturbs counted totals.
+
+Two exporters leave the process:
+
+* :func:`FlightRecorder.dump` — a JSON document with the summary and the
+  retained events; :attr:`FlightRecorder.dump_on_abort` makes the
+  protocol write it automatically when a run voids or quarantines a task
+  (the post-mortem for degraded runs);
+* :func:`to_chrome_trace` — a Chrome Trace Event document (loadable in
+  Perfetto / ``chrome://tracing``) merging the message events with the
+  span timeline: spans render as duration events on the protocol track,
+  messages as instants on per-agent tracks.
+
+See ``docs/OBSERVABILITY.md`` ("Flight recorder").
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Callable, Deque, Dict, Iterable,
+                    Iterator, List, Optional, Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from .spans import SpanRecorder
+
+#: Event types, in message-lifecycle order.
+EVENT_SEND = "send"
+EVENT_DELIVER = "deliver"
+EVENT_DROP = "drop"
+EVENT_LATE = "late"
+EVENT_RETRANSMIT = "retransmit"
+EVENT_RECOVERY = "recovery"
+
+#: The event types that each correspond to exactly one point-to-point
+#: message charged to :class:`~repro.network.metrics.NetworkMetrics`
+#: (the unit of Theorem 11): original sends plus grace-round re-sends.
+MESSAGE_EVENT_TYPES = (EVENT_SEND, EVENT_RETRANSMIT)
+
+#: Default ring-buffer capacity (events, not messages; a send that is
+#: delivered produces two events).
+DEFAULT_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One message-lifecycle event.
+
+    ``seq`` is the recorder-assigned sequence number (monotone across the
+    whole execution, merge included); ``link`` points at the ``seq`` of
+    the original ``send`` for retry-path events; ``span_id`` is the span
+    open when the event fired (``None`` without a linked recorder).
+    """
+
+    seq: int
+    type: str
+    round: int
+    kind: str
+    sender: int
+    receiver: Optional[int]
+    field_elements: int
+    task: Optional[int]
+    span_id: Optional[int]
+    timestamp: float
+    attempt: int = 0
+    link: Optional[int] = None
+    detail: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly encoding (stable keys; see the dump schema)."""
+        return {
+            "seq": self.seq,
+            "type": self.type,
+            "round": self.round,
+            "kind": self.kind,
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "field_elements": self.field_elements,
+            "task": self.task,
+            "span_id": self.span_id,
+            "timestamp_s": self.timestamp,
+            "attempt": self.attempt,
+            "link": self.link,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "FlightEvent":
+        """Decode an event encoded by :meth:`to_dict` (round-trip)."""
+        return cls(
+            seq=document["seq"],
+            type=document["type"],
+            round=document["round"],
+            kind=document["kind"],
+            sender=document["sender"],
+            receiver=document["receiver"],
+            field_elements=document["field_elements"],
+            task=document["task"],
+            span_id=document["span_id"],
+            timestamp=document["timestamp_s"],
+            attempt=document.get("attempt", 0),
+            link=document.get("link"),
+            detail=document.get("detail"),
+        )
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`FlightEvent` records.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older events are evicted first.  The
+        per-type/per-kind tallies (and ``events_recorded``) keep counting
+        past eviction so :meth:`summary` stays exact.
+    clock:
+        Timestamp source used when no :attr:`span_source` is linked.
+    """
+
+    #: Real recorders capture events; the null recorder advertises False
+    #: so the network hot path can skip building payloads entirely.
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if capacity < 1:
+            raise ValueError("flight-recorder capacity must be positive")
+        self.capacity = capacity
+        self.clock = clock
+        self.epoch = clock()
+        self._events: Deque[FlightEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        #: All-time tallies (never reduced by ring eviction).
+        self.by_type: Counter = Counter()
+        self.by_kind: Counter = Counter()
+        #: Optional :class:`~repro.obs.spans.SpanRecorder` supplying the
+        #: owning span id and a shared timestamp epoch.
+        self.span_source: Optional["SpanRecorder"] = None
+        #: Task attribution installed by the protocol drivers around each
+        #: auction (``None`` during run-level phases such as payments).
+        self.current_task: Optional[int] = None
+        #: When set, the protocol dumps the buffer to this path on abort
+        #: or quarantine (the degraded-run post-mortem).
+        self.dump_on_abort: Optional[str] = None
+        #: Paths written by :meth:`abort_dump`, in order.
+        self.abort_dumps: List[str] = []
+
+    # -- recording ------------------------------------------------------------
+    def record(self, event_type: str, *, round_index: int, kind: str,
+               sender: int, receiver: Optional[int],
+               field_elements: int = 1, attempt: int = 0,
+               link: Optional[int] = None,
+               detail: Optional[str] = None) -> Optional[FlightEvent]:
+        """Record one lifecycle event; returns it (for retry linking)."""
+        source = self.span_source
+        if source is not None and source.enabled:
+            timestamp = source.clock() - source.epoch
+            span_id = source._stack[-1] if source._stack else None
+        else:
+            timestamp = self.clock() - self.epoch
+            span_id = None
+        event = FlightEvent(
+            seq=self._seq, type=event_type, round=round_index, kind=kind,
+            sender=sender, receiver=receiver, field_elements=field_elements,
+            task=self.current_task, span_id=span_id, timestamp=timestamp,
+            attempt=attempt, link=link, detail=detail,
+        )
+        self._seq += 1
+        self.by_type[event_type] += 1
+        self.by_kind[kind] += 1
+        self._events.append(event)
+        return event
+
+    def ingest(self, documents: Iterable[Dict[str, Any]],
+               span_base: Optional[int] = None,
+               span_parent: Optional[int] = None,
+               time_offset: float = 0.0,
+               source_summary: Optional[Dict[str, Any]] = None) -> None:
+        """Merge events exported by another recorder (process-pool shards).
+
+        Sequence numbers are reassigned into this recorder's space (with
+        ``link`` pointers remapped by the same shift), span ids are
+        shifted by ``span_base`` — matching the span graft performed by
+        :func:`repro.parallel._graft_spans` — or re-parented to
+        ``span_parent`` when the shard recorded none, and timestamps are
+        rebased by ``time_offset``.
+
+        ``source_summary`` (the source recorder's :meth:`summary`) keeps
+        the tallies eviction-exact: when the source's ring evicted events
+        before export, its all-time per-type/per-kind counts are adopted
+        instead of re-counting only the retained documents.
+        """
+        base = self._seq
+        highest = base
+        for document in documents:
+            span_id = document.get("span_id")
+            if span_id is not None and span_base is not None:
+                span_id = span_id + span_base
+            elif span_id is None:
+                span_id = span_parent
+            link = document.get("link")
+            event = FlightEvent(
+                seq=base + document["seq"],
+                type=document["type"],
+                round=document["round"],
+                kind=document["kind"],
+                sender=document["sender"],
+                receiver=document["receiver"],
+                field_elements=document["field_elements"],
+                task=document["task"],
+                span_id=span_id,
+                timestamp=document["timestamp_s"] + time_offset,
+                attempt=document.get("attempt", 0),
+                link=(base + link if link is not None else None),
+                detail=document.get("detail"),
+            )
+            highest = max(highest, event.seq + 1)
+            if source_summary is None:
+                self.by_type[event.type] += 1
+                self.by_kind[event.kind] += 1
+            self._events.append(event)
+        if source_summary is not None:
+            for name, count in source_summary.get("by_type", {}).items():
+                self.by_type[name] += count
+            for name, count in source_summary.get("by_kind", {}).items():
+                self.by_kind[name] += count
+            self._seq = base + source_summary.get("events_recorded", 0)
+        else:
+            self._seq = highest
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[FlightEvent, ...]:
+        """The retained events, oldest first."""
+        return tuple(self._events)
+
+    @property
+    def events_recorded(self) -> int:
+        """All-time event count (retained plus evicted)."""
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FlightEvent]:
+        return iter(self._events)
+
+    def message_events(self) -> List[FlightEvent]:
+        """Retained events that each correspond to one counted message."""
+        return [event for event in self._events
+                if event.type in MESSAGE_EVENT_TYPES]
+
+    def find(self, event_type: Optional[str] = None,
+             kind: Optional[str] = None,
+             task: Optional[int] = None) -> List[FlightEvent]:
+        """Retained events filtered by type/kind/task."""
+        return [event for event in self._events
+                if (event_type is None or event.type == event_type)
+                and (kind is None or event.kind == kind)
+                and (task is None or event.task == task)]
+
+    def summary(self) -> Dict[str, Any]:
+        """The run-report ``flight_summary`` section (eviction-exact)."""
+        return {
+            "events_recorded": self._seq,
+            "events_retained": len(self._events),
+            "capacity": self.capacity,
+            "messages": sum(self.by_type[t] for t in MESSAGE_EVENT_TYPES),
+            "by_type": {name: self.by_type[name]
+                        for name in sorted(self.by_type)},
+            "by_kind": {name: self.by_kind[name]
+                        for name in sorted(self.by_kind)},
+        }
+
+    # -- export ---------------------------------------------------------------
+    def to_list(self) -> List[Dict[str, Any]]:
+        """Retained events as JSON-friendly dicts, oldest first."""
+        return [event.to_dict() for event in self._events]
+
+    def dump_document(self, reason: Optional[str] = None) -> Dict[str, Any]:
+        """The full dump: summary plus retained events."""
+        return {
+            "type": "dmw_flight_dump",
+            "version": 1,
+            "reason": reason,
+            "summary": self.summary(),
+            "events": self.to_list(),
+        }
+
+    def dump(self, path: str, reason: Optional[str] = None) -> None:
+        """Serialize :meth:`dump_document` to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.dump_document(reason=reason), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+
+    def abort_dump(self, reason: str) -> Optional[str]:
+        """Write the on-abort dump if a path was configured."""
+        if not self.dump_on_abort:
+            return None
+        self.dump(self.dump_on_abort, reason=reason)
+        self.abort_dumps.append(self.dump_on_abort)
+        return self.dump_on_abort
+
+
+class _NullFlightRecorder(FlightRecorder):
+    """Discards everything; the default when flight recording is off."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1, clock=lambda: 0.0)
+
+    def record(self, event_type: str, *, round_index: int, kind: str,
+               sender: int, receiver: Optional[int],
+               field_elements: int = 1, attempt: int = 0,
+               link: Optional[int] = None,
+               detail: Optional[str] = None) -> Optional[FlightEvent]:
+        return None
+
+
+#: The process-wide disabled flight recorder (mirrors ``NULL_RECORDER``).
+NULL_FLIGHT = _NullFlightRecorder()
+
+
+# ---------------------------------------------------------------------------
+# Chrome Trace Event (Perfetto) exporter
+# ---------------------------------------------------------------------------
+
+#: Chrome-trace track (tid) of the protocol span timeline; agent ``i``'s
+#: message track is ``i + _AGENT_TRACK_BASE``.
+_PROTOCOL_TRACK = 0
+_AGENT_TRACK_BASE = 1
+
+
+def to_chrome_trace(recorder: Optional[Any] = None,
+                    flight: Optional[FlightRecorder] = None,
+                    label: str = "dmw") -> Dict[str, Any]:
+    """Build a Chrome Trace Event document (Perfetto-loadable).
+
+    Spans from ``recorder`` become complete (``ph: "X"``) events on the
+    protocol track; flight-recorder message events become instant
+    (``ph: "i"``) events on the *sender's* per-agent track.  Events whose
+    type is in :data:`MESSAGE_EVENT_TYPES` carry ``cat: "message"`` —
+    exactly one such event exists per point-to-point message counted by
+    :class:`~repro.network.metrics.NetworkMetrics`; delivery-side events
+    (deliver/drop/late/recovery) carry ``cat: "delivery"``.
+
+    Timestamps are microseconds from the recorder epoch, per the Trace
+    Event format.  The document is ``{"traceEvents": [...], ...}`` —
+    the JSON-object flavour both Perfetto and ``chrome://tracing``
+    accept.
+    """
+    events: List[Dict[str, Any]] = []
+    events.append({"ph": "M", "pid": 0, "tid": _PROTOCOL_TRACK,
+                   "name": "process_name", "args": {"name": label}})
+    events.append({"ph": "M", "pid": 0, "tid": _PROTOCOL_TRACK,
+                   "name": "thread_name", "args": {"name": "protocol"}})
+    named_tracks = set()
+    if recorder is not None:
+        for span in recorder:
+            events.append({
+                "ph": "X", "pid": 0, "tid": _PROTOCOL_TRACK,
+                "name": span.name, "cat": "span,%s" % span.kind,
+                "ts": span.start * 1e6,
+                "dur": max((span.end - span.start) * 1e6, 0.0),
+                "args": {"span_id": span.span_id, "task": span.task,
+                         "operations": dict(span.operations),
+                         "network": dict(span.network)},
+            })
+        for span_event in recorder.events:
+            events.append({
+                "ph": "i", "pid": 0, "tid": _PROTOCOL_TRACK,
+                "name": span_event.name, "cat": "event", "s": "t",
+                "ts": span_event.timestamp * 1e6,
+                "args": dict(span_event.attributes),
+            })
+    if flight is not None:
+        for event in flight:
+            track = event.sender + _AGENT_TRACK_BASE
+            if track not in named_tracks:
+                named_tracks.add(track)
+                events.append({
+                    "ph": "M", "pid": 0, "tid": track,
+                    "name": "thread_name",
+                    "args": {"name": "agent %d" % event.sender},
+                })
+            category = ("message"
+                        if event.type in MESSAGE_EVENT_TYPES else "delivery")
+            events.append({
+                "ph": "i", "pid": 0, "tid": track,
+                "name": "%s %s" % (event.type, event.kind),
+                "cat": category, "s": "t",
+                "ts": event.timestamp * 1e6,
+                "args": {
+                    "seq": event.seq, "type": event.type,
+                    "kind": event.kind, "round": event.round,
+                    "sender": event.sender, "receiver": event.receiver,
+                    "field_elements": event.field_elements,
+                    "task": event.task, "span_id": event.span_id,
+                    "attempt": event.attempt, "link": event.link,
+                },
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs.flight"},
+    }
+
+
+def write_chrome_trace(path: str, recorder: Optional[Any] = None,
+                       flight: Optional[FlightRecorder] = None,
+                       label: str = "dmw") -> None:
+    """Serialize :func:`to_chrome_trace` to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(recorder=recorder, flight=flight,
+                                  label=label), handle)
+        handle.write("\n")

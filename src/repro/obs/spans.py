@@ -155,11 +155,15 @@ class _SpanContext:
             self._net_before = recorder._net_source()
         self._span.start = recorder.clock() - recorder.epoch
         recorder._stack.append(self._span.span_id)
+        if recorder.profiler is not None and self._span.kind == KIND_PHASE:
+            recorder.profiler.start(self._span.name)
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> None:
         recorder = self._recorder
         span = self._span
+        if recorder.profiler is not None and span.kind == KIND_PHASE:
+            recorder.profiler.stop(span.name)
         span.end = recorder.clock() - recorder.epoch
         if recorder._ops_source is not None:
             span.operations = _dict_delta(recorder._ops_source(),
@@ -198,6 +202,10 @@ class SpanRecorder:
         self._next_id = 0
         self._ops_source: Optional[Callable[[], Dict[str, int]]] = None
         self._net_source: Optional[Callable[[], Dict[str, int]]] = None
+        #: Optional :class:`~repro.obs.profile.PhaseProfiler`; when set,
+        #: every phase-kind span runs under a cProfile capture keyed by
+        #: the phase name (``--profile`` on the CLI).
+        self.profiler: Optional[Any] = None
 
     # -- wiring ---------------------------------------------------------------
     def bind(self, ops_source: Optional[Callable[[], Dict[str, int]]],

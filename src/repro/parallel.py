@@ -94,6 +94,8 @@ from .core.trace import NullTrace, ProtocolTrace
 from .crypto.fastexp import PublicValueCache, merge_cache_stats
 from .crypto.modular import OperationCounter
 from .network.simulator import SynchronousNetwork
+from .obs.flight import DEFAULT_CAPACITY, FlightRecorder
+from .obs.profile import PhaseProfiler
 from .obs.spans import Span, SpanEvent, SpanRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -121,6 +123,13 @@ class PoolSpec:
     degraded: bool
     observe: bool
     trace_enabled: bool
+    #: Flight recording: when on, each shard captures its auction's
+    #: message events and ships them back for the parent to ingest.
+    flight: bool = False
+    flight_capacity: int = DEFAULT_CAPACITY
+    #: Phase profiling: when on, each shard profiles its phase spans and
+    #: ships the per-phase aggregate for additive merging.
+    profile: bool = False
     #: Arithmetic engine selected in the parent (``"python"``/``"gmpy2"``);
     #: carried by *name* so the worker re-selects it after unpickling.
     #: Non-strict selection: a worker that cannot import the engine falls
@@ -145,6 +154,9 @@ class ShardResult:
     trace_events: List[Dict[str, Any]] = field(default_factory=list)
     spans: List[Dict[str, Any]] = field(default_factory=list)
     span_events: List[Dict[str, Any]] = field(default_factory=list)
+    flight_events: List[Dict[str, Any]] = field(default_factory=list)
+    flight_summary: Dict[str, Any] = field(default_factory=dict)
+    profile: Dict[str, Any] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -195,8 +207,12 @@ def _run_shard(task: int) -> ShardResult:
         agents.append(agent)
     trace = ProtocolTrace() if spec.trace_enabled else None
     recorder = SpanRecorder() if spec.observe else None
+    if recorder is not None and spec.profile:
+        recorder.profiler = PhaseProfiler()
+    flight = (FlightRecorder(capacity=spec.flight_capacity)
+              if spec.flight else None)
     protocol = DMWProtocol(spec.parameters, agents, trace=trace,
-                           observer=recorder)
+                           observer=recorder, flight=flight)
     cache = PublicValueCache()
     for agent in agents:
         agent.adopt_cache(cache)
@@ -225,6 +241,11 @@ def _run_shard(task: int) -> ShardResult:
                if recorder is not None else []),
         span_events=([event.to_dict() for event in recorder.events]
                      if recorder is not None else []),
+        flight_events=(flight.to_list() if flight is not None else []),
+        flight_summary=(flight.summary() if flight is not None else {}),
+        profile=(recorder.profiler.export()
+                 if recorder is not None and recorder.profiler is not None
+                 else {}),
     )
 
 
@@ -274,7 +295,8 @@ def _metrics_from_totals_dict(totals: Dict[str, int]) -> Any:
     return _metrics_from_totals(totals)
 
 
-def _graft_spans(recorder: SpanRecorder, result: ShardResult) -> None:
+def _graft_spans(recorder: SpanRecorder, result: ShardResult
+                 ) -> Optional[Tuple[int, float]]:
     """Splice a shard's spans/events under the parent's open run span.
 
     Ids are renumbered into the parent's id space, shard roots are
@@ -283,9 +305,13 @@ def _graft_spans(recorder: SpanRecorder, result: ShardResult) -> None:
     — preserving both id uniqueness and the ``end >= start`` schema rule
     while keeping the per-span operation/network deltas untouched, which
     is all the phase-partition invariant reads.
+
+    Returns the ``(id_base, time_offset)`` applied, so the flight-event
+    ingest can remap its owning span ids and timestamps by exactly the
+    same shift; ``None`` when nothing was grafted.
     """
     if not recorder.enabled or not result.spans:
-        return
+        return None
     base = recorder._next_id
     parent_id = recorder._stack[-1] if recorder._stack else None
     now = recorder.clock() - recorder.epoch
@@ -310,6 +336,7 @@ def _graft_spans(recorder: SpanRecorder, result: ShardResult) -> None:
             attributes=dict(document.get("attributes") or {}),
         ))
     recorder._next_id = base + highest + 1
+    return base, offset
 
 
 def _merge_shard(protocol: "DMWProtocol", result: ShardResult) -> None:
@@ -346,7 +373,43 @@ def _merge_shard(protocol: "DMWProtocol", result: ShardResult) -> None:
     for event in result.trace_events:
         protocol.trace.record(event["kind"], task=event["task"],
                               **event["detail"])
-    _graft_spans(protocol.observer, result)
+    graft = _graft_spans(protocol.observer, result)
+    _merge_flight(protocol, result, graft)
+    if result.profile:
+        profiler = getattr(protocol.observer, "profiler", None)
+        if profiler is not None:
+            profiler.merge(result.profile)
+
+
+def _merge_flight(protocol: "DMWProtocol", result: ShardResult,
+                  graft: Optional[Tuple[int, float]]) -> None:
+    """Ingest a shard's flight events with the shard's span-graft shift.
+
+    Span ids and timestamps are remapped by exactly the ``(base,
+    offset)`` the span graft applied, so a flight event keeps pointing at
+    the same (now renumbered) owning span; without grafted spans the
+    events are re-parented under the parent's open span and rebased to
+    end at the merge instant.
+    """
+    flight = protocol.flight
+    if not flight.enabled or not result.flight_events:
+        return
+    observer = protocol.observer
+    parent_span = (observer._stack[-1]
+                   if observer.enabled and observer._stack else None)
+    if graft is not None:
+        base, offset = graft
+    else:
+        base = None
+        if observer.enabled:
+            now = observer.clock() - observer.epoch
+        else:
+            now = flight.clock() - flight.epoch
+        offset = now - max(document["timestamp_s"]
+                           for document in result.flight_events)
+    flight.ingest(result.flight_events, span_base=base,
+                  span_parent=parent_span, time_offset=offset,
+                  source_summary=result.flight_summary or None)
 
 
 def _batches(items: List[int], size: int) -> List[List[int]]:
@@ -375,6 +438,11 @@ def run_pool_auctions(protocol: "DMWProtocol", num_tasks: int, workers: int,
         degraded=protocol._degraded,
         observe=protocol.observer.enabled,
         trace_enabled=not isinstance(protocol.trace, NullTrace),
+        flight=protocol.flight.enabled,
+        flight_capacity=protocol.flight.capacity,
+        profile=(protocol.observer.enabled
+                 and getattr(protocol.observer, "profiler", None)
+                 is not None),
         backend=crypto_backend.ACTIVE.name,
     )
     batch_count = 0

@@ -1,0 +1,387 @@
+"""Flight recorder: message-level events, dumps, and the Chrome trace.
+
+Four contracts (docs/OBSERVABILITY.md, "Flight recorder"):
+
+1. **Message accounting** — ``send`` + ``retransmit`` events equal
+   ``NetworkMetrics.point_to_point_messages`` exactly, run for run, and
+   the Chrome-trace exporter emits exactly one ``cat: "message"``
+   instant per counted message.
+2. **Zero perturbation** — attaching a recorder changes no schedule,
+   payment, counter, or network total.
+3. **Driver equivalence** — the process-pool driver merges its workers'
+   flight logs into summaries identical to the sequential driver's.
+4. **Post-mortem completeness** — a degraded run's dump-on-abort
+   document contains the quarantined auction's final message events,
+   and retry-path events link back to the original send.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.agent import DMWAgent
+from repro.core.protocol import DMWProtocol
+from repro.network.asynchronous import RetryPolicy, TimeoutNetwork
+from repro.network.faults import FaultPlan
+from repro.network.latency import LatencyModel
+from repro.network.simulator import SynchronousNetwork
+from repro.obs import (
+    NULL_FLIGHT,
+    FlightEvent,
+    FlightRecorder,
+    SpanRecorder,
+    run_report,
+    to_chrome_trace,
+    validate_run_report,
+    write_chrome_trace,
+)
+from repro.obs.flight import (
+    EVENT_DELIVER,
+    EVENT_DROP,
+    EVENT_RECOVERY,
+    EVENT_RETRANSMIT,
+    EVENT_SEND,
+    MESSAGE_EVENT_TYPES,
+)
+
+
+def make_agents(params, problem, seed=0):
+    master = random.Random(seed)
+    return [
+        DMWAgent(index, params,
+                 [int(problem.time(index, j))
+                  for j in range(problem.num_tasks)],
+                 rng=random.Random(master.getrandbits(64)))
+        for index in range(params.num_agents)
+    ]
+
+
+def flight_run(params, problem, seed=0, parallel=False, workers=None,
+               observer=None, network=None, degraded=False):
+    flight = FlightRecorder()
+    protocol = DMWProtocol(params, make_agents(params, problem, seed),
+                           observer=observer, network=network,
+                           flight=flight)
+    outcome = protocol.execute(problem.num_tasks, parallel=parallel,
+                               workers=workers, degraded=degraded)
+    return outcome, protocol, flight
+
+
+# ---------------------------------------------------------------------------
+# Recorder unit behaviour
+# ---------------------------------------------------------------------------
+
+class TestRecorder:
+    def test_record_and_round_trip(self):
+        flight = FlightRecorder(clock=lambda: 1.0)
+        event = flight.record(EVENT_SEND, round_index=3, kind="bid",
+                              sender=0, receiver=2, field_elements=4)
+        assert event.seq == 0 and event.task is None
+        again = FlightEvent.from_dict(event.to_dict())
+        assert again == event
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_ring_eviction_keeps_tallies_exact(self):
+        flight = FlightRecorder(capacity=3, clock=lambda: 0.0)
+        for index in range(10):
+            flight.record(EVENT_SEND, round_index=index, kind="bid",
+                          sender=0, receiver=1)
+        assert len(flight) == 3
+        assert [event.seq for event in flight] == [7, 8, 9]
+        summary = flight.summary()
+        assert summary["events_recorded"] == 10
+        assert summary["events_retained"] == 3
+        assert summary["by_type"] == {EVENT_SEND: 10}
+        assert summary["messages"] == 10
+
+    def test_task_attribution_and_find(self):
+        flight = FlightRecorder(clock=lambda: 0.0)
+        flight.current_task = 4
+        flight.record(EVENT_SEND, round_index=0, kind="bid",
+                      sender=1, receiver=2)
+        flight.current_task = None
+        flight.record(EVENT_SEND, round_index=1, kind="payment_claim",
+                      sender=1, receiver=None)
+        assert [e.task for e in flight] == [4, None]
+        assert len(flight.find(task=4)) == 1
+        assert len(flight.find(kind="payment_claim")) == 1
+
+    def test_null_flight_records_nothing(self):
+        before = len(NULL_FLIGHT)
+        assert NULL_FLIGHT.record(EVENT_SEND, round_index=0, kind="bid",
+                                  sender=0, receiver=1) is None
+        assert not NULL_FLIGHT.enabled
+        assert len(NULL_FLIGHT) == before == 0
+
+    def test_ingest_remaps_seq_link_and_span(self):
+        parent = FlightRecorder(clock=lambda: 0.0)
+        parent.record(EVENT_SEND, round_index=0, kind="bid",
+                      sender=0, receiver=1)
+        worker = FlightRecorder(clock=lambda: 0.0)
+        sent = worker.record(EVENT_SEND, round_index=1, kind="bid",
+                             sender=1, receiver=2)
+        worker.record(EVENT_RETRANSMIT, round_index=1, kind="bid",
+                      sender=1, receiver=2, attempt=1, link=sent.seq)
+        parent.ingest(worker.to_list(), span_parent=17,
+                      source_summary=worker.summary())
+        events = parent.events
+        assert [event.seq for event in events] == [0, 1, 2]
+        assert events[2].link == events[1].seq
+        assert events[1].span_id == 17
+        assert parent.summary()["messages"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Contract 1 + 2: accounting and zero perturbation (sequential driver)
+# ---------------------------------------------------------------------------
+
+class TestSequentialRun:
+    def test_message_events_match_network_metrics(self, params5,
+                                                  problem53):
+        outcome, protocol, flight = flight_run(params5, problem53)
+        assert outcome.completed
+        counted = outcome.network_metrics.point_to_point_messages
+        summary = flight.summary()
+        assert summary["messages"] == counted
+        assert len(flight.message_events()) == counted
+        assert summary["by_type"][EVENT_SEND] == counted
+        # Fault-free synchronous run: every send is delivered.
+        assert summary["by_type"][EVENT_DELIVER] == counted
+        # by_kind tallies events (send + deliver); the *send* events per
+        # kind reproduce NetworkMetrics' per-kind message counts.
+        sends_by_kind = {}
+        for event in flight.find(EVENT_SEND):
+            sends_by_kind[event.kind] = sends_by_kind.get(event.kind,
+                                                          0) + 1
+        assert sends_by_kind == dict(outcome.network_metrics.by_kind)
+
+    def test_flight_recording_does_not_perturb(self, params5, problem53):
+        bare = DMWProtocol(params5, make_agents(params5, problem53))
+        reference = bare.execute(problem53.num_tasks)
+        outcome, _, _ = flight_run(params5, problem53)
+        assert list(outcome.schedule.assignment) \
+            == list(reference.schedule.assignment)
+        assert list(outcome.payments) == list(reference.payments)
+        assert outcome.network_metrics.as_dict() \
+            == reference.network_metrics.as_dict()
+
+    def test_events_carry_task_and_span_attribution(self, params5,
+                                                    problem53):
+        recorder = SpanRecorder()
+        outcome, protocol, flight = flight_run(params5, problem53,
+                                               observer=recorder)
+        tasks = {event.task for event in flight}
+        assert set(range(problem53.num_tasks)) <= tasks
+        assert None in tasks  # run-level payment claims
+        span_ids = {span.span_id for span in recorder}
+        assert all(event.span_id in span_ids for event in flight)
+
+    def test_report_v4_flight_summary(self, params5, problem53):
+        recorder = SpanRecorder()
+        outcome, protocol, flight = flight_run(params5, problem53,
+                                               observer=recorder)
+        document = run_report(outcome, agents=protocol.agents,
+                              recorder=recorder, parameters=params5,
+                              flight=flight)
+        validate_run_report(document)
+        assert document["version"] == 4
+        assert document["flight_summary"] == flight.summary()
+
+
+# ---------------------------------------------------------------------------
+# Contract 3: process-pool equivalence
+# ---------------------------------------------------------------------------
+
+class TestPoolEquivalence:
+    def test_pool_flight_summary_matches_sequential(self, params5,
+                                                    problem53):
+        sequential = flight_run(params5, problem53,
+                                observer=SpanRecorder())
+        pooled = flight_run(params5, problem53, observer=SpanRecorder(),
+                            parallel=True, workers=2)
+        seq_outcome, _, seq_flight = sequential
+        pool_outcome, _, pool_flight = pooled
+        assert list(seq_outcome.schedule.assignment) \
+            == list(pool_outcome.schedule.assignment)
+        assert list(seq_outcome.payments) == list(pool_outcome.payments)
+        assert seq_flight.summary() == pool_flight.summary()
+
+    def test_pool_merge_keeps_seqs_unique_and_links_resolvable(
+            self, params5, problem53):
+        _, _, flight = flight_run(params5, problem53,
+                                  observer=SpanRecorder(),
+                                  parallel=True, workers=2)
+        seqs = [event.seq for event in flight]
+        assert len(seqs) == len(set(seqs))
+        known = set(seqs)
+        assert all(event.link in known for event in flight
+                   if event.link is not None)
+
+    def test_pool_flight_spans_reference_grafted_spans(self, params5,
+                                                       problem53):
+        recorder = SpanRecorder()
+        _, _, flight = flight_run(params5, problem53, observer=recorder,
+                                  parallel=True, workers=2)
+        span_ids = {span.span_id for span in recorder}
+        dangling = [event for event in flight
+                    if event.span_id is not None
+                    and event.span_id not in span_ids]
+        assert dangling == []
+
+
+# ---------------------------------------------------------------------------
+# Contract 4a: degraded-run post-mortem dump (resilience integration)
+# ---------------------------------------------------------------------------
+
+def drop_task1_aggregates(message):
+    if message.kind == "lambda_psi" and message.payload[0] == 1:
+        return None
+    return message
+
+
+def task1_fault_plan(num_agents=5):
+    links = {(s, r): drop_task1_aggregates
+             for s in range(num_agents)
+             for r in range(num_agents + 1) if s != r}
+    return FaultPlan(corruptors=links)
+
+
+class TestDegradedDump:
+    def test_quarantine_dumps_the_faulty_auctions_events(
+            self, params5, problem53, tmp_path):
+        dump_path = tmp_path / "crash.json"
+        network = SynchronousNetwork(5, fault_plan=task1_fault_plan(),
+                                     extra_participants=1)
+        flight = FlightRecorder()
+        flight.dump_on_abort = str(dump_path)
+        protocol = DMWProtocol(params5,
+                               make_agents(params5, problem53),
+                               network=network, flight=flight)
+        outcome = protocol.execute(problem53.num_tasks, degraded=True)
+        assert outcome.quarantined_tasks == (1,)
+        assert flight.abort_dumps == [str(dump_path)]
+        dump = json.loads(dump_path.read_text())
+        assert dump["type"] == "dmw_flight_dump"
+        assert "task_quarantined" in dump["reason"]
+        assert "task 1" in dump["reason"]
+        task1 = [event for event in dump["events"]
+                 if event["task"] == 1]
+        assert task1, "dump must contain the quarantined auction's events"
+        # The auction died on its withheld aggregation round: the dump
+        # shows the fault plan eating task 1's lambda_psi copies.
+        drops = [event for event in task1
+                 if event["type"] == EVENT_DROP
+                 and event["kind"] == "lambda_psi"
+                 and event["detail"] == "fault_plan"]
+        assert drops, "the fatal lambda_psi drops must be in the dump"
+
+    def test_fault_free_run_writes_no_dump(self, params5, problem53,
+                                           tmp_path):
+        dump_path = tmp_path / "never.json"
+        flight = FlightRecorder()
+        flight.dump_on_abort = str(dump_path)
+        protocol = DMWProtocol(params5,
+                               make_agents(params5, problem53),
+                               flight=flight)
+        outcome = protocol.execute(problem53.num_tasks)
+        assert outcome.completed
+        assert not dump_path.exists()
+        assert flight.abort_dumps == []
+
+
+# ---------------------------------------------------------------------------
+# Contract 4b: retry-path events link back to the original send
+# ---------------------------------------------------------------------------
+
+class TestRetryLinks:
+    def _slow_link_network(self, seed=0):
+        # Link (0, 1) delays exactly 0.15s: over the 0.1 barrier but
+        # inside the first grace window (matching tests/test_retry.py).
+        model = LatencyModel(random.Random(seed), base=0.001, jitter=0.0,
+                             per_link_scale={(0, 1): 150.0})
+        return TimeoutNetwork(3, model, round_timeout=0.1,
+                              retry_policy=RetryPolicy(max_attempts=2))
+
+    def test_retransmission_chain_is_linked(self):
+        network = self._slow_link_network()
+        flight = FlightRecorder()
+        network.flight = flight
+        network.send(0, 1, "x", None)
+        assert network.deliver() == 1
+        sends = flight.find(EVENT_SEND)
+        retransmits = flight.find(EVENT_RETRANSMIT)
+        recoveries = flight.find(EVENT_RECOVERY)
+        assert len(sends) == len(retransmits) == len(recoveries) == 1
+        assert retransmits[0].link == sends[0].seq
+        assert retransmits[0].attempt == 1
+        assert recoveries[0].link == sends[0].seq
+        # send + retransmit both charge the metrics (full price).
+        assert flight.summary()["messages"] \
+            == network.metrics.point_to_point_messages == 2
+        assert network.metrics.retransmissions == 1
+
+    def test_exhausted_retries_end_in_a_linked_drop(self):
+        model = LatencyModel(random.Random(0), base=0.001, jitter=0.0,
+                             per_link_scale={(0, 1): 100000.0})
+        network = TimeoutNetwork(3, model, round_timeout=0.1,
+                                 retry_policy=RetryPolicy(max_attempts=2))
+        flight = FlightRecorder()
+        network.flight = flight
+        network.send(0, 1, "x", None)
+        assert network.deliver() == 0
+        sends = flight.find(EVENT_SEND)
+        drops = flight.find(EVENT_DROP)
+        assert len(sends) == 1 and len(drops) == 1
+        assert drops[0].link == sends[0].seq
+        assert drops[0].detail == "late"
+        assert flight.find(EVENT_RECOVERY) == []
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace exporter
+# ---------------------------------------------------------------------------
+
+class TestChromeTrace:
+    def test_one_message_instant_per_counted_message(self, params5,
+                                                     problem53):
+        recorder = SpanRecorder()
+        outcome, protocol, flight = flight_run(params5, problem53,
+                                               observer=recorder)
+        trace = to_chrome_trace(recorder=recorder, flight=flight)
+        events = trace["traceEvents"]
+        assert isinstance(events, list) and events
+        messages = [e for e in events if e.get("cat") == "message"]
+        assert len(messages) \
+            == outcome.network_metrics.point_to_point_messages
+        assert all(e["args"]["type"] in MESSAGE_EVENT_TYPES
+                   for e in messages)
+
+    def test_spans_render_on_the_protocol_track(self, params5,
+                                                problem53):
+        recorder = SpanRecorder()
+        _, _, flight = flight_run(params5, problem53, observer=recorder)
+        trace = to_chrome_trace(recorder=recorder, flight=flight)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(list(recorder))
+        assert all(e["tid"] == 0 for e in complete)
+        assert all(e["dur"] >= 0 for e in complete)
+        # Message instants ride the sender's per-agent track.
+        instants = [e for e in trace["traceEvents"]
+                    if e.get("cat") in ("message", "delivery")]
+        assert all(e["tid"] == e["args"]["sender"] + 1 for e in instants)
+
+    def test_written_file_is_valid_trace_event_json(self, params5,
+                                                    problem53, tmp_path):
+        recorder = SpanRecorder()
+        _, _, flight = flight_run(params5, problem53, observer=recorder)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), recorder=recorder, flight=flight)
+        document = json.loads(path.read_text())
+        assert isinstance(document["traceEvents"], list)
+        names = {e["name"] for e in document["traceEvents"]
+                 if e["ph"] == "M"}
+        assert {"process_name", "thread_name"} <= names

@@ -21,6 +21,8 @@ import json
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.agent import DMWAgent
 from repro.core.protocol import DMWProtocol, run_dmw
@@ -570,3 +572,98 @@ class TestRunReport:
         assert document["phases"] == []
         assert document["spans"] == []
         assert document["trace"] is None
+
+
+# ---------------------------------------------------------------------------
+# Satellite: Prometheus label escaping is a true inverse pair
+# ---------------------------------------------------------------------------
+
+class TestLabelEscapingProperty:
+    """`to_prometheus` -> `parse_prometheus` must round-trip every label
+    value.  Historically the parser split lines with ``str.splitlines``,
+    which also breaks at ``\\r``/``\\v``/``\\f``/``\\x85``/``\\u2028``/
+    ``\\u2029`` — characters the writer leaves raw inside quoted label
+    values — truncating such samples mid-line."""
+
+    @staticmethod
+    def _round_trip(value):
+        registry = MetricsRegistry()
+        counter = registry.counter("prop_total", "help", ["label"])
+        counter.inc(1, label=value)
+        samples = parse_prometheus(registry.to_prometheus())
+        assert samples[("dmw_prop_total", (("label", value),))] == 1
+
+    @pytest.mark.parametrize("value", [
+        "carriage\rreturn",
+        "vertical\vtab",
+        "form\ffeed",
+        "next\x85line",
+        "line\u2028separator",
+        "para\u2029separator",
+        'mixed \\ " \n \r end',
+    ])
+    def test_exotic_line_breaks_round_trip(self, value):
+        self._round_trip(value)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)),
+        max_size=40,
+    ))
+    def test_arbitrary_label_values_round_trip(self, value):
+        self._round_trip(value)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: schema versions 2, 3, and 4 all validate
+# ---------------------------------------------------------------------------
+
+class TestVersionCompatibility:
+    @pytest.fixture()
+    def v4_document(self, params5, problem53):
+        outcome, protocol, trace, recorder = _observed_run(params5,
+                                                           problem53)
+        return run_report(outcome, agents=protocol.agents, trace=trace,
+                          recorder=recorder, parameters=params5)
+
+    def test_v4_is_current(self, v4_document):
+        assert v4_document["version"] == 4
+        for key in ("flight_summary", "profile", "provenance"):
+            assert key in v4_document
+        validate_run_report(v4_document)
+
+    def test_v3_documents_still_validate(self, v4_document):
+        document = json.loads(json.dumps(v4_document))
+        document["version"] = 3
+        for key in ("flight_summary", "profile", "provenance"):
+            document.pop(key)
+        validate_run_report(document)
+
+    def test_v2_documents_still_validate(self, v4_document):
+        document = json.loads(json.dumps(v4_document))
+        document["version"] = 2
+        for key in ("flight_summary", "profile", "provenance",
+                    "parallelism"):
+            document.pop(key)
+        validate_run_report(document)
+
+    def test_provenance_identifies_the_build(self, v4_document):
+        provenance = v4_document["provenance"]
+        assert provenance["package_version"]
+        assert provenance["arithmetic_backend"] in ("python", "gmpy2")
+        assert provenance["python_version"].count(".") == 2
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.pop("provenance"),
+        lambda d: d["provenance"].pop("arithmetic_backend"),
+        lambda d: d["flight_summary"].update(
+            {"events_recorded": 1, "events_retained": 2, "capacity": 4,
+             "messages": 1, "by_type": {"send": 1}, "by_kind": {"x": 1}}),
+        lambda d: d.update(profile={"phases": {"bidding": {}},
+                                    "top_n": 10}),
+    ])
+    def test_v4_specific_violations_are_rejected(self, v4_document,
+                                                 mutate):
+        mutate(v4_document)
+        with pytest.raises(ReportSchemaError):
+            validate_run_report(v4_document)
