@@ -1,6 +1,6 @@
 """Rule registry for dmwlint.
 
-``DEFAULT_RULES`` are the seven domain rules that run by default;
+``DEFAULT_RULES`` are the domain rules that run by default;
 ``ALL_RULES`` additionally contains opt-in rules (``DMW000`` strict
 annotation coverage, enabled via ``--check-annotations`` or ``--select``).
 """
@@ -18,6 +18,7 @@ from .dmw004_secret_taint import SecretTaintRule
 from .dmw005_post_send_mutation import PostSendMutationRule
 from .dmw006_float_in_crypto import FloatInCryptoRule
 from .dmw007_backend_bypass import BackendBypassRule
+from .dmw008_agent_network_access import AgentNetworkAccessRule
 
 RULE_CLASSES: List[Type[Rule]] = [
     AnnotationCoverageRule,
@@ -28,6 +29,7 @@ RULE_CLASSES: List[Type[Rule]] = [
     PostSendMutationRule,
     FloatInCryptoRule,
     BackendBypassRule,
+    AgentNetworkAccessRule,
 ]
 
 ALL_RULES: List[Rule] = [cls() for cls in RULE_CLASSES]

@@ -1,0 +1,82 @@
+"""DMW008 — agent or machine code reaching the network object directly.
+
+Transport invariant (``docs/TRANSPORTS.md``): all mechanism logic lives
+in the agents, all wire access lives in the :class:`~repro.core.machine
+.AgentMachine` send/receive steps — and those steps reach the wire only
+through the :class:`~repro.network.transport.Transport` handed to them
+by the driver.  An agent (or a machine act-step) that calls
+``network.send``/``publish``/``deliver``/``receive`` directly bypasses
+the transport seam: it would work on the in-process simulator and
+silently break (or cheat the failure model of) the socket transport,
+and it couples mechanism code to one substrate, which is exactly what
+the pluggable-transport refactor removed.
+
+The rule scans ``core/agent.py``, ``core/deviant.py``, and
+``core/machine.py`` for calls whose receiver chain goes through a name
+or attribute called ``network`` (``self.network.send(...)``,
+``network.deliver()``, ``protocol.network.receive(...)``) and flags any
+transmission-primitive call on it.  Machines are handed a ``transport``
+parameter; that is the sanctioned access path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..base import FileContext, Rule, Violation
+
+#: The transmission primitives of the network/transport surface.
+NETWORK_METHODS = {"send", "publish", "deliver", "receive", "broadcast",
+                   "peek", "published", "step"}
+
+#: Names that identify the network object in a receiver chain.
+NETWORK_NAMES = {"network", "net"}
+
+
+def _chain_contains_network(node: ast.AST) -> bool:
+    """True if a Name/Attribute receiver chain mentions the network."""
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            if current.attr in NETWORK_NAMES:
+                return True
+            current = current.value
+        elif isinstance(current, ast.Name):
+            return current.id in NETWORK_NAMES
+        else:
+            return False
+
+
+class AgentNetworkAccessRule(Rule):
+    rule_id = "DMW008"
+    description = "agent/machine code calling the network object directly"
+    invariant = ("agents and machine steps reach the wire only through "
+                 "the Transport handed to them; direct network calls "
+                 "bypass the pluggable-transport seam and break on "
+                 "socket transports")
+    include_parts = ("core",)
+
+    #: Only the agent/machine layer is in scope: the driver and the
+    #: in-process mechanisms (protocol.py, naive.py) legitimately own
+    #: their network/transport objects.
+    _scoped_names = ("agent.py", "deviant.py", "machine.py")
+
+    def applies_to(self, context: FileContext) -> bool:
+        return (super().applies_to(context)
+                and context.filename in self._scoped_names)
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in NETWORK_METHODS:
+                continue
+            if _chain_contains_network(func.value):
+                yield self.violation(
+                    context, node,
+                    "direct network access `%s` — route through the "
+                    "transport parameter instead" % func.attr)

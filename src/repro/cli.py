@@ -134,7 +134,8 @@ def _emit_observability(args, outcome, agents, trace, recorder, parameters,
     if args.history and document is not None:
         store = HistoryStore(args.history)
         config = {"seed": args.seed, "parallel": bool(args.parallel),
-                  "workers": args.workers}
+                  "workers": args.workers,
+                  "transport": getattr(args, "transport", "inprocess")}
         index = store.append(entry_from_report(document, config=config))
         print("history entry %d appended to %s" % (index, args.history))
 
@@ -152,6 +153,33 @@ def _build_network(args, parameters: DMWParameters):
     return TimeoutNetwork(parameters.num_agents, latency,
                           round_timeout=args.timeout,
                           extra_participants=1, retry_policy=policy)
+
+
+def _build_transport(args, parameters: DMWParameters):
+    """Build the socket transport for --transport asyncio, else None.
+
+    ``--timeout``/``--retries``/``--retry-backoff`` configure the
+    transport's (simulated) barrier exactly as they configure a
+    TimeoutNetwork on the in-process path.
+    """
+    if args.transport != "asyncio":
+        return None
+    if args.parallel:
+        raise SystemExit("--transport asyncio does not support --parallel "
+                         "(the phase-barrier and pool drivers are "
+                         "in-process engines)")
+    from .network.transport import create_transport
+    kwargs = {}
+    if args.timeout is None:
+        if args.retries != 1 or args.retry_backoff != 2.0:
+            raise SystemExit("--retries/--retry-backoff require --timeout")
+    else:
+        from .network import LatencyModel, RetryPolicy
+        kwargs["latency_model"] = LatencyModel(random.Random(args.seed + 2))
+        kwargs["round_timeout"] = args.timeout
+        kwargs["retry_policy"] = RetryPolicy(max_attempts=args.retries,
+                                             backoff=args.retry_backoff)
+    return create_transport("asyncio", parameters.num_agents, **kwargs)
 
 
 def cmd_run(args) -> int:
@@ -181,20 +209,26 @@ def cmd_run(args) -> int:
         flight = FlightRecorder(capacity=args.flight_buffer)
         if args.flight_dump:
             flight.dump_on_abort = args.flight_dump
-    network = _build_network(args, parameters)
+    transport = _build_transport(args, parameters)
+    network = None if transport is not None else _build_network(args,
+                                                                parameters)
     protocol = DMWProtocol(parameters, agents, trace=trace,
                            observer=recorder, network=network,
-                           flight=flight)
+                           flight=flight, transport=transport)
     resume = None
     if args.resume:
         from . import serialization
         resume = serialization.load_checkpoint(args.resume)
         print("resuming from %s (next task %d, %d auctions done)"
               % (args.resume, resume.next_task, len(resume.transcripts)))
-    outcome = protocol.execute(problem.num_tasks, degraded=args.degraded,
-                               checkpoint_path=args.checkpoint,
-                               resume=resume, parallel=args.parallel,
-                               workers=args.workers)
+    try:
+        outcome = protocol.execute(problem.num_tasks, degraded=args.degraded,
+                                   checkpoint_path=args.checkpoint,
+                                   resume=resume, parallel=args.parallel,
+                                   workers=args.workers)
+    finally:
+        if transport is not None:
+            transport.close()
     if outcome.parallelism:
         print("process pool: %d workers, %d tasks pooled, %d batches"
               % (outcome.parallelism.get("workers", 0),
@@ -544,6 +578,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="graceful degradation: quarantine a "
                                  "faulty task's auction instead of "
                                  "voiding the run")
+    run_parser.add_argument("--transport", default="inprocess",
+                            choices=["inprocess", "asyncio"],
+                            help="message transport: the in-process "
+                                 "simulator (default) or localhost TCP "
+                                 "with one asyncio task per agent (see "
+                                 "docs/TRANSPORTS.md)")
     run_parser.add_argument("--timeout", type=float, default=None,
                             metavar="SECONDS",
                             help="run over a latency-model network with "

@@ -87,7 +87,10 @@ class NaiveDistributedMinWork:
         if len(agents) < 2:
             raise ValueError("need at least two agents")
         self.agents = list(agents)
-        self.network = SynchronousNetwork(len(agents), extra_participants=1)
+        # The escrow endpoint observes the clear bids too (explicit
+        # opt-in: broadcasts expand to n copies, same as DMW's).
+        self.network = SynchronousNetwork(len(agents), extra_participants=1,
+                                          broadcast_to_extras=True)
         self.infrastructure = PaymentInfrastructure(len(agents))
 
     def execute(self, num_tasks: int) -> DMWOutcome:

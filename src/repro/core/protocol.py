@@ -1,9 +1,13 @@
-"""The DMW protocol orchestrator: Phases I-IV over the simulated network.
+"""The DMW protocol orchestrator: Phases I-IV over a pluggable transport.
 
-:class:`DMWProtocol` drives a set of :class:`~repro.core.agent.DMWAgent`
-instances through the four phases of the mechanism, moving every value over
-a :class:`~repro.network.simulator.SynchronousNetwork` so communication is
-*counted*, not assumed.  The orchestrator is a stand-in for lockstep
+:class:`DMWProtocol` drives one :class:`~repro.core.machine.AgentMachine`
+per :class:`~repro.core.agent.DMWAgent` through the four phases of the
+mechanism as explicit receive/act/send state machines, moving every value
+over a :class:`~repro.network.transport.Transport` so communication is
+*counted*, not assumed.  The default transport wraps the in-process
+:class:`~repro.network.simulator.SynchronousNetwork`; the asyncio-socket
+transport runs the same state machines over localhost TCP (see
+``docs/TRANSPORTS.md``).  The orchestrator is a stand-in for lockstep
 execution: it contains no mechanism logic of its own — every decision is
 made inside an agent method — and merely sequences the rounds that the
 paper's implicit synchronization barriers (step II.4) impose.
@@ -48,8 +52,8 @@ from __future__ import annotations
 
 import os
 import random
-from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set,
-                    Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Set, Tuple, Union)
 
 if TYPE_CHECKING:  # pragma: no cover - import for annotations only
     from .checkpoint import ProtocolCheckpoint
@@ -57,6 +61,8 @@ if TYPE_CHECKING:  # pragma: no cover - import for annotations only
 from ..crypto.fastexp import PublicValueCache
 from ..network.faults import FaultPlan
 from ..network.simulator import SynchronousNetwork
+from ..network.transport import (InProcessTransport, Transport,
+                                 create_transport)
 from ..obs.flight import FlightRecorder
 from ..obs.spans import (
     KIND_RUN,
@@ -69,6 +75,7 @@ from ..scheduling.problem import SchedulingProblem
 from ..scheduling.schedule import PartialSchedule, Schedule
 from .agent import DMWAgent
 from .exceptions import ParameterError, ProtocolAbort
+from .machine import AgentMachine
 from .outcome import AuctionTranscript, DMWOutcome
 from .parameters import DMWParameters
 from .payments import PaymentInfrastructure
@@ -102,7 +109,8 @@ class DMWProtocol:
                  network: Optional[SynchronousNetwork] = None,
                  trace: Optional[ProtocolTrace] = None,
                  observer: Optional[SpanRecorder] = None,
-                 flight: Optional[FlightRecorder] = None) -> None:
+                 flight: Optional[FlightRecorder] = None,
+                 transport: Optional[Transport] = None) -> None:
         if len(agents) != parameters.num_agents:
             raise ParameterError(
                 "got %d agents for %d pseudonyms"
@@ -115,8 +123,27 @@ class DMWProtocol:
                 )
         self.parameters = parameters
         self.agents = list(agents)
+        #: One receive/act/send state machine per agent, stepped by the
+        #: phase drivers through the round barrier of ``self.transport``.
+        self.machines = [AgentMachine(agent) for agent in self.agents]
         # Participant n is the payment infrastructure's network endpoint.
-        if network is not None:
+        if transport is not None:
+            if network is not None:
+                raise ParameterError(
+                    "pass either a network or a transport, not both")
+            view = transport.network_view()
+            if view.num_agents != parameters.num_agents or \
+                    view.num_participants != parameters.num_agents + 1:
+                raise ParameterError(
+                    "supplied transport must carry n agents plus the "
+                    "payment infrastructure endpoint"
+                )
+            self.transport = transport
+            # ``self.network`` stays the duck-typed state view so
+            # checkpoints, the process pool, and observability bindings
+            # remain transport-agnostic.
+            self.network = view
+        elif network is not None:
             if network.num_agents != parameters.num_agents or \
                     network.num_participants != parameters.num_agents + 1:
                 raise ParameterError(
@@ -124,11 +151,18 @@ class DMWProtocol:
                     "infrastructure endpoint"
                 )
             self.network = network
+            self.transport = InProcessTransport(network)
         else:
             self.network = SynchronousNetwork(
                 parameters.num_agents, fault_plan=fault_plan,
                 extra_participants=1, record_deliveries=record_deliveries,
             )
+            self.transport = InProcessTransport(self.network)
+        # DMW's published values are part of the audit trail the escrow
+        # may later need, so the payment endpoint is *explicitly* included
+        # in every broadcast (n expanded copies: n - 1 agents plus the
+        # endpoint — the accounting the Theorem 11 tests pin down).
+        self.network.broadcast_to_extras = True
         self.infrastructure = PaymentInfrastructure(parameters.num_agents)
         self.trace = trace if trace is not None else NULL_TRACE
         self.observer = observer if observer is not None else NULL_RECORDER
@@ -256,35 +290,21 @@ class DMWProtocol:
         return totals
 
     # -- phase drivers ------------------------------------------------------------
+    # Each phase is one pass of the receive/act/send state machines: every
+    # machine queues its sends, the transport steps one round barrier, and
+    # every machine absorbs its inbox before the act steps run.
     def _run_bidding(self, task: int) -> None:
         """Phase II: everyone encodes, sends bundles, publishes commitments."""
-        num_agents = self.parameters.num_agents
-        for agent in self.agents:
-            commitments, bundles = agent.begin_task(task)
-            if commitments is not None:
-                self.network.publish(agent.index, "commitments",
-                                     (task, commitments),
-                                     field_elements=commitments.field_elements)
-            for recipient, bundle in bundles.items():
-                if bundle is None:
-                    continue
-                self.network.send(agent.index, recipient, "share_bundle",
-                                  (task, bundle),
-                                  field_elements=bundle.FIELD_ELEMENTS)
-        self.network.deliver()
-        for agent in self.agents:
-            for message in self.network.receive(agent.index, "commitments"):
-                message_task, commitments = message.payload
-                agent.receive_commitments(message_task, message.sender,
-                                          commitments)
-            for message in self.network.receive(agent.index, "share_bundle"):
-                message_task, bundle = message.payload
-                agent.receive_bundle(message_task, message.sender, bundle)
+        for machine in self.machines:
+            machine.send_bidding(task, self.transport)
+        self.transport.step()
+        for machine in self.machines:
+            machine.recv_bidding(self.transport)
 
     def _run_share_verification(self, task: int) -> Optional[ProtocolAbort]:
         """Step III.1 for every agent; any abort voids the execution."""
-        for agent in self.agents:
-            abort = agent.check_shares(task)
+        for machine in self.machines:
+            abort = machine.act_check_shares(task)
             if abort is not None:
                 return abort
         return None
@@ -292,17 +312,14 @@ class DMWProtocol:
     def _collect_board(self, task: int, kind: str) -> Dict[int, object]:
         """Drain one published-kind from every inbox into a shared view.
 
-        All broadcasts reach every other agent, so merging the inboxes
-        reconstructs the common bulletin-board view (including each
-        publisher's own entry).
+        All broadcasts reach every other agent, so merging what each
+        machine drained reconstructs the common bulletin-board view
+        (including each publisher's own entry).
         """
-        board: Dict[int, object] = {}
-        for agent in self.agents:
-            for message in self.network.receive(agent.index, kind):
-                message_task, value = message.payload
-                if message_task == task:
-                    board[message.sender] = value
-        return board
+        boards: Dict[int, Dict[int, object]] = {}
+        for machine in self.machines:
+            machine.collect_published(kind, self.transport, boards)
+        return boards.get(task, {})
 
     def _run_complaint_round(self, task: int, kind: str,
                              complaints_by_agent: Dict[int, List[int]]
@@ -317,12 +334,12 @@ class DMWProtocol:
             return []
         for agent_index, complaints in complaints_by_agent.items():
             if complaints:
-                self.network.publish(agent_index, kind, (task, complaints),
-                                     field_elements=len(complaints))
-        self.network.deliver()
+                self.transport.publish(agent_index, kind, (task, complaints),
+                                       field_elements=len(complaints))
+        self.transport.step()
         union: List[int] = []
-        for agent in self.agents:
-            for message in self.network.receive(agent.index, kind):
+        for machine in self.machines:
+            for message in machine.drain(kind, self.transport):
                 message_task, complained = message.payload
                 if message_task == task:
                     union.extend(complained)
@@ -331,16 +348,13 @@ class DMWProtocol:
     def _run_aggregates(self, task: int) -> None:
         """Step III.2: publish, cross-validate, and arbitrate
         ``(Lambda, Psi)``."""
-        for agent in self.agents:
-            published = agent.publish_aggregates(task)
-            if published is not None:
-                self.network.publish(agent.index, "lambda_psi",
-                                     (task, published), field_elements=2)
-        self.network.deliver()
+        for machine in self.machines:
+            machine.send_aggregates(task, self.transport)
+        self.transport.step()
         board = self._collect_board(task, "lambda_psi")
         complaints_by_agent = {
-            agent.index: agent.validate_aggregates(task, board)
-            for agent in self.agents
+            machine.index: machine.act_validate_aggregates(task, board)
+            for machine in self.machines
         }
         self.trace.record("aggregates_published", task=task,
                           publishers=sorted(board))
@@ -349,40 +363,29 @@ class DMWProtocol:
         if union:
             self.trace.record("complaints", task=task,
                               stage="aggregates", accused=union)
-            for agent in self.agents:
-                agent.arbitrate_aggregates(task, board, union)
+            for machine in self.machines:
+                machine.act_arbitrate_aggregates(task, board, union)
 
     def _run_disclosure(self, task: int) -> List[int]:
         """Step III.3: disclosure set publishes its ``(f, h)`` rows and
         lowest bidders announce winner claims.  Returns the claimant list
         in pseudonym order."""
-        for agent in self.agents:
-            row = agent.disclose_f_shares(task)
-            if row is not None:
-                self.network.publish(
-                    agent.index, "f_disclosure", (task, row),
-                    field_elements=2 * self.parameters.num_agents,
-                )
-            if agent.claim_winnership(task):
-                self.network.publish(agent.index, "winner_claim", (task, True),
-                                     field_elements=1)
-        self.network.deliver()
-        rows: Dict[int, Dict[int, tuple]] = {}
-        claimants: List[int] = []
-        for agent in self.agents:
-            for message in self.network.receive(agent.index, "f_disclosure"):
-                message_task, row = message.payload
-                if message_task == task:
-                    rows[message.sender] = row
-            for message in self.network.receive(agent.index, "winner_claim"):
-                message_task, _ = message.payload
-                if message_task == task:
-                    claimants.append(message.sender)
-        claimants = sorted(set(claimants),
+        for machine in self.machines:
+            machine.send_disclosure(task, self.transport,
+                                    self.parameters.num_agents)
+        self.transport.step()
+        row_boards: Dict[int, Dict[int, object]] = {}
+        claims_by_task: Dict[int, List[int]] = {}
+        for machine in self.machines:
+            machine.collect_published("f_disclosure", self.transport,
+                                      row_boards)
+            machine.collect_claims(self.transport, claims_by_task)
+        rows = row_boards.get(task, {})
+        claimants = sorted(set(claims_by_task.get(task, [])),
                            key=lambda i: self.parameters.pseudonyms[i])
         complaints_by_agent = {
-            agent.index: agent.validate_disclosures(task, rows)
-            for agent in self.agents
+            machine.index: machine.act_validate_disclosures(task, rows)
+            for machine in self.machines
         }
         self.trace.record("disclosures_published", task=task,
                           disclosers=sorted(rows), claimants=claimants)
@@ -391,31 +394,28 @@ class DMWProtocol:
         if union:
             self.trace.record("complaints", task=task,
                               stage="disclosures", accused=union)
-            for agent in self.agents:
-                agent.arbitrate_disclosures(task, rows, union)
+            for machine in self.machines:
+                machine.act_arbitrate_disclosures(task, rows, union)
         return claimants
 
     def _run_second_price(self, task: int) -> None:
         """Step III.4: publish, cross-validate, and arbitrate the
         winner-excluded aggregates."""
-        for agent in self.agents:
-            published = agent.publish_excluded_aggregates(task)
-            if published is not None:
-                self.network.publish(agent.index, "second_price",
-                                     (task, published), field_elements=2)
-        self.network.deliver()
+        for machine in self.machines:
+            machine.send_second_price(task, self.transport)
+        self.transport.step()
         board = self._collect_board(task, "second_price")
         complaints_by_agent = {
-            agent.index: agent.validate_excluded_aggregates(task, board)
-            for agent in self.agents
+            machine.index: machine.act_validate_excluded(task, board)
+            for machine in self.machines
         }
         union = self._run_complaint_round(task, "second_price_complaint",
                                           complaints_by_agent)
         if union:
             self.trace.record("complaints", task=task,
                               stage="second_price", accused=union)
-            for agent in self.agents:
-                agent.arbitrate_excluded_aggregates(task, board, union)
+            for machine in self.machines:
+                machine.act_arbitrate_excluded(task, board, union)
 
     def _run_auction(self, task: int) -> Optional[ProtocolAbort]:
         """Run the full distributed Vickrey auction for one task."""
@@ -439,24 +439,24 @@ class DMWProtocol:
         with obs.span("aggregation", task=task):
             self._run_aggregates(task)
             try:
-                for agent in self.agents:
-                    agent.resolve_first(task)
+                for machine in self.machines:
+                    machine.act_resolve_first(task)
             except ResolutionError as error:
                 return ProtocolAbort(str(error), phase="allocating",
                                      task=task)
         with obs.span("disclosure", task=task):
             claimants = self._run_disclosure(task)
             try:
-                for agent in self.agents:
-                    agent.find_winner(task, claimants)
+                for machine in self.machines:
+                    machine.act_find_winner(task, claimants)
             except ResolutionError as error:
                 return ProtocolAbort(str(error), phase="allocating",
                                      task=task)
         with obs.span("resolution", task=task):
             self._run_second_price(task)
             try:
-                for agent in self.agents:
-                    agent.resolve_second(task)
+                for machine in self.machines:
+                    machine.act_resolve_second(task)
             except ResolutionError as error:
                 return ProtocolAbort(str(error), phase="allocating",
                                      task=task)
@@ -489,22 +489,17 @@ class DMWProtocol:
         the historical claim-over-everything call, preserving the exact
         call signature deviant subclasses override.
         """
-        for agent in self.agents:
+        for machine in self.machines:
             try:
-                if completed_tasks is None:
-                    claim = agent.payment_claim()
-                else:
-                    claim = agent.payment_claim(completed_tasks)
+                machine.send_payment_claim(self.transport,
+                                           self._infrastructure_id,
+                                           self.parameters.num_agents,
+                                           completed_tasks)
             except ProtocolAbort as abort:
                 return abort
-            if claim is None:
-                continue
-            self.network.send(agent.index, self._infrastructure_id,
-                              "payment_claim", claim,
-                              field_elements=self.parameters.num_agents)
-        self.network.deliver()
-        for message in self.network.receive(self._infrastructure_id,
-                                            "payment_claim"):
+        self.transport.step()
+        for message in self.transport.receive(self._infrastructure_id,
+                                              "payment_claim"):
             self.infrastructure.submit_claim(message.sender, message.payload)
         decision = self.infrastructure.decide()
         if not decision.dispensed:
@@ -584,28 +579,11 @@ class DMWProtocol:
                               ) -> Optional[ProtocolAbort]:
         """Phase II plus step III.1 for every task inside one barrier."""
         for task in tasks:
-            for agent in self.agents:
-                commitments, bundles = agent.begin_task(task)
-                if commitments is not None:
-                    self.network.publish(
-                        agent.index, "commitments", (task, commitments),
-                        field_elements=commitments.field_elements)
-                for recipient, bundle in bundles.items():
-                    if bundle is None:
-                        continue
-                    self.network.send(agent.index, recipient,
-                                      "share_bundle", (task, bundle),
-                                      field_elements=bundle.FIELD_ELEMENTS)
-        self.network.deliver()
-        for agent in self.agents:
-            for message in self.network.receive(agent.index, "commitments"):
-                message_task, commitments = message.payload
-                agent.receive_commitments(message_task, message.sender,
-                                          commitments)
-            for message in self.network.receive(agent.index,
-                                                "share_bundle"):
-                message_task, bundle = message.payload
-                agent.receive_bundle(message_task, message.sender, bundle)
+            for machine in self.machines:
+                machine.send_bidding(task, self.transport)
+        self.transport.step()
+        for machine in self.machines:
+            machine.recv_bidding(self.transport)
         for task in list(tasks):
             abort = self._run_share_verification(task)
             if abort is not None:
@@ -614,52 +592,61 @@ class DMWProtocol:
                     return abort
         return None
 
+    def _run_batched_complaints(self, kind: str, stage: str,
+                                boards: Dict[int, Dict[int, object]],
+                                complaints_by_agent: Dict[
+                                    int, List[Tuple[int, int]]],
+                                arbitrate: Callable[
+                                    [AgentMachine, int, Dict[int, object],
+                                     List[int]], None]) -> None:
+        """One shared complaint barrier covering every task's accusations.
+
+        ``arbitrate(machine, task, board, accused)`` applies the verdict
+        per machine once the union is known.
+        """
+        for agent_index, complaints in complaints_by_agent.items():
+            self.transport.publish(agent_index, kind, complaints,
+                                   field_elements=len(complaints))
+        self.transport.step()
+        union: Dict[int, set] = {}
+        for machine in self.machines:
+            for message in machine.drain(kind, self.transport):
+                for task, accused in message.payload:
+                    union.setdefault(task, set()).add(accused)
+        for task, accused in union.items():
+            self.trace.record("complaints", task=task, stage=stage,
+                              accused=sorted(accused))
+            for machine in self.machines:
+                arbitrate(machine, task, boards.get(task, {}),
+                          sorted(accused))
+
     def _run_parallel_aggregation(self, tasks: Sequence[int]
                                   ) -> Optional[ProtocolAbort]:
         """Step III.2 plus first-price resolution inside one barrier."""
-        boards: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        boards: Dict[int, Dict[int, object]] = {}
         for task in tasks:
-            for agent in self.agents:
-                published = agent.publish_aggregates(task)
-                if published is not None:
-                    self.network.publish(agent.index, "lambda_psi",
-                                         (task, published),
-                                         field_elements=2)
-        self.network.deliver()
-        for agent in self.agents:
-            for message in self.network.receive(agent.index, "lambda_psi"):
-                message_task, value = message.payload
-                boards.setdefault(message_task, {})[message.sender] = value
+            for machine in self.machines:
+                machine.send_aggregates(task, self.transport)
+        self.transport.step()
+        for machine in self.machines:
+            machine.collect_published("lambda_psi", self.transport, boards)
         complaints_by_agent: Dict[int, List[Tuple[int, int]]] = {}
         for task in tasks:
             board = boards.get(task, {})
-            for agent in self.agents:
-                for accused in agent.validate_aggregates(task, board):
-                    complaints_by_agent.setdefault(agent.index, []).append(
+            for machine in self.machines:
+                for accused in machine.act_validate_aggregates(task, board):
+                    complaints_by_agent.setdefault(machine.index, []).append(
                         (task, accused))
         if complaints_by_agent:
-            for agent_index, complaints in complaints_by_agent.items():
-                self.network.publish(agent_index, "aggregate_complaint",
-                                     complaints,
-                                     field_elements=len(complaints))
-            self.network.deliver()
-            union: Dict[int, set] = {}
-            for agent in self.agents:
-                for message in self.network.receive(agent.index,
-                                                    "aggregate_complaint"):
-                    for task, accused in message.payload:
-                        union.setdefault(task, set()).add(accused)
-            for task, accused in union.items():
-                self.trace.record("complaints", task=task,
-                                  stage="aggregates",
-                                  accused=sorted(accused))
-                for agent in self.agents:
-                    agent.arbitrate_aggregates(task, boards.get(task, {}),
-                                               sorted(accused))
+            self._run_batched_complaints(
+                "aggregate_complaint", "aggregates", boards,
+                complaints_by_agent,
+                lambda machine, task, board, accused:
+                    machine.act_arbitrate_aggregates(task, board, accused))
         for task in list(tasks):
             try:
-                for agent in self.agents:
-                    agent.resolve_first(task)
+                for machine in self.machines:
+                    machine.act_resolve_first(task)
             except ResolutionError as error:
                 abort = self._fail_task(
                     task, ProtocolAbort(str(error), phase="allocating",
@@ -671,63 +658,37 @@ class DMWProtocol:
     def _run_parallel_disclosure(self, tasks: Sequence[int]
                                  ) -> Optional[ProtocolAbort]:
         """Step III.3 plus winner identification inside one barrier."""
-        row_boards: Dict[int, Dict[int, Dict[int, tuple]]] = {}
+        row_boards: Dict[int, Dict[int, object]] = {}
         claimants_by_task: Dict[int, List[int]] = {}
         for task in tasks:
-            for agent in self.agents:
-                row = agent.disclose_f_shares(task)
-                if row is not None:
-                    self.network.publish(
-                        agent.index, "f_disclosure", (task, row),
-                        field_elements=2 * self.parameters.num_agents)
-                if agent.claim_winnership(task):
-                    self.network.publish(agent.index, "winner_claim",
-                                         (task, True), field_elements=1)
-        self.network.deliver()
-        for agent in self.agents:
-            for message in self.network.receive(agent.index,
-                                                "f_disclosure"):
-                message_task, row = message.payload
-                row_boards.setdefault(message_task,
-                                      {})[message.sender] = row
-            for message in self.network.receive(agent.index,
-                                                "winner_claim"):
-                message_task, _ = message.payload
-                claimants_by_task.setdefault(message_task,
-                                             []).append(message.sender)
-        complaints_by_agent = {}
+            for machine in self.machines:
+                machine.send_disclosure(task, self.transport,
+                                        self.parameters.num_agents)
+        self.transport.step()
+        for machine in self.machines:
+            machine.collect_published("f_disclosure", self.transport,
+                                      row_boards)
+            machine.collect_claims(self.transport, claimants_by_task)
+        complaints_by_agent: Dict[int, List[Tuple[int, int]]] = {}
         for task in tasks:
             rows = row_boards.get(task, {})
-            for agent in self.agents:
-                for accused in agent.validate_disclosures(task, rows):
-                    complaints_by_agent.setdefault(agent.index, []).append(
+            for machine in self.machines:
+                for accused in machine.act_validate_disclosures(task, rows):
+                    complaints_by_agent.setdefault(machine.index, []).append(
                         (task, accused))
         if complaints_by_agent:
-            for agent_index, complaints in complaints_by_agent.items():
-                self.network.publish(agent_index, "disclosure_complaint",
-                                     complaints,
-                                     field_elements=len(complaints))
-            self.network.deliver()
-            union = {}
-            for agent in self.agents:
-                for message in self.network.receive(
-                        agent.index, "disclosure_complaint"):
-                    for task, accused in message.payload:
-                        union.setdefault(task, set()).add(accused)
-            for task, accused in union.items():
-                self.trace.record("complaints", task=task,
-                                  stage="disclosures",
-                                  accused=sorted(accused))
-                for agent in self.agents:
-                    agent.arbitrate_disclosures(
-                        task, row_boards.get(task, {}), sorted(accused))
+            self._run_batched_complaints(
+                "disclosure_complaint", "disclosures", row_boards,
+                complaints_by_agent,
+                lambda machine, task, rows, accused:
+                    machine.act_arbitrate_disclosures(task, rows, accused))
         for task in list(tasks):
             claimants = sorted(
                 set(claimants_by_task.get(task, [])),
                 key=lambda i: self.parameters.pseudonyms[i])
             try:
-                for agent in self.agents:
-                    agent.find_winner(task, claimants)
+                for machine in self.machines:
+                    machine.act_find_winner(task, claimants)
             except ResolutionError as error:
                 abort = self._fail_task(
                     task, ProtocolAbort(str(error), phase="allocating",
@@ -739,52 +700,31 @@ class DMWProtocol:
     def _run_parallel_resolution(self, tasks: Sequence[int]
                                  ) -> Optional[ProtocolAbort]:
         """Step III.4 plus second-price resolution inside one barrier."""
-        second_boards: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        second_boards: Dict[int, Dict[int, object]] = {}
         for task in tasks:
-            for agent in self.agents:
-                published = agent.publish_excluded_aggregates(task)
-                if published is not None:
-                    self.network.publish(agent.index, "second_price",
-                                         (task, published),
-                                         field_elements=2)
-        self.network.deliver()
-        for agent in self.agents:
-            for message in self.network.receive(agent.index,
-                                                "second_price"):
-                message_task, value = message.payload
-                second_boards.setdefault(message_task,
-                                         {})[message.sender] = value
-        complaints_by_agent = {}
+            for machine in self.machines:
+                machine.send_second_price(task, self.transport)
+        self.transport.step()
+        for machine in self.machines:
+            machine.collect_published("second_price", self.transport,
+                                      second_boards)
+        complaints_by_agent: Dict[int, List[Tuple[int, int]]] = {}
         for task in tasks:
             board = second_boards.get(task, {})
-            for agent in self.agents:
-                for accused in agent.validate_excluded_aggregates(task,
-                                                                  board):
-                    complaints_by_agent.setdefault(agent.index, []).append(
+            for machine in self.machines:
+                for accused in machine.act_validate_excluded(task, board):
+                    complaints_by_agent.setdefault(machine.index, []).append(
                         (task, accused))
         if complaints_by_agent:
-            for agent_index, complaints in complaints_by_agent.items():
-                self.network.publish(agent_index, "second_price_complaint",
-                                     complaints,
-                                     field_elements=len(complaints))
-            self.network.deliver()
-            union = {}
-            for agent in self.agents:
-                for message in self.network.receive(
-                        agent.index, "second_price_complaint"):
-                    for task, accused in message.payload:
-                        union.setdefault(task, set()).add(accused)
-            for task, accused in union.items():
-                self.trace.record("complaints", task=task,
-                                  stage="second_price",
-                                  accused=sorted(accused))
-                for agent in self.agents:
-                    agent.arbitrate_excluded_aggregates(
-                        task, second_boards.get(task, {}), sorted(accused))
+            self._run_batched_complaints(
+                "second_price_complaint", "second_price", second_boards,
+                complaints_by_agent,
+                lambda machine, task, board, accused:
+                    machine.act_arbitrate_excluded(task, board, accused))
         for task in list(tasks):
             try:
-                for agent in self.agents:
-                    agent.resolve_second(task)
+                for machine in self.machines:
+                    machine.act_resolve_second(task)
             except ResolutionError as error:
                 abort = self._fail_task(
                     task, ProtocolAbort(str(error), phase="allocating",
@@ -992,7 +932,8 @@ def run_dmw(problem: SchedulingProblem,
             trace: Optional[ProtocolTrace] = None,
             observer: Optional[SpanRecorder] = None,
             workers: Optional[int] = None,
-            flight: Optional[FlightRecorder] = None) -> DMWOutcome:
+            flight: Optional[FlightRecorder] = None,
+            transport: Optional[Union[str, Transport]] = None) -> DMWOutcome:
     """Convenience entry point: run DMW on an integer-valued instance.
 
     Every ``t_i^j`` must be an integer in the (derived or given) bid set
@@ -1025,6 +966,11 @@ def run_dmw(problem: SchedulingProblem,
         Optional :class:`~repro.obs.flight.FlightRecorder` capturing one
         structured event per message lifecycle step (see
         ``docs/OBSERVABILITY.md``, "Flight recorder").
+    transport:
+        Optional :class:`~repro.network.transport.Transport` (or a name
+        accepted by :func:`~repro.network.transport.create_transport`,
+        e.g. ``"asyncio"``) to carry the protocol's messages.  A
+        transport built here from a name is closed before returning.
     """
     rng = rng or random.Random(0)
     if parameters is None:
@@ -1037,7 +983,19 @@ def run_dmw(problem: SchedulingProblem,
                   for task in range(problem.num_tasks)]
         agents.append(DMWAgent(index, parameters, values,
                                rng=random.Random(rng.getrandbits(64))))
-    protocol = DMWProtocol(parameters, agents, trace=trace,
-                           observer=observer, flight=flight)
-    return protocol.execute(problem.num_tasks, parallel=parallel,
-                            degraded=degraded, workers=workers)
+    owned_transport: Optional[Transport] = None
+    if isinstance(transport, str):
+        if transport == "inprocess":
+            transport = None  # the default self-built simulator path
+        else:
+            transport = owned_transport = create_transport(
+                transport, parameters.num_agents)
+    try:
+        protocol = DMWProtocol(parameters, agents, trace=trace,
+                               observer=observer, flight=flight,
+                               transport=transport)
+        return protocol.execute(problem.num_tasks, parallel=parallel,
+                                degraded=degraded, workers=workers)
+    finally:
+        if owned_transport is not None:
+            owned_transport.close()

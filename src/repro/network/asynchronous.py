@@ -153,18 +153,20 @@ class TimeoutNetwork(SynchronousNetwork):
                 # The receivers still expected this round's copies: a
                 # crashed sender holds the barrier to its full timeout.
                 if message.is_broadcast:
-                    withheld_this_round += max(self.num_participants - 1, 0)
+                    withheld_this_round += len(
+                        self._broadcast_recipients(message.sender))
                 else:
                     withheld_this_round += 1
                 continue
             stamped = message.with_round(self.round_index)
-            self.metrics.record(stamped, self.num_participants)
             if message.is_broadcast:
                 self.bulletin_board.append(stamped)
-                recipients = [a for a in range(self.num_participants)
-                              if a != message.sender]
+                recipients = self._broadcast_recipients(message.sender)
+                self.metrics.record(stamped, self.num_participants,
+                                    copies=len(recipients))
             else:
                 recipients = [message.recipient]
+                self.metrics.record(stamped, self.num_participants)
             for recipient in recipients:
                 unicast = Message(sender=stamped.sender, recipient=recipient,
                                   kind=stamped.kind, payload=stamped.payload,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from .message import Message
 
@@ -48,10 +48,19 @@ class NetworkMetrics:
     recovered_messages: int = 0
     by_kind: Counter = field(default_factory=Counter)
 
-    def record(self, message: Message, num_agents: int) -> None:
-        """Account for one logical message."""
+    def record(self, message: Message, num_agents: int,
+               copies: Optional[int] = None) -> None:
+        """Account for one logical message.
+
+        ``copies`` overrides the default ``num_agents - 1`` broadcast
+        expansion: networks that exclude extra participants from the
+        fan-out (or include them explicitly) charge the number of
+        unicasts actually transmitted.  Ignored for unicasts, which are
+        always one copy.
+        """
         if message.is_broadcast:
-            copies = max(num_agents - 1, 0)
+            if copies is None:
+                copies = max(num_agents - 1, 0)
             self.broadcast_events += 1
         else:
             copies = 1

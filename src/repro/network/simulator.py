@@ -35,22 +35,30 @@ class SynchronousNetwork:
     """A synchronous network connecting ``num_agents`` participants.
 
     Agent ids are ``0 .. num_agents - 1``.  An optional extra participant
-    (e.g. the trusted center of centralized MinWork) can be registered via
-    ``extra_participants``; it gets an id at the top of the range and full
-    send/receive rights, but does not change the broadcast fan-out used for
-    agent-to-agent publishing unless included.
+    (e.g. the trusted center of centralized MinWork, or DMW's payment
+    infrastructure endpoint) can be registered via ``extra_participants``;
+    it gets an id at the top of the range and full send/receive rights,
+    but does not change the broadcast fan-out used for agent-to-agent
+    publishing unless included explicitly: with the default
+    ``broadcast_to_extras=False`` a published message reaches the other
+    *agents* only (``n - 1`` unicasts, the Theorem 11 accounting unit);
+    setting ``broadcast_to_extras=True`` opts the extra participants into
+    every broadcast, and the metrics charge the actual recipient count.
     """
 
     def __init__(self, num_agents: int,
                  fault_plan: Optional[FaultPlan] = None,
                  extra_participants: int = 0,
-                 record_deliveries: bool = False) -> None:
+                 record_deliveries: bool = False,
+                 broadcast_to_extras: bool = False) -> None:
         if num_agents < 1:
             raise ValueError("need at least one agent")
         if extra_participants < 0:
             raise ValueError("extra_participants must be non-negative")
         self.num_agents = num_agents
         self.num_participants = num_agents + extra_participants
+        #: Whether published messages also reach the extra participants.
+        self.broadcast_to_extras = broadcast_to_extras
         self.fault_plan = fault_plan or obedient_plan()
         self.metrics = NetworkMetrics()
         self._outbox: List[Message] = []
@@ -77,6 +85,16 @@ class SynchronousNetwork:
     def _check_participant(self, participant: int, role: str) -> None:
         if not 0 <= participant < self.num_participants:
             raise ValueError("invalid %s id %d" % (role, participant))
+
+    def _broadcast_recipients(self, sender: int) -> List[int]:
+        """Recipients of one published message (the fan-out contract).
+
+        Every agent other than the sender, plus — only when
+        ``broadcast_to_extras`` is set — the extra participants.
+        """
+        limit = (self.num_participants if self.broadcast_to_extras
+                 else self.num_agents)
+        return [a for a in range(limit) if a != sender]
 
     # -- transmission primitives ------------------------------------------------
     def send(self, sender: int, recipient: int, kind: str, payload: Any,
@@ -116,25 +134,29 @@ class SynchronousNetwork:
                                                  self.round_index):
                 continue
             stamped = message.with_round(self.round_index)
-            self.metrics.record(stamped, self.num_participants)
             if message.is_broadcast:
                 self.bulletin_board.append(stamped)
-                recipients = [a for a in range(self.num_participants)
-                              if a != message.sender]
+                recipients = self._broadcast_recipients(message.sender)
+                self.metrics.record(stamped, self.num_participants,
+                                    copies=len(recipients))
             else:
                 recipients = [message.recipient]
+                self.metrics.record(stamped, self.num_participants)
             for recipient in recipients:
                 unicast = Message(sender=stamped.sender, recipient=recipient,
                                   kind=stamped.kind, payload=stamped.payload,
                                   field_elements=stamped.field_elements,
                                   round_sent=self.round_index)
+                sent_seq: Optional[int] = None
                 if flight.enabled:
                     # One send event per expanded unicast copy — the unit
                     # NetworkMetrics charges (Theorem 11), dropped or not.
-                    flight.record(EVENT_SEND, round_index=self.round_index,
-                                  kind=unicast.kind, sender=unicast.sender,
-                                  receiver=recipient,
-                                  field_elements=unicast.field_elements)
+                    sent = flight.record(
+                        EVENT_SEND, round_index=self.round_index,
+                        kind=unicast.kind, sender=unicast.sender,
+                        receiver=recipient,
+                        field_elements=unicast.field_elements)
+                    sent_seq = sent.seq if sent is not None else None
                 final = self.fault_plan.transform(unicast, self.round_index)
                 if final is not None:
                     self._inboxes[recipient].append(final)
@@ -146,13 +168,14 @@ class SynchronousNetwork:
                                       round_index=self.round_index,
                                       kind=final.kind, sender=final.sender,
                                       receiver=recipient,
-                                      field_elements=final.field_elements)
+                                      field_elements=final.field_elements,
+                                      link=sent_seq)
                 elif flight.enabled:
                     flight.record(EVENT_DROP, round_index=self.round_index,
                                   kind=unicast.kind, sender=unicast.sender,
                                   receiver=recipient,
                                   field_elements=unicast.field_elements,
-                                  detail="fault_plan")
+                                  link=sent_seq, detail="fault_plan")
         self.metrics.record_round()
         if self.observer.enabled:
             self.observer.event("network_round", round=self.round_index,

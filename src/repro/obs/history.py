@@ -54,6 +54,11 @@ import hashlib
 import json
 import os
 import time
+
+try:  # POSIX advisory locking; absent on some platforms (e.g. Windows).
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 #: Entry schema version.
@@ -95,15 +100,33 @@ class HistoryStore:
         self.path = path
 
     def append(self, entry: Dict[str, Any]) -> int:
-        """Append one entry; returns its 1-based index in the store."""
+        """Append one entry; returns its 1-based index in the store.
+
+        Concurrency-safe: the entry is serialized into one buffer and
+        written with a single ``os.write`` on an ``O_APPEND`` descriptor
+        while holding an exclusive ``fcntl.flock`` on the store, so
+        concurrent appenders (``dmw run --history`` from several
+        processes, future service workers) can never interleave partial
+        JSONL lines; the returned index is counted under the same lock.
+        """
         if entry.get("type") != "dmw_history_entry":
             raise ValueError("not a dmw_history_entry document")
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        index = len(self.load())
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(entry, sort_keys=True))
-            handle.write("\n")
+        data = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                with os.fdopen(os.dup(fd), "rb") as snapshot:
+                    index = sum(1 for line in snapshot if line.strip())
+                os.write(fd, data)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
         return index + 1
 
     def extend(self, entries: Iterable[Dict[str, Any]]) -> int:

@@ -1,0 +1,18 @@
+"""Fixture: machine steps routed through the transport (DMW008-clean)."""
+
+
+class CleanMachine:
+    def __init__(self, agent):
+        self.agent = agent
+        self.index = agent.index
+
+    def send_bidding(self, task, transport):
+        commitments = self.agent.begin_task(task)
+        transport.publish(self.index, "commitments", (task, commitments))
+
+    def recv_bidding(self, transport):
+        for message in transport.receive(self.index, "commitments"):
+            self.agent.receive_commitments(*message.payload)
+
+    def act_check(self, task):
+        return self.agent.check_shares(task)

@@ -1,0 +1,15 @@
+"""Fixture: agent step calling the network object directly (DMW008)."""
+
+
+class LeakyAgent:
+    def __init__(self, index, network):
+        self.index = index
+        self.network = network
+
+    def begin_task(self, task):
+        self.network.publish(self.index, "commitments", task)
+        self.network.send(self.index, 0, "share_bundle", task)
+
+    def resolve(self, network):
+        network.deliver()
+        return network.receive(self.index)

@@ -35,6 +35,7 @@ SCOPE_PATHS = {
     "DMW005": "src/repro/network/fixture.py",
     "DMW006": "src/repro/crypto/fixture.py",
     "DMW007": "src/repro/crypto/fixture.py",
+    "DMW008": "src/repro/core/agent.py",
 }
 
 RULE_IDS = sorted(SCOPE_PATHS)

@@ -122,6 +122,57 @@ class TestStore:
             store.entry(1)
 
 
+def _hammer_append(path, worker, count, queue):
+    """Append ``count`` entries from one process (concurrency hammer)."""
+    store = HistoryStore(path)
+    indices = []
+    for i in range(count):
+        entry = make_entry({"num_agents": 4, "worker": worker, "i": i},
+                           source="bench", wall_clock_s=float(worker),
+                           recorded_at=float(i))
+        indices.append(store.append(entry))
+    queue.put(indices)
+
+
+class TestStoreConcurrency:
+    def test_eight_process_append_hammer(self, tmp_path):
+        """Concurrent appenders never interleave partial JSONL lines.
+
+        Eight processes append 25 entries each; afterwards every line
+        must parse, all 200 entries must be present, and the lock-counted
+        return indices must be a permutation of 1..200.
+        """
+        import multiprocessing
+
+        path = str(tmp_path / "history.jsonl")
+        per_worker = 25
+        workers = 8
+        context = multiprocessing.get_context("spawn")
+        queue = context.Queue()
+        processes = [
+            context.Process(target=_hammer_append,
+                            args=(path, worker, per_worker, queue))
+            for worker in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        indices = []
+        for _ in processes:
+            indices.extend(queue.get(timeout=60))
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        entries = [json.loads(line) for line in lines]  # every line parses
+        assert len(entries) == workers * per_worker
+        seen = {(e["config"]["worker"], e["config"]["i"]) for e in entries}
+        assert len(seen) == workers * per_worker
+        assert sorted(indices) == list(range(1, workers * per_worker + 1))
+        # The store itself still loads clean through the validating path.
+        assert len(HistoryStore(path).load()) == workers * per_worker
+
+
 # ---------------------------------------------------------------------------
 # diff: determinism is a divergence, environment is information
 # ---------------------------------------------------------------------------

@@ -165,6 +165,55 @@ def test_honest_run_matches_closed_form(n, m, c):
     assert metrics.rounds == 4 * m + 1
 
 
+class TestExtraParticipantFanOut:
+    """The broadcast fan-out contract with ``extra_participants=1``.
+
+    DMW opts its payment endpoint into every broadcast explicitly, so
+    each published message expands to exactly ``P - 1 = n`` copies —
+    never ``num_participants`` by accident, never ``n - 1`` silently.
+    """
+
+    def test_default_fan_out_excludes_the_extra(self):
+        from repro.network.simulator import SynchronousNetwork
+        network = SynchronousNetwork(4, extra_participants=1)
+        network.publish(0, "lambda_psi", None, field_elements=2)
+        network.deliver()
+        assert network.metrics.point_to_point_messages == 3
+        assert network.metrics.field_elements == 6
+        assert network.receive(4) == []
+
+    def test_opted_in_fan_out_charges_n_copies(self):
+        from repro.network.simulator import SynchronousNetwork
+        network = SynchronousNetwork(4, extra_participants=1,
+                                     broadcast_to_extras=True)
+        network.publish(0, "lambda_psi", None, field_elements=2)
+        network.deliver()
+        assert network.metrics.point_to_point_messages == 4
+        assert network.metrics.field_elements == 8
+        assert len(network.receive(4)) == 1
+
+    def test_protocol_network_pins_theorem11_copies(self):
+        """A real run's broadcasts expand to n copies (P - 1, P = n + 1).
+
+        This is the closed-form grid's ``copies = n`` assumption made
+        explicit: the protocol's own network carries one extra
+        participant and includes it in every broadcast.
+        """
+        n, m = 5, 2
+        parameters = DMWParameters.generate(n, fault_bound=1,
+                                            group_size="small")
+        problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                            random.Random(5))
+        outcome = run_dmw(problem, parameters=parameters,
+                          rng=random.Random(9))
+        assert outcome.completed
+        metrics = outcome.network_metrics
+        # lambda_psi: one broadcast per agent per task, n copies each.
+        assert metrics.by_kind["lambda_psi"] == m * n * n
+        assert metrics.by_kind["commitments"] == m * n * n
+        assert metrics.by_kind["second_price"] == m * n * n
+
+
 def test_parallel_run_same_totals_fewer_rounds():
     """Phase-parallel execution keeps the Theorem 11 message budget."""
     n, m = 5, 3

@@ -132,11 +132,36 @@ class TestSimulator:
         network.deliver()
         assert network.receive(2)[0].payload == "data"
 
-    def test_extra_participant_included_in_broadcast(self):
+    def test_extra_participant_excluded_from_broadcast_by_default(self):
+        # The documented contract: extras have full send/receive rights
+        # but do not change the broadcast fan-out unless opted in, and
+        # the metrics charge n - 1 copies (the Theorem 11 unit).
         network = SynchronousNetwork(2, extra_participants=1)
         network.publish(0, "announce", 1)
         network.deliver()
+        assert len(network.receive(1)) == 1
+        assert len(network.receive(2)) == 0
+        assert network.metrics.point_to_point_messages == 1
+
+    def test_extra_participant_included_when_opted_in(self):
+        network = SynchronousNetwork(2, extra_participants=1,
+                                     broadcast_to_extras=True)
+        network.publish(0, "announce", 1)
+        network.deliver()
+        assert len(network.receive(1)) == 1
         assert len(network.receive(2)) == 1
+        assert network.metrics.point_to_point_messages == 2
+
+    def test_extra_participant_broadcast_reaches_all_agents(self):
+        # An extra-participant *sender* publishing with extras excluded
+        # still reaches every agent, and the metrics charge the actual
+        # recipient count (n copies here, not n - 1).
+        network = SynchronousNetwork(2, extra_participants=1)
+        network.publish(2, "outcome", 1)
+        network.deliver()
+        assert len(network.receive(0)) == 1
+        assert len(network.receive(1)) == 1
+        assert network.metrics.point_to_point_messages == 2
 
     def test_metrics_track_broadcast_expansion(self):
         network = SynchronousNetwork(5)

@@ -1,0 +1,281 @@
+"""Transport seam: golden bit-identity, socket parity, timeout parity.
+
+Three guarantees pinned here:
+
+1. **Golden bit-identity** — the machine/transport refactor changed the
+   driver's shape, not its behaviour: every golden fixture entry
+   (captured at the pre-refactor driver, sequential / phase-barrier /
+   process-pool) reproduces exactly over the in-process transport.
+2. **Asyncio socket parity** — the localhost-TCP transport produces
+   identical outcomes, per-agent Table 1 counters, and network totals to
+   the in-process simulator, including under the latency model with
+   retries (it consumes the same RNG streams in the same order).
+3. **Timeout/synchronous differential** — a ``TimeoutNetwork`` with
+   :data:`~repro.network.asynchronous.NO_RETRY` and a zero-latency model
+   is bit-identical to a bare ``SynchronousNetwork``: outcomes,
+   ``NetworkMetrics``, and the full flight-event sequence, under fault
+   plans with dropped links and crashes.
+"""
+
+import json
+import os
+import random
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from golden_transport import FIXTURE_PATH, GOLDEN_DRIVERS, capture_run
+
+from repro.core import DMWParameters
+from repro.core.agent import DMWAgent
+from repro.core.protocol import DMWProtocol, run_dmw
+from repro.network.asynchronous import NO_RETRY, RetryPolicy, TimeoutNetwork
+from repro.network.faults import FaultPlan
+from repro.network.latency import LatencyModel
+from repro.network.simulator import SynchronousNetwork
+from repro.network.transport import (InProcessTransport, TransportError,
+                                     create_transport)
+from repro.obs.flight import FlightRecorder
+from repro.scheduling import workloads
+
+
+def _load_fixture():
+    with open(FIXTURE_PATH) as handle:
+        return json.load(handle)
+
+
+GOLDEN = _load_fixture()
+
+
+# ---------------------------------------------------------------------------
+# 1. Golden bit-identity of the refactored driver
+# ---------------------------------------------------------------------------
+
+class TestGoldenBitIdentity:
+    """Every fixture entry reproduces exactly over InProcessTransport."""
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN))
+    def test_entry_is_bit_identical(self, key):
+        shape, driver = key.rsplit("/", 1)
+        n_part, m_part, seed_part = shape.split("_")
+        n, m, seed = int(n_part[1:]), int(m_part[1:]), int(seed_part[4:])
+        assert driver in GOLDEN_DRIVERS
+        fresh = capture_run(n, m, seed, driver)
+        golden = GOLDEN[key]
+        for field in golden:
+            assert fresh[field] == golden[field], \
+                "%s diverged on %s" % (key, field)
+
+
+# ---------------------------------------------------------------------------
+# 2. Transport interface units
+# ---------------------------------------------------------------------------
+
+class TestTransportFactory:
+    def test_inprocess_delegates_to_network(self):
+        network = SynchronousNetwork(3, extra_participants=1)
+        transport = InProcessTransport(network)
+        assert transport.network_view() is network
+        transport.send(0, 1, "x", "payload")
+        transport.publish(2, "y", "board")
+        assert transport.step() == 3  # 1 unicast + 2 broadcast copies
+        assert transport.receive(1, "x")[0].payload == "payload"
+        assert [m.payload for m in transport.receive(0)] == ["board"]
+        assert transport.num_agents == 3
+        assert transport.num_participants == 4
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            create_transport("carrier-pigeon", 3)
+
+    def test_inprocess_rejects_socket_options(self):
+        with pytest.raises(ValueError):
+            create_transport("inprocess", 3, round_timeout=0.5)
+
+    def test_close_is_noop_for_inprocess(self):
+        transport = create_transport("inprocess", 2)
+        transport.close()  # must not raise
+
+
+class TestAsyncioTransportUnit:
+    def test_round_trip_and_validation(self):
+        transport = create_transport("asyncio", 3)
+        try:
+            transport.send(0, 1, "x", {"value": 41})
+            transport.publish(2, "y", "board")
+            with pytest.raises(ValueError):
+                transport.send(0, 0, "self", None)
+            with pytest.raises(ValueError):
+                transport.send(0, 9, "oob", None)
+            assert transport.step() == 3
+            assert transport.receive(1, "x")[0].payload == {"value": 41}
+            assert [m.payload for m in transport.receive(0)] == ["board"]
+            assert transport.round_index == 1
+            assert len(transport.published("y")) == 1
+        finally:
+            transport.close()
+
+    def test_step_after_close_raises_transport_error(self):
+        transport = create_transport("asyncio", 2)
+        transport.close()
+        transport.close()  # idempotent
+        with pytest.raises(TransportError):
+            transport.step()
+
+
+# ---------------------------------------------------------------------------
+# 3. Asyncio socket parity with the in-process simulator
+# ---------------------------------------------------------------------------
+
+def _outcome_signature(outcome):
+    return {
+        "completed": outcome.completed,
+        "schedule": (list(outcome.schedule.assignment)
+                     if outcome.schedule else None),
+        "payments": list(outcome.payments) if outcome.payments else None,
+        "agent_operations": [dict(ops) for ops in outcome.agent_operations],
+        "network": outcome.network_metrics.as_dict(),
+    }
+
+
+class TestAsyncioSocketParity:
+    @pytest.mark.parametrize("n,m,seed", [(5, 3, 7), (4, 2, 11)])
+    def test_identical_outcome_and_counters(self, n, m, seed):
+        parameters = DMWParameters.generate(n, fault_bound=1,
+                                            group_size="small")
+        problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                            random.Random(seed))
+        reference = run_dmw(problem, parameters=parameters,
+                            rng=random.Random(seed + 1))
+        socketed = run_dmw(problem, parameters=parameters,
+                           rng=random.Random(seed + 1),
+                           transport="asyncio")
+        assert _outcome_signature(socketed) == _outcome_signature(reference)
+
+    def test_timeout_and_retry_parity_with_timeout_network(self):
+        """Same latency seed, timeout, and retry policy => same totals."""
+        n, m, seed = 5, 2, 4
+        parameters = DMWParameters.generate(n, fault_bound=1,
+                                            group_size="small")
+        problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                            random.Random(seed))
+        policy = RetryPolicy(max_attempts=2)
+        timeout = 0.05
+
+        network = TimeoutNetwork(
+            n, LatencyModel(random.Random(99)), round_timeout=timeout,
+            extra_participants=1, retry_policy=policy)
+        reference = _run_protocol(parameters, problem, seed, network=network)
+
+        transport = create_transport(
+            "asyncio", n, latency_model=LatencyModel(random.Random(99)),
+            round_timeout=timeout, retry_policy=policy)
+        try:
+            socketed = _run_protocol(parameters, problem, seed,
+                                     transport=transport)
+        finally:
+            transport.close()
+
+        assert _outcome_signature(socketed) == _outcome_signature(reference)
+        view = transport
+        assert view.clock == pytest.approx(network.clock)
+        assert view.late_messages == network.late_messages
+        assert view.retries == network.retries
+        assert view.recovered == network.recovered
+        assert view.round_durations == pytest.approx(network.round_durations)
+
+
+def _agents_for(parameters, problem, seed):
+    master = random.Random(seed + 1)
+    return [
+        DMWAgent(index, parameters,
+                 [int(problem.time(index, task))
+                  for task in range(problem.num_tasks)],
+                 rng=random.Random(master.getrandbits(64)))
+        for index in range(parameters.num_agents)
+    ]
+
+
+def _run_protocol(parameters, problem, seed, network=None, transport=None,
+                  flight=None, degraded=False):
+    agents = _agents_for(parameters, problem, seed)
+    protocol = DMWProtocol(parameters, agents, network=network,
+                           transport=transport, flight=flight)
+    return protocol.execute(problem.num_tasks, degraded=degraded)
+
+
+# ---------------------------------------------------------------------------
+# 4. TimeoutNetwork(NO_RETRY, zero latency) == SynchronousNetwork
+# ---------------------------------------------------------------------------
+
+def _zero_latency():
+    return LatencyModel(random.Random(0), base=0.0, jitter=0.0)
+
+
+def _flight_signature(flight):
+    """The full event sequence minus wall-clock (and span) identity."""
+    return [(e.seq, e.type, e.round, e.kind, e.sender, e.receiver,
+             e.field_elements, e.task, e.attempt, e.link, e.detail)
+            for e in flight.events]
+
+
+FAULT_PLANS = {
+    "clean": lambda: None,
+    "dropped_links": lambda: FaultPlan(dropped_links={(0, 2), (3, 1)}),
+    "crash": lambda: FaultPlan(crashed_from_round={2: 2}),
+    "drop_and_crash": lambda: FaultPlan(dropped_links={(1, 0)},
+                                        crashed_from_round={3: 4}),
+}
+
+
+class TestTimeoutMatchesSynchronousDifferential:
+    """NO_RETRY + zero latency must be indistinguishable from synchrony.
+
+    The timeout barrier only changes behaviour when a copy is *late*;
+    with a zero-latency model nothing ever is, so outcomes, metrics, and
+    the complete flight-event stream (link fields included) must be
+    bit-identical under any fault plan.
+    """
+
+    @pytest.mark.parametrize("plan_name", sorted(FAULT_PLANS))
+    @pytest.mark.parametrize("degraded", [False, True])
+    def test_bit_identical_under_fault_plan(self, plan_name, degraded):
+        n, m, seed = 5, 2, 13
+        parameters = DMWParameters.generate(n, fault_bound=1,
+                                            group_size="small")
+        problem = workloads.random_discrete(n, m, parameters.bid_values,
+                                            random.Random(seed))
+
+        sync_flight = FlightRecorder()
+        sync_network = SynchronousNetwork(
+            n, fault_plan=FAULT_PLANS[plan_name](), extra_participants=1)
+        sync_outcome = _run_protocol(parameters, problem, seed,
+                                     network=sync_network,
+                                     flight=sync_flight, degraded=degraded)
+
+        timeout_flight = FlightRecorder()
+        timeout_network = TimeoutNetwork(
+            n, _zero_latency(), round_timeout=1.0,
+            fault_plan=FAULT_PLANS[plan_name](), extra_participants=1,
+            retry_policy=NO_RETRY)
+        timeout_outcome = _run_protocol(parameters, problem, seed,
+                                        network=timeout_network,
+                                        flight=timeout_flight,
+                                        degraded=degraded)
+
+        assert _outcome_signature(timeout_outcome) == \
+            _outcome_signature(sync_outcome)
+        if sync_outcome.abort is not None:
+            assert timeout_outcome.abort.reason == sync_outcome.abort.reason
+            assert timeout_outcome.abort.phase == sync_outcome.abort.phase
+        assert sorted(timeout_outcome.task_aborts) == \
+            sorted(sync_outcome.task_aborts)
+        assert _flight_signature(timeout_flight) == \
+            _flight_signature(sync_flight)
+        assert timeout_flight.summary() == sync_flight.summary()
+        # Nothing was ever late, so the timeout bookkeeping must be inert.
+        assert timeout_network.late_messages == 0
+        assert timeout_network.retries == 0
+        assert timeout_network.recovered == 0
