@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -125,6 +125,37 @@ class Rule:
             col=getattr(node, "col_offset", 0),
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    Project rules run once per lint invocation over a
+    :class:`~repro.analysis.static.project.ProjectContext` holding every
+    parsed file, instead of once per file; they are how interprocedural
+    properties (cross-module taint, protocol phase order, call-graph
+    reachability) become lintable.  ``check`` defaults to producing
+    nothing so a project rule slots into the per-file pass as a no-op;
+    a rule may override *both* to combine a local and a global pass
+    (DMW004 does).
+
+    ``check_project`` must itself honor path scoping by only reporting
+    violations whose file satisfies :meth:`Rule.applies_to` — the engine
+    cannot pre-filter, because a project rule may need out-of-scope
+    files (helpers a secret flows through) to analyze in-scope ones.
+    """
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: Any) -> Iterator[Violation]:
+        """Yield violations computed over the whole project.
+
+        ``project`` is a
+        :class:`~repro.analysis.static.project.ProjectContext` (typed
+        loosely here to keep ``base`` free of circular imports).
+        """
+        raise NotImplementedError
 
 
 def terminal_name(node: ast.AST) -> Optional[str]:

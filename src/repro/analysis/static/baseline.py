@@ -1,0 +1,133 @@
+"""Baseline/ratchet support: land strict rules on a legacy tree.
+
+A baseline file records the *fingerprints* of known findings; a lint run
+with ``--baseline`` subtracts them and fails only on findings that are
+not in the file.  That lets a new rule (or a widened scope) land with
+zero tolerance for regressions while the recorded findings burn down
+incrementally — removing a finding shrinks the file, adding one fails
+CI.
+
+Fingerprints are content-addressed, not line-addressed: the hash covers
+the rule id, the normalized path, the message, and an occurrence counter
+for exact duplicates — but *not* the line number, so pure line shifts
+(an unrelated edit above the finding) do not churn the baseline.  The
+same fingerprint is exported as ``partialFingerprints`` in the SARIF
+output so code-scanning backends track findings identically.
+
+File format (JSON, sorted, committed to the repo)::
+
+    {
+      "version": 1,
+      "tool": "dmwlint",
+      "fingerprints": {
+        "<40-hex>": {"rule": "DMW001", "path": "...", "message": "..."},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from .base import Violation
+from .engine import LintReport
+
+BASELINE_VERSION = 1
+#: Default committed baseline file name (repo root).
+DEFAULT_BASELINE_NAME = "dmwlint-baseline.json"
+
+
+def _violation_key(violation: Violation) -> str:
+    return "%s|%s|%s" % (violation.rule_id,
+                         violation.path.replace("\\", "/"),
+                         violation.message)
+
+
+def fingerprint_violations(violations: Sequence[Violation]
+                           ) -> List[Tuple[Violation, str]]:
+    """Stable fingerprints, disambiguating exact duplicates in order."""
+    occurrence: Dict[str, int] = {}
+    result: List[Tuple[Violation, str]] = []
+    for violation in violations:
+        key = _violation_key(violation)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.sha256(
+            ("%s|#%d" % (key, index)).encode("utf-8")).hexdigest()[:40]
+        result.append((violation, digest))
+    return result
+
+
+def render_baseline(report: LintReport) -> str:
+    """Serialize the report's findings as a baseline file."""
+    fingerprints: Dict[str, Dict[str, str]] = {}
+    for violation, digest in fingerprint_violations(
+            report.sorted_violations()):
+        fingerprints[digest] = {
+            "rule": violation.rule_id,
+            "path": violation.path.replace("\\", "/"),
+            "message": violation.message,
+        }
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "dmwlint",
+        "fingerprints": fingerprints,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(report: LintReport, path: str) -> int:
+    """Write the baseline for ``report``; returns the finding count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_baseline(report))
+    return len(report.violations)
+
+
+class BaselineError(Exception):
+    """The baseline file is missing or malformed."""
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, str]]:
+    if not os.path.isfile(path):
+        raise BaselineError("baseline file not found: %s" % path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise BaselineError("unreadable baseline %s: %s" % (path, error))
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise BaselineError(
+            "baseline %s lacks a 'fingerprints' table" % path)
+    if payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            "baseline %s has unsupported version %r"
+            % (path, payload.get("version")))
+    fingerprints = payload["fingerprints"]
+    if not isinstance(fingerprints, dict):
+        raise BaselineError("baseline %s fingerprints must be a mapping"
+                            % path)
+    return fingerprints
+
+
+def apply_baseline(report: LintReport, path: str) -> None:
+    """Drop baselined findings from ``report`` (counted, never silent).
+
+    Mutates the report in place: known fingerprints move from
+    ``violations`` to ``baselined_count``; new findings stay and keep
+    their exit-status weight.
+    """
+    known = load_baseline(path)
+    kept: List[Violation] = []
+    baselined = 0
+    for violation, digest in fingerprint_violations(
+            report.sorted_violations()):
+        if digest in known:
+            baselined += 1
+        else:
+            kept.append(violation)
+    report.violations = kept
+    report.baselined_count += baselined

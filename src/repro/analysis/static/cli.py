@@ -2,11 +2,21 @@
 
 Usage::
 
-    python -m repro.lint src/              # lint a tree, human output
+    python -m repro.lint                   # src + benchmarks/examples
+    python -m repro.lint src/              # lint one tree, human output
     dmwlint --format json src/             # machine-readable report
+    dmwlint --format sarif src/            # SARIF 2.1.0 for code scanning
+    dmwlint --baseline dmwlint-baseline.json src/   # ratchet: new only
+    dmwlint --write-baseline dmwlint-baseline.json src/
+    dmwlint --jobs 4 src/                  # parallel per-file pass
     dmwlint --list-rules                   # rule catalog with invariants
     dmwlint --select DMW001,DMW004 src/    # run a subset
     dmwlint --check-annotations src/       # add DMW000 strict-typing rule
+
+With no explicit paths, ``src`` is linted under the full default rule
+set and ``benchmarks``/``examples`` (when present) under the relaxed
+set — example code must still be deterministic (DMW001) and exact
+(DMW006), but is not held to protocol-internal rules.
 
 Exit status: 0 when clean, 1 when violations or parse errors were found,
 2 on usage errors.
@@ -15,12 +25,18 @@ Exit status: 0 when clean, 1 when violations or parse errors were found,
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from .base import Rule
-from .engine import run_paths
-from .rules import ALL_RULES, DEFAULT_RULES
+from .baseline import BaselineError, apply_baseline, write_baseline
+from .engine import LintReport, UsageError, run_paths
+from .rules import ALL_RULES, DEFAULT_RULES, RELAXED_RULES
+from .sarif import render_sarif
+
+#: Trees linted with the relaxed rule set when no paths are given.
+RELAXED_SCOPE_DIRS = ("benchmarks", "examples")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -29,15 +45,28 @@ def _build_parser() -> argparse.ArgumentParser:
         description="DMW-aware static analysis: mechanically enforce the "
                     "paper invariants (determinism, secrecy, field "
                     "arithmetic, message immutability) on the codebase.")
-    parser.add_argument("paths", nargs="*", default=["src"],
-                        help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint (default: src "
+                             "under the full rule set, plus benchmarks/ and "
+                             "examples/ under the relaxed set)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="output format (default: text)")
     parser.add_argument("--select", metavar="RULES", default=None,
                         help="comma-separated rule ids to run "
                              "(e.g. DMW001,DMW004)")
     parser.add_argument("--ignore", metavar="RULES", default=None,
                         help="comma-separated rule ids to skip")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline file of accepted findings; only "
+                             "violations not in the baseline fail the run")
+    parser.add_argument("--write-baseline", metavar="PATH", default=None,
+                        help="write the current findings to PATH as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the per-file pass "
+                             "(default: 1; the whole-program pass always "
+                             "runs in the parent)")
     parser.add_argument("--check-annotations", action="store_true",
                         help="also run DMW000 (strict annotation coverage "
                              "on crypto/core/network)")
@@ -46,23 +75,28 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_rule_ids(flag: str, tokens: str) -> List[str]:
+    wanted = sorted({token.strip().upper()
+                     for token in tokens.split(",") if token.strip()})
+    known = {rule.rule_id for rule in ALL_RULES}
+    unknown = [rule_id for rule_id in wanted if rule_id not in known]
+    if unknown:
+        raise UsageError("dmwlint: unknown rule id(s) in %s: %s"
+                         % (flag, ", ".join(unknown)))
+    return wanted
+
+
 def _resolve_rules(select: Optional[str], ignore: Optional[str],
                    check_annotations: bool) -> List[Rule]:
     if select:
-        wanted = {token.strip().upper()
-                  for token in select.split(",") if token.strip()}
-        unknown = wanted - {rule.rule_id for rule in ALL_RULES}
-        if unknown:
-            raise SystemExit(
-                "dmwlint: unknown rule id(s): %s" % ", ".join(sorted(unknown)))
+        wanted = set(_parse_rule_ids("--select", select))
         rules = [rule for rule in ALL_RULES if rule.rule_id in wanted]
     else:
         rules = list(DEFAULT_RULES)
         if check_annotations:
             rules = [r for r in ALL_RULES if r.rule_id == "DMW000"] + rules
     if ignore:
-        dropped = {token.strip().upper()
-                   for token in ignore.split(",") if token.strip()}
+        dropped = set(_parse_rule_ids("--ignore", ignore))
         rules = [rule for rule in rules if rule.rule_id not in dropped]
     return rules
 
@@ -82,6 +116,17 @@ def _render_rule_catalog() -> str:
     return "\n".join(lines)
 
 
+def _run_default_scope(rules: List[Rule], jobs: int) -> LintReport:
+    """No explicit paths: src under ``rules``, example trees relaxed."""
+    report = run_paths(["src"], rules, jobs=jobs)
+    selected = {rule.rule_id for rule in rules}
+    relaxed = [rule for rule in RELAXED_RULES if rule.rule_id in selected]
+    for directory in RELAXED_SCOPE_DIRS:
+        if relaxed and os.path.isdir(directory):
+            report.merge(run_paths([directory], relaxed, jobs=jobs))
+    return report
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -91,12 +136,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         rules = _resolve_rules(args.select, args.ignore,
                                args.check_annotations)
-    except SystemExit as error:
+        if args.jobs < 1:
+            raise UsageError("dmwlint: --jobs must be >= 1")
+        if args.paths:
+            report = run_paths(args.paths, rules, jobs=args.jobs)
+        else:
+            report = _run_default_scope(rules, args.jobs)
+        if args.write_baseline:
+            count = write_baseline(report, args.write_baseline)
+            print("dmwlint: wrote baseline with %d finding(s) to %s"
+                  % (count, args.write_baseline))
+            return 0
+        if args.baseline:
+            apply_baseline(report, args.baseline)
+    except (UsageError, BaselineError) as error:
         print(error, file=sys.stderr)
         return 2
-    report = run_paths(args.paths, rules)
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        print(render_sarif(report, rules))
     else:
         print(report.render_human())
     return 0 if report.ok else 1

@@ -1,0 +1,464 @@
+"""Worklist-based interprocedural taint dataflow for dmwlint.
+
+The intra-function DMW004 pass sees a secret reach a sink only when both
+ends sit in the same function.  This module generalizes it: every
+function gets a :class:`TaintSummary` describing how taint moves through
+it — which parameters flow into a sink somewhere below it, which
+parameters flow to its return value, and whether it returns
+secret-by-nature data — and a worklist iterates the summaries to a
+fixpoint over the :class:`~repro.analysis.static.callgraph.CallGraph`
+(cycles converge because summaries only ever grow).
+
+The taint lattice is a set of *origin tokens* per name: ``param:<i>``
+(the value derives from parameter ``i``) and ``secret`` (the value
+derives from a secret-named source).  Taint propagates through
+assignments, calls (arguments into summaries, summaries into return
+values), and attribute stores (object-insensitive: ``self.x = bid``
+taints every later ``.x`` read in the same function); the *only*
+sanctioner is :func:`repro.crypto.secret.declassify`, mirroring the
+runtime sanitizer.
+
+The secret-name and sink vocabularies live here (not in the DMW004 rule
+module) so both the per-file rule and the whole-program pass share one
+definition; ``dmw004_secret_taint`` re-exports them.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph, FunctionInfo, Project
+
+# ---------------------------------------------------------------------------
+# Secret names and sinks (shared vocabulary)
+# ---------------------------------------------------------------------------
+
+#: Underscore-separated segments that mark a name as secret.
+SECRET_SEGMENTS = {"bid", "bids", "valuation", "valuations"}
+#: Substrings that mark a name as secret wherever they appear.
+SECRET_SUBSTRINGS = ("secret", "true_value", "private_value")
+#: Names that *look* secret but denote public protocol data.
+PUBLIC_EXCEPTIONS = {
+    "bid_set", "bid_sets", "bid_range", "num_bids", "max_bid", "bids_allowed",
+}
+
+LOGGER_BASES = ("log", "logger", "logging")
+LOGGER_METHODS = {"debug", "info", "warning", "error", "critical",
+                  "exception", "log"}
+TRANSCRIPT_METHODS = {"append", "record", "write", "publish"}
+
+#: Origin token for secret-by-name sources.
+SECRET = "secret"
+
+
+def is_secret_name(name: str) -> bool:
+    lowered = name.lower()
+    if lowered in PUBLIC_EXCEPTIONS:
+        return False
+    if any(sub in lowered for sub in SECRET_SUBSTRINGS):
+        return True
+    return any(segment in SECRET_SEGMENTS
+               for segment in lowered.split("_"))
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_declassify_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    return _terminal_name(node.func) == "declassify"
+
+
+def sink_description(call: ast.Call) -> str:
+    """Non-empty description when ``call`` is a sink, else empty string."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "print":
+            return "print()"
+        return ""
+    if isinstance(func, ast.Attribute):
+        base = _terminal_name(func.value)
+        dotted = _dotted_name(func) or func.attr
+        if dotted in ("json.dump", "json.dumps"):
+            return "JSON serialization"
+        if (func.attr in LOGGER_METHODS and base is not None
+                and any(token in base.lower() for token in LOGGER_BASES)):
+            return "logger call `%s`" % dotted
+        if (func.attr in TRANSCRIPT_METHODS and base is not None
+                and "transcript" in base.lower()):
+            return "transcript sink `%s`" % dotted
+    return ""
+
+
+def declassified_ids(root: ast.AST) -> Set[int]:
+    """ids of all nodes laundered by an enclosing ``declassify(...)``."""
+    laundered: Set[int] = set()
+    for node in ast.walk(root):
+        if is_declassify_call(node):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                for child in ast.walk(arg):
+                    laundered.add(id(child))
+    return laundered
+
+
+# ---------------------------------------------------------------------------
+# Summaries
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SinkFlow:
+    """A path from a function parameter to a sink below the function."""
+
+    sink: str                      #: human description of the sink
+    chain: Tuple[str, ...] = ()    #: callee qualnames crossed on the way
+
+
+@dataclass
+class TaintSummary:
+    """How taint moves through one function."""
+
+    params_to_sink: Dict[int, SinkFlow] = field(default_factory=dict)
+    params_to_return: Set[int] = field(default_factory=set)
+    returns_secret: bool = False
+
+    def merge(self, other: "TaintSummary") -> bool:
+        """Absorb ``other``; True when anything changed (monotone)."""
+        changed = False
+        for index, flow in other.params_to_sink.items():
+            if index not in self.params_to_sink:
+                self.params_to_sink[index] = flow
+                changed = True
+        extra = other.params_to_return - self.params_to_return
+        if extra:
+            self.params_to_return |= extra
+            changed = True
+        if other.returns_secret and not self.returns_secret:
+            self.returns_secret = True
+            changed = True
+        return changed
+
+
+@dataclass(frozen=True)
+class Leak:
+    """A secret-origin value crossing at least one call into a sink."""
+
+    function: FunctionInfo
+    node: ast.Call
+    name: str
+    sink: str
+    chain: Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Per-function analysis
+# ---------------------------------------------------------------------------
+
+def _map_call_args(call: ast.Call, callee: FunctionInfo,
+                   bound: bool) -> List[Tuple[ast.expr, int]]:
+    """Pair argument expressions with callee parameter indices."""
+    offset = 1 if (callee.is_method and bound) else 0
+    pairs: List[Tuple[ast.expr, int]] = []
+    names = callee.param_names
+    for position, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            continue
+        pairs.append((arg, position + offset))
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            continue
+        if keyword.arg in names:
+            pairs.append((keyword.value, names.index(keyword.arg)))
+    return pairs
+
+
+def _call_is_bound(call: ast.Call, callee: FunctionInfo,
+                   project: Project, caller: FunctionInfo) -> bool:
+    """Whether the receiver occupies the ``self`` slot at this site."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        # ``ClassName(...)`` resolving to ``__init__``: the instance fills
+        # ``self``, so positional args start at parameter 1.
+        return callee.name == "__init__"
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        module = project.modules.get(caller.module)
+        if module is not None and func.value.id in module.classes:
+            return False          # explicit ``ClassName.method(obj, ...)``
+    return True
+
+
+class _FunctionTaint:
+    """One pass over a function body with the current summary table."""
+
+    def __init__(self, function: FunctionInfo, project: Project,
+                 graph: CallGraph,
+                 summaries: Dict[str, TaintSummary]) -> None:
+        self.function = function
+        self.project = project
+        self.graph = graph
+        self.summaries = summaries
+        self.resolved = {id(edge.node): edge.callee
+                         for edge in graph.callees(function.qualname)}
+        self.laundered = declassified_ids(function.node)
+        self.env: Dict[str, Set[str]] = {}
+        self.return_origins: Set[str] = set()
+        self.flows: List[Tuple[Set[str], str, Tuple[str, ...],
+                               ast.Call, str]] = []
+        self._seed_params()
+
+    def _seed_params(self) -> None:
+        for index, name in enumerate(self.function.param_names):
+            origins = {"param:%d" % index}
+            if is_secret_name(name):
+                origins.add(SECRET)
+            self.env[name] = origins
+
+    # -- expression origins ------------------------------------------------
+    def eval_origins(self, node: ast.AST) -> Set[str]:
+        if id(node) in self.laundered:
+            return set()
+        if isinstance(node, ast.Name):
+            origins = set(self.env.get(node.id, ()))
+            if is_secret_name(node.id):
+                origins.add(SECRET)
+            return origins
+        if isinstance(node, ast.Attribute):
+            origins = set(self.env.get("." + node.attr, ()))
+            if is_secret_name(node.attr):
+                origins.add(SECRET)
+            return origins
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Lambda):
+            return set()
+        origins: Set[str] = set()
+        for child in ast.iter_child_nodes(node):
+            origins |= self.eval_origins(child)
+        return origins
+
+    def _callee_for(self, call: ast.Call) -> Optional[FunctionInfo]:
+        qualname = self.resolved.get(id(call))
+        if qualname is None:
+            return None
+        return self.project.functions.get(qualname)
+
+    def _eval_call(self, call: ast.Call) -> Set[str]:
+        if is_declassify_call(call):
+            return set()
+        argument_origins: Set[str] = set()
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            argument_origins |= self.eval_origins(arg)
+        callee = self._callee_for(call)
+        if callee is None:
+            # Unknown call: conservatively pass taint through (``str(bid)``
+            # is still the bid), matching the intra-function rule.
+            return argument_origins
+        summary = self.summaries.get(callee.qualname, TaintSummary())
+        origins: Set[str] = set()
+        if summary.returns_secret or is_secret_name(callee.name):
+            origins.add(SECRET)
+        bound = _call_is_bound(call, callee, self.project, self.function)
+        for arg, param_index in _map_call_args(call, callee, bound):
+            if param_index in summary.params_to_return:
+                origins |= self.eval_origins(arg)
+        return origins
+
+    # -- statement walk ----------------------------------------------------
+    def _assign(self, target: ast.AST, origins: Set[str],
+                augment: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if augment:
+                self.env[target.id] = self.env.get(target.id,
+                                                   set()) | origins
+            else:
+                self.env[target.id] = set(origins)
+        elif isinstance(target, ast.Attribute):
+            key = "." + target.attr
+            self.env[key] = self.env.get(key, set()) | origins
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, origins, augment=augment)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, origins, augment=augment)
+        elif isinstance(target, ast.Subscript):
+            self._assign(target.value, origins, augment=True)
+
+    def propagate(self) -> None:
+        statements = sorted(
+            (node for node in ast.walk(self.function.node)
+             if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                                  ast.Return, ast.For, ast.withitem))),
+            key=lambda node: getattr(node, "lineno", 0))
+        # Two passes so loop-carried taint converges (the lattice is tiny:
+        # one extra pass reaches anything a back edge can add).
+        for _ in range(2):
+            for statement in statements:
+                if isinstance(statement, ast.Return):
+                    if statement.value is not None:
+                        self.return_origins |= self.eval_origins(
+                            statement.value)
+                    continue
+                if isinstance(statement, ast.For):
+                    self._assign(statement.target,
+                                 self.eval_origins(statement.iter))
+                    continue
+                if isinstance(statement, ast.withitem):
+                    if statement.optional_vars is not None:
+                        self._assign(statement.optional_vars,
+                                     self.eval_origins(
+                                         statement.context_expr))
+                    continue
+                value = statement.value
+                if value is None:
+                    continue
+                origins = self.eval_origins(value)
+                if isinstance(statement, ast.Assign):
+                    for target in statement.targets:
+                        self._assign(target, origins)
+                elif isinstance(statement, ast.AnnAssign):
+                    self._assign(statement.target, origins)
+                else:
+                    self._assign(statement.target, origins, augment=True)
+
+    def collect_flows(self) -> None:
+        """Record taint reaching sinks or summarized callees."""
+        for call in ast.walk(self.function.node):
+            if not isinstance(call, ast.Call):
+                continue
+            if id(call) in self.laundered or is_declassify_call(call):
+                continue
+            sink = sink_description(call)
+            if sink:
+                for arg in (list(call.args)
+                            + [kw.value for kw in call.keywords]):
+                    origins = self.eval_origins(arg)
+                    if origins:
+                        self.flows.append((origins, sink, (),
+                                           call, self._leak_name(arg)))
+            callee = self._callee_for(call)
+            if callee is None:
+                continue
+            summary = self.summaries.get(callee.qualname)
+            if summary is None or not summary.params_to_sink:
+                continue
+            bound = _call_is_bound(call, callee, self.project, self.function)
+            for arg, param_index in _map_call_args(call, callee, bound):
+                flow = summary.params_to_sink.get(param_index)
+                if flow is None:
+                    continue
+                origins = self.eval_origins(arg)
+                if origins:
+                    chain = (callee.qualname,) + flow.chain
+                    self.flows.append((origins, flow.sink, chain,
+                                       call, self._leak_name(arg)))
+
+    def _leak_name(self, arg: ast.AST) -> str:
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Name) and (
+                    is_secret_name(node.id) or self.env.get(node.id)):
+                return node.id
+            if isinstance(node, ast.Attribute) and is_secret_name(node.attr):
+                return node.attr
+        try:
+            rendered = ast.unparse(arg)  # type: ignore[attr-defined]
+        except Exception:  # pragma: no cover - defensive
+            return "<expression>"
+        return rendered if len(rendered) <= 40 else rendered[:37] + "..."
+
+    # -- results -----------------------------------------------------------
+    def summary(self) -> TaintSummary:
+        result = TaintSummary()
+        for origins, sink, chain, _node, _name in self.flows:
+            for token in origins:
+                if token.startswith("param:"):
+                    index = int(token.split(":", 1)[1])
+                    if index not in result.params_to_sink:
+                        result.params_to_sink[index] = SinkFlow(
+                            sink=sink, chain=chain)
+        for token in self.return_origins:
+            if token.startswith("param:"):
+                result.params_to_return.add(int(token.split(":", 1)[1]))
+            elif token == SECRET:
+                result.returns_secret = True
+        if is_secret_name(self.function.name):
+            result.returns_secret = True
+        return result
+
+    def leaks(self) -> List[Leak]:
+        found: List[Leak] = []
+        for origins, sink, chain, node, name in self.flows:
+            if SECRET in origins and chain:
+                found.append(Leak(function=self.function, node=node,
+                                  name=name, sink=sink, chain=chain))
+        return found
+
+
+def _analyze(function: FunctionInfo, project: Project, graph: CallGraph,
+             summaries: Dict[str, TaintSummary]) -> _FunctionTaint:
+    analysis = _FunctionTaint(function, project, graph, summaries)
+    analysis.propagate()
+    analysis.collect_flows()
+    return analysis
+
+
+# ---------------------------------------------------------------------------
+# Whole-program driver
+# ---------------------------------------------------------------------------
+
+def compute_summaries(project: Project,
+                      graph: CallGraph) -> Dict[str, TaintSummary]:
+    """Fixpoint taint summaries for every function in the project."""
+    summaries: Dict[str, TaintSummary] = {
+        qualname: TaintSummary() for qualname in project.functions}
+    work = deque(sorted(summaries))
+    queued = set(work)
+    while work:
+        qualname = work.popleft()
+        queued.discard(qualname)
+        function = project.functions[qualname]
+        new = _analyze(function, project, graph, summaries).summary()
+        if summaries[qualname].merge(new):
+            for caller in sorted(graph.callers.get(qualname, ())):
+                if caller not in queued:
+                    work.append(caller)
+                    queued.add(caller)
+    return summaries
+
+
+def find_interprocedural_leaks(
+        project: Project, graph: CallGraph,
+        summaries: Dict[str, TaintSummary],
+        functions: Optional[Iterable[FunctionInfo]] = None) -> List[Leak]:
+    """Secret-origin values crossing at least one call into a sink.
+
+    Direct (same-function) sink hits are excluded — the intra-function
+    DMW004 pass already reports those; this pass adds exactly the leaks
+    that need the call graph to see.
+    """
+    leaks: List[Leak] = []
+    pool = list(functions) if functions is not None \
+        else list(project.iter_functions())
+    for function in pool:
+        leaks.extend(
+            _analyze(function, project, graph, summaries).leaks())
+    return leaks

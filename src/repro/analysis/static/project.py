@@ -1,0 +1,51 @@
+"""Whole-program context shared by project-scoped dmwlint rules.
+
+The engine parses every file once into :class:`FileContext` objects;
+:class:`ProjectContext` bundles them and lazily derives the expensive
+whole-program structures — the :class:`~.callgraph.Project` index, the
+:class:`~.callgraph.CallGraph`, and the interprocedural
+:class:`~.dataflow.TaintSummary` table — so several project rules share
+one computation per run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .base import FileContext
+from .callgraph import CallGraph, Project
+from .dataflow import TaintSummary, compute_summaries
+
+
+class ProjectContext:
+    """Everything a project rule can see: all files, parsed once."""
+
+    def __init__(self, contexts: List[FileContext]) -> None:
+        self.contexts = list(contexts)
+        self.by_path: Dict[str, FileContext] = {
+            context.path: context for context in self.contexts}
+        self._project: Optional[Project] = None
+        self._graph: Optional[CallGraph] = None
+        self._summaries: Optional[Dict[str, TaintSummary]] = None
+
+    @property
+    def project(self) -> Project:
+        if self._project is None:
+            self._project = Project.from_sources(
+                (context.path, context.tree) for context in self.contexts)
+        return self._project
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph(self.project)
+        return self._graph
+
+    @property
+    def taint_summaries(self) -> Dict[str, TaintSummary]:
+        if self._summaries is None:
+            self._summaries = compute_summaries(self.project, self.callgraph)
+        return self._summaries
+
+    def context_for(self, path: str) -> Optional[FileContext]:
+        return self.by_path.get(path)

@@ -10,87 +10,62 @@ The only sanctioned reveals are the outcome of resolution: the minimum bid
 must go through the explicit :func:`repro.crypto.secret.declassify` gate so
 every reveal is auditable.
 
-The rule performs an intra-function taint pass: parameters and variables
-whose names mark them as secret (``bid``/``bids`` segments, ``secret``,
-``true_value``/``valuation``) are tainted, taint propagates through
-assignments, and any tainted name appearing in a sink call —
-``print``, logger methods, ``json.dump(s)``, ``transcript.append/record``
-— is flagged unless wrapped in ``declassify(...)``.
+The rule runs two passes sharing one vocabulary
+(:mod:`repro.analysis.static.dataflow`):
+
+* the **intra-function pass** taints parameters and variables whose
+  names mark them as secret (``bid``/``bids`` segments, ``secret``,
+  ``true_value``/``valuation``), propagates taint through assignments,
+  and flags any tainted name appearing in a sink call — ``print``,
+  logger methods, ``json.dump(s)``, ``transcript.append/record`` —
+  unless wrapped in ``declassify(...)``;
+* the **interprocedural pass** flags the leaks the intra pass provably
+  cannot see: a secret handed to a helper (possibly in another module)
+  whose innocently-named parameter flows — through any number of
+  further calls, returns, and attribute stores — into a sink.  Taint
+  summaries come from the worklist dataflow over the project call
+  graph; ``declassify()`` remains the only sanctioner at every hop.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Set
+from typing import Any, Dict, Iterator, List, Set
 
-from ..base import (FileContext, Rule, Violation, assigned_names,
-                    dotted_name, terminal_name)
+from ..base import FileContext, ProjectRule, Violation, assigned_names
+from ..dataflow import (
+    LOGGER_BASES,
+    LOGGER_METHODS,
+    PUBLIC_EXCEPTIONS,
+    SECRET_SEGMENTS,
+    SECRET_SUBSTRINGS,
+    TRANSCRIPT_METHODS,
+    declassified_ids,
+    find_interprocedural_leaks,
+    is_declassify_call,
+    is_secret_name,
+    sink_description,
+)
 
-#: Underscore-separated segments that mark a name as secret.
-SECRET_SEGMENTS = {"bid", "bids", "valuation", "valuations"}
-#: Substrings that mark a name as secret wherever they appear.
-SECRET_SUBSTRINGS = ("secret", "true_value", "private_value")
-#: Names that *look* secret but denote public protocol data.
-PUBLIC_EXCEPTIONS = {
-    "bid_set", "bid_sets", "bid_range", "num_bids", "max_bid", "bids_allowed",
-}
+__all__ = [
+    "LOGGER_BASES",
+    "LOGGER_METHODS",
+    "PUBLIC_EXCEPTIONS",
+    "SECRET_SEGMENTS",
+    "SECRET_SUBSTRINGS",
+    "SecretTaintRule",
+    "TRANSCRIPT_METHODS",
+    "is_secret_name",
+]
 
-LOGGER_BASES = ("log", "logger", "logging")
-LOGGER_METHODS = {"debug", "info", "warning", "error", "critical",
-                  "exception", "log"}
-TRANSCRIPT_METHODS = {"append", "record", "write", "publish"}
-
-
-def is_secret_name(name: str) -> bool:
-    lowered = name.lower()
-    if lowered in PUBLIC_EXCEPTIONS:
-        return False
-    if any(sub in lowered for sub in SECRET_SUBSTRINGS):
-        return True
-    return any(segment in SECRET_SEGMENTS
-               for segment in lowered.split("_"))
-
-
-def _is_declassify_call(node: ast.AST) -> bool:
-    if not isinstance(node, ast.Call):
-        return False
-    name = terminal_name(node.func)
-    return name == "declassify"
+# Backwards-compatible aliases (the helpers moved to ``dataflow`` so the
+# whole-program pass shares them).
+_is_declassify_call = is_declassify_call
+_declassified_ids = declassified_ids
+_sink_description = sink_description
 
 
-def _declassified_ids(root: ast.AST) -> Set[int]:
-    """ids of all nodes laundered by an enclosing ``declassify(...)``."""
-    laundered: Set[int] = set()
-    for node in ast.walk(root):
-        if _is_declassify_call(node):
-            for arg in list(node.args) + [kw.value for kw in node.keywords]:
-                for child in ast.walk(arg):
-                    laundered.add(id(child))
-    return laundered
-
-
-def _sink_description(call: ast.Call) -> str:
-    """Non-empty description when ``call`` is a sink, else empty string."""
-    func = call.func
-    if isinstance(func, ast.Name):
-        if func.id == "print":
-            return "print()"
-        return ""
-    if isinstance(func, ast.Attribute):
-        base = terminal_name(func.value)
-        dotted = dotted_name(func) or func.attr
-        if dotted in ("json.dump", "json.dumps"):
-            return "JSON serialization"
-        if (func.attr in LOGGER_METHODS and base is not None
-                and any(token in base.lower() for token in LOGGER_BASES)):
-            return "logger call `%s`" % dotted
-        if (func.attr in TRANSCRIPT_METHODS and base is not None
-                and "transcript" in base.lower()):
-            return "transcript sink `%s`" % dotted
-    return ""
-
-
-class SecretTaintRule(Rule):
+class SecretTaintRule(ProjectRule):
     rule_id = "DMW004"
     description = "secret value reaches a transcript/log/serialization sink"
     invariant = ("losing bids stay hidden below the collusion threshold c "
@@ -98,6 +73,7 @@ class SecretTaintRule(Rule):
                  "y**) must pass through declassify(...)")
     include_parts = ("crypto", "core", "auctions", "network")
 
+    # -- intra-function pass ----------------------------------------------
     def check(self, context: FileContext) -> Iterator[Violation]:
         for node in ast.walk(context.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -108,11 +84,11 @@ class SecretTaintRule(Rule):
         tainted = self._tainted_names(function)
         if not tainted:
             return
-        laundered = _declassified_ids(function)
+        laundered = declassified_ids(function)
         for node in ast.walk(function):
             if not isinstance(node, ast.Call):
                 continue
-            sink = _sink_description(node)
+            sink = sink_description(node)
             if not sink:
                 continue
             leaking = self._tainted_in_args(node, tainted, laundered)
@@ -154,7 +130,7 @@ class SecretTaintRule(Rule):
                          if isinstance(n, ast.Name)}
             rhs_tainted = any(is_secret_name(n) or n in tainted
                               for n in rhs_names)
-            if rhs_tainted and not _is_declassify_call(value):
+            if rhs_tainted and not is_declassify_call(value):
                 tainted.update(targets)
             for name in targets:
                 if is_secret_name(name):
@@ -177,3 +153,24 @@ class SecretTaintRule(Rule):
                     if is_secret_name(node.attr):
                         leaking[node.attr] = None
         return list(leaking)
+
+    # -- interprocedural pass ---------------------------------------------
+    def check_project(self, project: Any) -> Iterator[Violation]:
+        graph = project.callgraph
+        summaries = project.taint_summaries
+        scoped = []
+        for function in project.project.iter_functions():
+            context = project.context_for(function.path)
+            if context is not None and self.applies_to(context):
+                scoped.append(function)
+        for leak in find_interprocedural_leaks(project.project, graph,
+                                               summaries, scoped):
+            context = project.context_for(leak.function.path)
+            if context is None:
+                continue
+            via = " -> ".join(leak.chain)
+            yield self.violation(
+                context, leak.node,
+                "secret-tagged `%s` reaches %s through call chain %s "
+                "without a declassify() gate (interprocedural)"
+                % (leak.name, leak.sink, via))

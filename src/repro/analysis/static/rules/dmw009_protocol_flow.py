@@ -1,0 +1,364 @@
+"""DMW009 — protocol-flow conformance against the declared round schedule.
+
+Theorem 11's communication counts assume a *fixed* per-round message
+schedule: Phase II bidding (commitments + private share bundles), then
+step III.2 aggregates, III.3 disclosure (and winner claims), III.4
+second price, and finally the Phase IV payment claims — with complaint
+sub-rounds only between phases and only under attack.  The
+:class:`~repro.core.machine.AgentMachine` / driver split (PR 8) makes
+that schedule mechanical: machines own the per-phase ``send_*`` steps
+and the message kinds they emit, drivers own the phase order.  This rule
+pins both statically:
+
+* **machine conformance** — inside a class implementing the schedule's
+  send/receive steps, every ``transport.publish(...)`` /
+  ``transport.send(...)`` / ``transport.receive(...)`` with a constant
+  message kind must use exactly the kinds declared for that step's
+  phase.  Publishing a later phase's kind early (equivocation-shaped
+  reordering) or inventing an undeclared kind (an extra message per
+  phase, which silently breaks the Theorem 11 counts) is a violation;
+* **driver flow** — in every function, the sequence of schedule steps
+  (spliced through resolved local helper calls on the project call
+  graph) must be phase-monotone: a ``send_aggregates`` before the
+  ``send_bidding`` of the same flow is a violation.
+
+Complaint kinds (``*_complaint``) are conditional sub-rounds and are
+exempt from ordering; kinds that only appear behind a variable (the
+generic complaint-round helper) are out of static reach and ignored.
+The schedule spec below *is* the declaration — changing the protocol's
+wire schedule must come with a matching edit here, which is exactly the
+review point the rule exists to force.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..base import FileContext, ProjectRule, Violation
+from ..callgraph import FunctionInfo
+
+#: The declared round schedule: (phase name, machine steps, message kinds).
+ROUND_SCHEDULE: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...]], ...] = (
+    ("bidding", ("send_bidding", "recv_bidding"),
+     ("commitments", "share_bundle")),
+    ("aggregates", ("send_aggregates",), ("lambda_psi",)),
+    ("disclosure", ("send_disclosure", "collect_claims"),
+     ("f_disclosure", "winner_claim")),
+    ("second_price", ("send_second_price",), ("second_price",)),
+    ("payment", ("send_payment_claim",), ("payment_claim",)),
+)
+
+STEP_TO_PHASE: Dict[str, int] = {}
+KIND_TO_PHASE: Dict[str, int] = {}
+PHASE_NAMES: List[str] = []
+for _index, (_phase, _steps, _kinds) in enumerate(ROUND_SCHEDULE):
+    PHASE_NAMES.append(_phase)
+    for _step in _steps:
+        STEP_TO_PHASE[_step] = _index
+    for _kind in _kinds:
+        KIND_TO_PHASE[_kind] = _index
+
+#: Transport primitives and the argument position of their kind operand
+#: (``publish(sender, kind, ...)``, ``send(sender, recipient, kind, ...)``,
+#: ``receive(recipient, kind)``).
+_KIND_ARG_POSITION = {"publish": 1, "send": 2, "receive": 1}
+
+#: How many schedule steps a class must implement to count as a machine.
+_MACHINE_STEP_THRESHOLD = 2
+
+
+def _constant_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _call_attr(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _kind_operand(call: ast.Call) -> Optional[str]:
+    """The constant message kind of a transport primitive call, if any."""
+    attr = _call_attr(call)
+    position = _KIND_ARG_POSITION.get(attr or "")
+    if position is None or len(call.args) <= position:
+        return None
+    return _constant_str(call.args[position])
+
+
+def _is_complaint_kind(kind: str) -> bool:
+    return kind.endswith("_complaint")
+
+
+def _ordered_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes in source order, not descending into nested defs."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            continue
+        if isinstance(child, ast.Call):
+            yield child
+        yield from _ordered_calls(child)
+
+
+class _Event:
+    """One schedule step observed in a flow, at a top-level call site."""
+
+    __slots__ = ("phase", "label", "node")
+
+    def __init__(self, phase: int, label: str, node: ast.Call) -> None:
+        self.phase = phase
+        self.label = label
+        self.node = node
+
+
+class _Reset:
+    """A round boundary: branch alternative or loop entry/exit.
+
+    Mutually exclusive ``if``/``elif``/``else`` branches must not
+    order-constrain each other, and a loop body restarts the schedule
+    each iteration (a multi-auction driver runs bidding again after the
+    previous auction's resolution) — the monotonicity check resets its
+    running maximum at each marker.
+    """
+
+    __slots__ = ()
+
+
+_RESET = _Reset()
+
+
+class ProtocolFlowRule(ProjectRule):
+    rule_id = "DMW009"
+    description = ("protocol step or message kind out of the declared "
+                   "round schedule")
+    invariant = ("the per-round message schedule is fixed (Theorem 11 "
+                 "communication counts): bidding -> aggregates -> "
+                 "disclosure -> second price -> payment, with exactly the "
+                 "declared message kinds per phase")
+    include_parts = ("core", "network")
+
+    # -- event extraction ---------------------------------------------------
+    def _direct_events(self, call: ast.Call) -> Optional[_Event]:
+        attr = _call_attr(call)
+        if attr in STEP_TO_PHASE:
+            return _Event(STEP_TO_PHASE[attr], "step `%s`" % attr, call)
+        if attr == "collect_published" and call.args:
+            kind = _constant_str(call.args[0])
+            if kind is not None and kind in KIND_TO_PHASE:
+                return _Event(KIND_TO_PHASE[kind],
+                              "collect of kind `%s`" % kind, call)
+            return None
+        kind = _kind_operand(call)
+        if kind is not None and kind in KIND_TO_PHASE:
+            return _Event(KIND_TO_PHASE[kind], "kind `%s`" % kind, call)
+        return None
+
+    def _flow_events(self, project: Any, function: FunctionInfo,
+                     memo: Dict[str, List[object]],
+                     active: Set[str]) -> List[object]:
+        """Event stream of one function: :class:`_Event` instances and
+        :data:`_RESET` markers, splicing resolved local helper calls."""
+        graph = project.callgraph
+        resolved = {id(edge.node): edge.callee
+                    for edge in graph.callees(function.qualname)}
+        items: List[object] = []
+        self._collect_statements(project, function.node.body, resolved,
+                                 memo, active, items)
+        return items
+
+    def _collect_statements(self, project: Any, statements: List[ast.stmt],
+                            resolved: Dict[int, str],
+                            memo: Dict[str, List[object]],
+                            active: Set[str],
+                            items: List[object]) -> None:
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                continue
+            if isinstance(statement, ast.If):
+                self._collect_calls(project, statement.test, resolved,
+                                    memo, active, items)
+                for branch in (statement.body, statement.orelse):
+                    items.append(_RESET)
+                    self._collect_statements(project, branch, resolved,
+                                             memo, active, items)
+                items.append(_RESET)
+            elif isinstance(statement, (ast.For, ast.AsyncFor)):
+                self._collect_calls(project, statement.iter, resolved,
+                                    memo, active, items)
+                for branch in (statement.body, statement.orelse):
+                    items.append(_RESET)
+                    self._collect_statements(project, branch, resolved,
+                                             memo, active, items)
+                items.append(_RESET)
+            elif isinstance(statement, ast.While):
+                self._collect_calls(project, statement.test, resolved,
+                                    memo, active, items)
+                for branch in (statement.body, statement.orelse):
+                    items.append(_RESET)
+                    self._collect_statements(project, branch, resolved,
+                                             memo, active, items)
+                items.append(_RESET)
+            elif isinstance(statement, ast.Try):
+                branches = ([statement.body]
+                            + [handler.body
+                               for handler in statement.handlers]
+                            + [statement.orelse, statement.finalbody])
+                for branch in branches:
+                    items.append(_RESET)
+                    self._collect_statements(project, branch, resolved,
+                                             memo, active, items)
+                items.append(_RESET)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                # A with block is straight-line: context expressions
+                # first, then the body at the same schedule position.
+                for item in statement.items:
+                    self._collect_calls(project, item.context_expr,
+                                        resolved, memo, active, items)
+                self._collect_statements(project, statement.body, resolved,
+                                         memo, active, items)
+            else:
+                self._collect_calls(project, statement, resolved, memo,
+                                    active, items)
+
+    def _collect_calls(self, project: Any, node: ast.AST,
+                       resolved: Dict[int, str],
+                       memo: Dict[str, List[object]],
+                       active: Set[str],
+                       items: List[object]) -> None:
+        for call in _ordered_calls(node):
+            self._collect_one_call(project, call, resolved, memo, active,
+                                   items)
+        if isinstance(node, ast.Call):
+            self._collect_one_call(project, node, resolved, memo, active,
+                                   items)
+
+    def _collect_one_call(self, project: Any, call: ast.Call,
+                          resolved: Dict[int, str],
+                          memo: Dict[str, List[object]],
+                          active: Set[str],
+                          items: List[object]) -> None:
+        direct = self._direct_events(call)
+        if direct is not None:
+            items.append(direct)
+            return
+        callee = resolved.get(id(call))
+        if callee is None:
+            return
+        for item in self._summary_events(project, callee, memo, active):
+            if item is _RESET:
+                items.append(_RESET)
+            else:
+                phase, label = item  # type: ignore[misc]
+                items.append(_Event(phase, label, call))
+
+    def _summary_events(self, project: Any, qualname: str,
+                        memo: Dict[str, List[object]],
+                        active: Set[str]) -> List[object]:
+        if qualname in memo:
+            return memo[qualname]
+        if qualname in active:      # call cycle: contribute nothing
+            return []
+        function = project.project.functions.get(qualname)
+        if function is None:
+            return []
+        active.add(qualname)
+        try:
+            events = self._flow_events(project, function, memo, active)
+        finally:
+            active.discard(qualname)
+        summary: List[object] = []
+        for item in events:
+            if item is _RESET:
+                summary.append(_RESET)
+            else:
+                event = item  # type: ignore[assignment]
+                summary.append((event.phase,
+                                "%s (via `%s`)" % (event.label, qualname)))
+        memo[qualname] = summary
+        return summary
+
+    # -- checks -------------------------------------------------------------
+    def _check_machine_class(self, context: FileContext,
+                             node: ast.ClassDef) -> Iterator[Violation]:
+        step_methods = [child for child in node.body
+                        if isinstance(child, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef))
+                        and child.name in STEP_TO_PHASE]
+        if len(step_methods) < _MACHINE_STEP_THRESHOLD:
+            return
+        for method in step_methods:
+            phase = STEP_TO_PHASE[method.name]
+            allowed = set(ROUND_SCHEDULE[phase][2])
+            for call in ast.walk(method):
+                if not isinstance(call, ast.Call):
+                    continue
+                attr = _call_attr(call)
+                if attr not in _KIND_ARG_POSITION:
+                    continue
+                kind = _kind_operand(call)
+                if kind is None or _is_complaint_kind(kind):
+                    continue
+                if kind in allowed:
+                    continue
+                if kind in KIND_TO_PHASE:
+                    yield self.violation(
+                        context, call,
+                        "step `%s` (phase %s) emits kind `%s` declared for "
+                        "phase %s — phase reordering breaks the Theorem 11 "
+                        "schedule" % (method.name, PHASE_NAMES[phase], kind,
+                                      PHASE_NAMES[KIND_TO_PHASE[kind]]))
+                else:
+                    yield self.violation(
+                        context, call,
+                        "step `%s` emits kind `%s` which is not in the "
+                        "declared round schedule — an extra message kind "
+                        "per phase changes the counted communication"
+                        % (method.name, kind))
+
+    def _check_driver_flow(self, project: Any, context: FileContext,
+                           function: FunctionInfo,
+                           memo: Dict[str, List[object]]
+                           ) -> Iterator[Violation]:
+        items = self._flow_events(project, function, memo, set())
+        max_phase = -1
+        max_label = ""
+        max_node: Optional[ast.Call] = None
+        for item in items:
+            if item is _RESET:
+                max_phase = -1
+                max_node = None
+                continue
+            event = item  # type: ignore[assignment]
+            if event.phase < max_phase and event.node is not max_node:
+                yield self.violation(
+                    context, event.node,
+                    "%s (phase %s) runs after %s (phase %s) — protocol "
+                    "flow violates the declared round-schedule order"
+                    % (event.label, PHASE_NAMES[event.phase], max_label,
+                       PHASE_NAMES[max_phase]))
+            if event.phase > max_phase:
+                max_phase = event.phase
+                max_label = event.label
+                max_node = event.node
+
+    def check_project(self, project: Any) -> Iterator[Violation]:
+        memo: Dict[str, List[object]] = {}
+        for context in project.contexts:
+            if not self.applies_to(context):
+                continue
+            for node in context.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_machine_class(context, node)
+        for function in project.project.iter_functions():
+            context = project.context_for(function.path)
+            if context is None or not self.applies_to(context):
+                continue
+            yield from self._check_driver_flow(project, context, function,
+                                               memo)

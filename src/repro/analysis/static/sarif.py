@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 export for dmwlint reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS 2.1.0) is the
+lingua franca of code-scanning backends; emitting it lets CI upload
+dmwlint findings to GitHub code scanning and lets editors render them
+inline.  The exporter covers the required-property shape of the spec:
+
+* ``version``/``$schema`` at the log level;
+* one ``run`` with ``tool.driver`` metadata and the full rule catalog
+  (``id``, ``shortDescription``, ``help`` carrying the paper invariant);
+* one ``result`` per violation with ``ruleId``, ``ruleIndex``,
+  ``level``, ``message.text``, a ``physicalLocation`` (URI + 1-based
+  ``startLine``/``startColumn``), and the dmwlint baseline fingerprint
+  under ``partialFingerprints`` so scanning backends deduplicate
+  findings exactly the way ``--baseline`` does;
+* parse errors as ``invocations[0].toolExecutionNotifications``.
+
+Only the standard library is used, matching the rest of dmwlint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .base import Rule
+from .baseline import fingerprint_violations
+from .engine import LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+#: ``partialFingerprints`` key carrying the dmwlint baseline fingerprint.
+FINGERPRINT_KEY = "dmwlintFingerprint/v1"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, Any]:
+    descriptor: Dict[str, Any] = {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": "error"},
+    }
+    if rule.invariant:
+        descriptor["help"] = {"text": rule.invariant}
+    return descriptor
+
+
+def _uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def to_sarif(report: LintReport, rules: Sequence[Rule]) -> Dict[str, Any]:
+    """Render ``report`` as a SARIF 2.1.0 log dictionary."""
+    descriptors = [_rule_descriptor(rule) for rule in rules]
+    rule_index = {descriptor["id"]: position
+                  for position, descriptor in enumerate(descriptors)}
+    results: List[Dict[str, Any]] = []
+    fingerprinted = fingerprint_violations(report.sorted_violations())
+    for violation, fingerprint in fingerprinted:
+        result: Dict[str, Any] = {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _uri(violation.path)},
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {FINGERPRINT_KEY: fingerprint},
+        }
+        if violation.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[violation.rule_id]
+        results.append(result)
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": "parse error: %s" % error},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _uri(path)},
+                },
+            }],
+        }
+        for path, error in report.parse_errors
+    ]
+    run: Dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": "dmwlint",
+                "informationUri":
+                    "https://example.invalid/dmw-repro/docs/STATIC_ANALYSIS.md",
+                "version": "1.0.0",
+                "rules": descriptors,
+            },
+        },
+        "results": results,
+        "invocations": [{
+            "executionSuccessful": not report.parse_errors,
+            "toolExecutionNotifications": notifications,
+        }],
+    }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def render_sarif(report: LintReport, rules: Sequence[Rule]) -> str:
+    return json.dumps(to_sarif(report, rules), indent=2, sort_keys=True)

@@ -1,0 +1,35 @@
+"""Clean fixture for DMW009: steps and kinds follow the round schedule."""
+
+
+class OrderlyAuctionMachine:
+    def __init__(self, transport):
+        self.transport = transport
+
+    def send_bidding(self, commitments, bundle):
+        self.transport.publish(0, "commitments", commitments)
+        self.transport.send(0, 1, "share_bundle", bundle)
+
+    def send_aggregates(self, value):
+        self.transport.publish(0, "lambda_psi", value)
+
+    def send_disclosure(self, share):
+        self.transport.publish(0, "f_disclosure", share)
+        # Complaint kinds are conditional sub-rounds, exempt from order.
+        self.transport.publish(0, "disclosure_complaint", share)
+
+    def send_second_price(self, price):
+        self.transport.publish(0, "second_price", price)
+
+
+def run_round(machine, commitments, bundle, value, share):
+    machine.send_bidding(commitments, bundle)
+    machine.send_aggregates(value)
+    machine.send_disclosure(share)
+
+
+def run_tasks(machine, tasks, commitments, bundle, value, share):
+    # Each task restarts the schedule: bidding after the previous task's
+    # second price is a new round, not a reordering.
+    for _task in tasks:
+        run_round(machine, commitments, bundle, value, share)
+        machine.send_second_price(0)

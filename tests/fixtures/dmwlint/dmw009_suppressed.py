@@ -1,0 +1,19 @@
+"""Suppressed fixture for DMW009: the violations are acknowledged."""
+
+
+class BrokenAuctionMachine:
+    def __init__(self, transport):
+        self.transport = transport
+
+    def send_bidding(self, commitments, bundle):
+        self.transport.publish(0, "lambda_psi", commitments)  # dmwlint: disable=DMW009
+        self.transport.send(0, 1, "share_bundle", bundle)  # dmwlint: disable=DMW009
+
+    def send_aggregates(self, value):
+        self.transport.publish(0, "lambda_psi", value)
+        self.transport.publish(0, "side_channel", value)  # dmwlint: disable=DMW009
+
+
+def run_round(machine, commitments, bundle, value):
+    machine.send_aggregates(value)
+    machine.send_bidding(commitments, bundle)  # dmwlint: disable=DMW009

@@ -1,0 +1,23 @@
+"""Violating fixture for DMW009: kinds and steps out of schedule order."""
+
+
+class BrokenAuctionMachine:
+    """Implements enough schedule steps to count as a machine class."""
+
+    def __init__(self, transport):
+        self.transport = transport
+
+    def send_bidding(self, commitments, bundle):
+        # Wrong-phase kind: lambda_psi belongs to the aggregates phase.
+        self.transport.publish(0, "lambda_psi", commitments)
+        self.transport.send(0, 1, "share_bundle", bundle)
+
+    def send_aggregates(self, value):
+        self.transport.publish(0, "lambda_psi", value)
+        # Unknown kind: not declared anywhere in the round schedule.
+        self.transport.publish(0, "side_channel", value)
+
+
+def run_round(machine, commitments, bundle, value):
+    machine.send_aggregates(value)
+    machine.send_bidding(commitments, bundle)

@@ -1,0 +1,17 @@
+"""Clean fixture for DMW010: coroutines only wait awaitably."""
+
+import asyncio
+
+
+def load_config(path):
+    # Synchronous file I/O outside any coroutine is fine.
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+async def wait_for_round(delay):
+    await asyncio.sleep(delay)
+
+
+async def run(delay):
+    await wait_for_round(delay)

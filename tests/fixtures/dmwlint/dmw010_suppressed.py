@@ -1,0 +1,15 @@
+"""Suppressed fixture for DMW010: acknowledged blocking calls."""
+
+import time
+
+
+def slow_helper(delay):
+    time.sleep(delay)
+
+
+async def wait_for_round(delay):
+    time.sleep(delay)  # dmwlint: disable=DMW010
+
+
+async def run(delay):
+    slow_helper(delay)  # dmwlint: disable=DMW010

@@ -1,0 +1,23 @@
+"""Violating fixture for DMW010: blocking calls inside coroutines."""
+
+import time
+import urllib.request
+
+
+def fetch_sync(url):
+    # Blocking on its own is fine in sync code; the violation is the
+    # coroutine one hop above that calls this helper.
+    return urllib.request.urlopen(url)
+
+
+async def wait_for_round(delay):
+    time.sleep(delay)
+
+
+async def read_state(path):
+    handle = open(path)
+    return handle.read()
+
+
+async def fetch(url):
+    return fetch_sync(url)

@@ -1,0 +1,25 @@
+"""Clean fixture for DMW011: shard state flows through return values."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_SPEC = None
+
+
+def _init(spec):
+    # The initializer installs per-process state once, before any task.
+    global _SPEC
+    _SPEC = spec
+
+
+def _work(task):
+    # Reads of module state and writes to locals are fine.
+    payload = {"task": task, "spec": _SPEC}
+    return payload
+
+
+def run_pool(spec, tasks):
+    results = []
+    with ProcessPoolExecutor(initializer=_init, initargs=(spec,)) as pool:
+        for task in tasks:
+            results.append(pool.submit(_work, task))
+    return [future.result() for future in results]

@@ -1,0 +1,24 @@
+"""Suppressed fixture for DMW011: acknowledged shared-state writes."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_SPEC = None
+_RESULTS = {}
+
+
+def _init(spec):
+    global _SPEC
+    _SPEC = spec
+
+
+def _work(task):
+    global _SPEC
+    _SPEC = task  # dmwlint: disable=DMW011
+    _RESULTS[task] = task  # dmwlint: disable=DMW011
+    return task
+
+
+def run_pool(spec, tasks):
+    with ProcessPoolExecutor(initializer=_init, initargs=(spec,)) as pool:
+        futures = [pool.submit(_work, task) for task in tasks]
+    return [future.result() for future in futures]

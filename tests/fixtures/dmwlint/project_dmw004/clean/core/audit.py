@@ -1,0 +1,5 @@
+"""Final hop: identical to the violating twin."""
+
+
+def emit_record(value):
+    print(value)

@@ -1,0 +1,7 @@
+"""Middle hop: identical to the violating twin."""
+
+from .audit import emit_record
+
+
+def relay_amount(amount):
+    emit_record(amount)

@@ -1,0 +1,5 @@
+"""Final hop: the sink, two calls away from the secret source."""
+
+
+def emit_record(value):
+    print(value)

@@ -1,0 +1,12 @@
+"""Entry point: a secret bid handed to an innocently-named helper.
+
+No sink appears in this module — the leak only exists across the
+two-hop helper chain ``relay_amount -> emit_record -> print``, which
+the intra-function DMW004 pass provably cannot see.
+"""
+
+from .relay import relay_amount
+
+
+def submit_bid(bid):
+    relay_amount(bid)

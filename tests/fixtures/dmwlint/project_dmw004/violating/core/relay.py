@@ -1,0 +1,7 @@
+"""Middle hop: the parameter name carries no secrecy hint."""
+
+from .audit import emit_record
+
+
+def relay_amount(amount):
+    emit_record(amount)
