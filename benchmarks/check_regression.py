@@ -67,7 +67,7 @@ Usage::
 
 ``--only`` restricts the run to the named gate sections (``scaling``,
 ``table1``, ``cache``, ``resilience``, ``parallel``, ``backend``,
-``history``); CI's
+``service``, ``history``); CI's
 parallel-differential job uses ``--only parallel`` because its smoke
 run produces only ``BENCH_parallel.json``, which must not trip the
 "baseline exists but no fresh results" failure of the scaling gate.
@@ -356,6 +356,62 @@ def check_backend(results_dir, failures, lines):
                          % (label, speedup, reason))
 
 
+#: Minimum accepted warm-over-cold speedup for repeat-parameter service
+#: jobs (ISSUE acceptance: the cross-run warm cache must show real
+#: gains, not just avoid breaking anything).
+_MIN_WARM_SPEEDUP = 1.5
+
+
+def check_service(results_dir, failures, lines):
+    """Gate the always-on service records: bit identity always, warm
+    speedup on non-smoke records.
+
+    Equivalence (``extra.equivalent``) needs no baseline and no
+    tolerance: every job in the measured mix — cold, warm, and the
+    throughput burst — must produce bit-identical schedules, payments,
+    and per-agent Table 1 counters, and every run report must validate
+    against the versioned schema.  A warm cache may change wall-clock
+    and ``cache_stats`` only; anything else breaks the
+    counted-vs-measured contract.  The >= 1.5x warm-over-cold speedup
+    gate applies to non-smoke records; smoke ratios are informational.
+    """
+    fresh = _load(results_dir, "service")
+    if fresh is None:
+        lines.append("service: no records; skipping "
+                     "(run benchmarks/bench_service.py [--smoke])")
+        return
+    for record in fresh:
+        label = ", ".join("%s=%s" % item for item in _params_key(record))
+        extra = record.get("extra") or {}
+        if "equivalent" not in extra:
+            failures.append("service[%s]: record carries no equivalence "
+                            "verdict" % label)
+            continue
+        if not extra["equivalent"]:
+            failures.append(
+                "service[%s]: warm/burst outcome DIVERGED from the cold "
+                "reference (bit-identical warm-cache contract broken)"
+                % label)
+            continue
+        speedup = extra.get("warm_speedup", 0.0)
+        smoke = extra.get("smoke", False)
+        if not smoke:
+            if speedup < _MIN_WARM_SPEEDUP:
+                failures.append(
+                    "service[%s]: warm speedup %.2fx below the %.1fx gate"
+                    % (label, speedup, _MIN_WARM_SPEEDUP))
+                continue
+            lines.append(
+                "service[%s]: equivalent, %.2fx warm speedup (gated), "
+                "%.2f auctions/s"
+                % (label, speedup, extra.get("auctions_per_sec", 0.0)))
+        else:
+            lines.append(
+                "service[%s]: equivalent, %.2fx warm speedup (smoke), "
+                "%.2f auctions/s"
+                % (label, speedup, extra.get("auctions_per_sec", 0.0)))
+
+
 def check_history(results_dir, threshold, failures, lines):
     """Gate the persistent run-history store (``history.jsonl``).
 
@@ -429,14 +485,14 @@ def main(argv=None):
     parser.add_argument("--only", action="append", dest="only",
                         choices=["scaling", "table1", "cache",
                                  "resilience", "parallel", "backend",
-                                 "history"],
+                                 "service", "history"],
                         help="run only the named gate section(s); "
                              "repeatable (default: all sections)")
     args = parser.parse_args(argv)
 
     sections = set(args.only or ["scaling", "table1", "cache",
                                  "resilience", "parallel", "backend",
-                                 "history"])
+                                 "service", "history"])
     failures = []
     lines = []
     if "scaling" in sections:
@@ -452,6 +508,8 @@ def main(argv=None):
         check_parallel(args.results, failures, lines)
     if "backend" in sections:
         check_backend(args.results, failures, lines)
+    if "service" in sections:
+        check_service(args.results, failures, lines)
     if "history" in sections:
         check_history(args.results, args.threshold, failures, lines)
 

@@ -212,16 +212,19 @@ def cmd_run(args) -> int:
     transport = _build_transport(args, parameters)
     network = None if transport is not None else _build_network(args,
                                                                 parameters)
-    protocol = DMWProtocol(parameters, agents, trace=trace,
-                           observer=recorder, network=network,
-                           flight=flight, transport=transport)
-    resume = None
-    if args.resume:
-        from . import serialization
-        resume = serialization.load_checkpoint(args.resume)
-        print("resuming from %s (next task %d, %d auctions done)"
-              % (args.resume, resume.next_task, len(resume.transcripts)))
+    # The transport owns live sockets from this point on: everything up
+    # to (and including) execute() runs under the finally so validation
+    # errors in the protocol constructor cannot leak it.
     try:
+        protocol = DMWProtocol(parameters, agents, trace=trace,
+                               observer=recorder, network=network,
+                               flight=flight, transport=transport)
+        resume = None
+        if args.resume:
+            from . import serialization
+            resume = serialization.load_checkpoint(args.resume)
+            print("resuming from %s (next task %d, %d auctions done)"
+                  % (args.resume, resume.next_task, len(resume.transcripts)))
         outcome = protocol.execute(problem.num_tasks, degraded=args.degraded,
                                    checkpoint_path=args.checkpoint,
                                    resume=resume, parallel=args.parallel,
@@ -693,7 +696,30 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="also write the output to this file")
     reproduce_parser.set_defaults(handler=cmd_reproduce)
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the always-on auction service (HTTP gateway)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="interface to bind (default loopback)")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="TCP port (0 picks a free one)")
+    serve_parser.add_argument("--warm-capacity", type=int, default=8,
+                              help="groups kept in the warm-cache store")
+    serve_parser.add_argument("--pool-workers", type=int, default=2,
+                              help="processes in the resident pool for "
+                                   "mode=pool jobs")
+    serve_parser.add_argument("--max-queued", type=int, default=256,
+                              help="submissions held before 503")
+    serve_parser.set_defaults(handler=cmd_serve)
+
     return parser
+
+
+def cmd_serve(args) -> int:
+    from .service import serve
+    return serve(host=args.host, port=args.port,
+                 warm_capacity=args.warm_capacity,
+                 pool_workers=args.pool_workers,
+                 max_queued=args.max_queued)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

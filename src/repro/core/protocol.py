@@ -738,7 +738,9 @@ class DMWProtocol:
                 degraded: bool = False,
                 checkpoint_path: Optional[str] = None,
                 resume: Optional["ProtocolCheckpoint"] = None,
-                workers: Optional[int] = None) -> DMWOutcome:
+                workers: Optional[int] = None,
+                warm_cache: Optional[PublicValueCache] = None,
+                pool: Optional[Any] = None) -> DMWOutcome:
         """Run all ``num_tasks`` auctions plus the payments phase.
 
         Parameters
@@ -790,6 +792,24 @@ class DMWProtocol:
             ``parallel=True``.  ``workers=1`` exercises the pool
             machinery on a single worker (useful for differential
             tests).
+        warm_cache:
+            An externally prepared :class:`PublicValueCache` to use as
+            the execution's shared cache instead of a fresh one.  The
+            always-on service passes a per-job cache pre-seeded with a
+            previous same-group job's public entries
+            (:meth:`PublicValueCache.seed_from`), so repeat-parameter
+            jobs skip recomputation.  Entries are content-keyed public
+            values and every call site charges the naive analytic
+            schedule on hits, so outcomes, transcripts, and per-agent
+            counters are bit-identical with or without warming — only
+            ``cache_stats`` (and wall-clock) differ, by design.
+        pool:
+            A live ``ProcessPoolExecutor`` to run pool shards on instead
+            of a per-call executor (requires the pool driver to be
+            selected).  A long-lived daemon keeps one resident pool
+            across jobs; each shard re-installs its job's
+            :class:`~repro.parallel.PoolSpec` (and arithmetic backend)
+            when it differs from the worker's installed one.
         """
         if workers is not None:
             if not parallel:
@@ -822,8 +842,10 @@ class DMWProtocol:
         # sharing leaks nothing, and each agent's OperationCounter is still
         # charged the full analytic schedule on every hit (see
         # docs/PERFORMANCE.md).  A fresh cache per execute() call keeps
-        # auctions from different executions fully isolated.
-        shared_cache = PublicValueCache()
+        # auctions from different executions fully isolated; the service
+        # layer opts into cross-run warming by passing a pre-seeded cache.
+        shared_cache = (warm_cache if warm_cache is not None
+                        else PublicValueCache())
         for agent in self.agents:
             agent.adopt_cache(shared_cache)
         self._shared_cache = shared_cache
@@ -865,7 +887,8 @@ class DMWProtocol:
                 from ..parallel import run_pool_auctions
                 assert workers is not None
                 abort = run_pool_auctions(self, num_tasks, workers,
-                                          checkpoint_path)
+                                          checkpoint_path,
+                                          pool=pool, warm_cache=warm_cache)
                 if abort is not None:
                     return self._void(abort)
             elif parallel:

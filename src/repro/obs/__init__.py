@@ -60,6 +60,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bind_fastexp_metrics,
     registry_for_run,
 )
 from .profile import PhaseProfiler
@@ -96,6 +97,7 @@ __all__ = [
     "entry_from_report",
     "parse_prometheus",
     "provenance_summary",
+    "bind_fastexp_metrics",
     "registry_for_run",
     "run_report",
     "theorem11_message_bounds",

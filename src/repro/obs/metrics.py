@@ -461,3 +461,28 @@ def registry_for_run(outcome: Any,
                 phase=span.name)
 
     return registry
+
+
+def bind_fastexp_metrics(registry: MetricsRegistry) -> None:
+    """Publish the process-wide fixed-base table cache into ``registry``.
+
+    Long-lived daemon observability (``docs/SERVICE.md``): the table
+    cache behind :func:`repro.crypto.fastexp.fixed_base_table` used to
+    be an opaque ``lru_cache``; these gauges make its hit rate, entry
+    count, and approximate resident bytes scrapeable so operators can
+    see (and bound) daemon memory.  Call again before each export to
+    refresh the values.
+    """
+    from ..crypto.fastexp import fixed_base_table_stats
+
+    stats = fixed_base_table_stats()
+    descriptions = {
+        "hits": "Fixed-base table cache hits since process start",
+        "misses": "Fixed-base table cache misses since process start",
+        "evictions": "Fixed-base tables evicted (LRU bound or explicit)",
+        "entries": "Fixed-base tables currently cached",
+        "approx_bytes": "Approximate resident bytes of cached tables",
+    }
+    for name, value in stats.items():
+        registry.gauge("fixed_base_table_" + name,
+                       descriptions.get(name, name)).set(value)

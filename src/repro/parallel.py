@@ -136,6 +136,13 @@ class PoolSpec:
     #: back to pure python and still produces the identical outcome
     #: (backends never change counted or computed values).
     backend: str = "python"
+    #: Warm-cache snapshot (entries-only :meth:`PublicValueCache
+    #: .export_state`, no ``stats`` section) used to pre-seed each
+    #: shard's per-task cache.  Outcomes and counters are unaffected —
+    #: call sites charge the analytic schedule on hits — so the merged
+    #: results stay bit-identical to a cold run; only the merged
+    #: ``cache_stats`` shift, exactly as for the sequential warm path.
+    cache_state: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -178,6 +185,23 @@ def _init_worker(spec: PoolSpec) -> None:
     crypto_backend.select_backend(spec.backend)
 
 
+def _run_shard_with_spec(work: Tuple[PoolSpec, int]) -> ShardResult:
+    """Shard entry point for a *resident* executor shared across jobs.
+
+    A long-lived daemon cannot rely on the pool initializer: the same
+    worker processes serve many jobs with different specs (and possibly
+    different arithmetic backends), so each unit of work carries its
+    job's spec and the worker re-installs it — backend selection
+    included — whenever it differs from the one already installed.
+    ``PoolSpec`` is a frozen dataclass, so the equality check compares
+    by value across the pickle boundary.
+    """
+    spec, task = work
+    if _SPEC != spec:
+        _init_worker(spec)
+    return _run_shard(task)
+
+
 def _run_shard(task: int) -> ShardResult:
     """Run one task's full auction in this worker and account it.
 
@@ -214,6 +238,11 @@ def _run_shard(task: int) -> ShardResult:
     protocol = DMWProtocol(spec.parameters, agents, trace=trace,
                            observer=recorder, flight=flight)
     cache = PublicValueCache()
+    if spec.cache_state:
+        # Warm shard: import a previous same-group job's public entries
+        # (entries only — the snapshot carries no stats section, so this
+        # shard's hit/miss counters describe only its own lookups).
+        cache.import_state(spec.cache_state)
     for agent in agents:
         agent.adopt_cache(cache)
     protocol._shared_cache = cache
@@ -418,18 +447,37 @@ def _batches(items: List[int], size: int) -> List[List[int]]:
 
 
 def run_pool_auctions(protocol: "DMWProtocol", num_tasks: int, workers: int,
-                      checkpoint_path: Optional[str]
+                      checkpoint_path: Optional[str],
+                      pool: Optional[ProcessPoolExecutor] = None,
+                      warm_cache: Optional[PublicValueCache] = None
                       ) -> Optional[ProtocolAbort]:
     """Drive the remaining auctions through a process pool and merge.
 
     Called by :meth:`~repro.core.protocol.DMWProtocol.execute` inside the
     open ``run`` span, after any ``resume`` checkpoint has been applied.
     Returns the abort that voids the run (strict mode), or ``None``.
+
+    Parameters
+    ----------
+    pool:
+        A resident executor to reuse across jobs (the always-on
+        service); each unit of work then carries the job's spec and is
+        re-installed worker-side by :func:`_run_shard_with_spec`.  When
+        omitted, a per-call executor with the classic initializer path
+        is created and torn down here.
+    warm_cache:
+        Cache whose entries pre-seed every shard's per-task cache (see
+        :attr:`PoolSpec.cache_state`).
     """
     _validate_poolable(protocol)
     done = {t.task for t in protocol._transcripts}
     done.update(protocol._task_aborts)
     remaining = [task for task in range(num_tasks) if task not in done]
+    cache_state: Optional[Dict[str, Any]] = None
+    if warm_cache is not None and warm_cache.entry_count():
+        cache_state = warm_cache.export_state()
+        # Entries only: each shard's stats must describe its own lookups.
+        cache_state.pop("stats", None)
     spec = PoolSpec(
         parameters=protocol.parameters,
         true_values=tuple(tuple(agent.true_values)
@@ -444,34 +492,58 @@ def run_pool_auctions(protocol: "DMWProtocol", num_tasks: int, workers: int,
                  and getattr(protocol.observer, "profiler", None)
                  is not None),
         backend=crypto_backend.ACTIVE.name,
+        cache_state=cache_state,
     )
     batch_count = 0
     if not remaining:
         return None
+    if pool is not None:
+        return _drive_pool(protocol, pool, spec, remaining, num_tasks,
+                           workers, checkpoint_path, resident=True)
     with ProcessPoolExecutor(max_workers=workers,
                              initializer=_init_worker,
-                             initargs=(spec,)) as pool:
-        for batch in _batches(remaining, workers):
-            batch_count += 1
+                             initargs=(spec,)) as owned_pool:
+        return _drive_pool(protocol, owned_pool, spec, remaining, num_tasks,
+                           workers, checkpoint_path, resident=False)
+
+
+def _drive_pool(protocol: "DMWProtocol", pool: ProcessPoolExecutor,
+                spec: PoolSpec, remaining: List[int], num_tasks: int,
+                workers: int, checkpoint_path: Optional[str],
+                resident: bool) -> Optional[ProtocolAbort]:
+    """Submit batches, merge results in task order, checkpoint frontiers.
+
+    ``resident`` pools (shared across a daemon's jobs) route through
+    :func:`_run_shard_with_spec` so every shard carries and re-installs
+    its job's spec; owned pools installed the spec once at fork via the
+    initializer and submit the bare task index.
+    """
+    batch_count = 0
+    for batch in _batches(remaining, workers):
+        batch_count += 1
+        if resident:
+            futures = [pool.submit(_run_shard_with_spec, (spec, task))
+                       for task in batch]
+        else:
             futures = [pool.submit(_run_shard, task) for task in batch]
-            # Deterministic ordered merge: results are consumed in task
-            # order regardless of which worker finishes first.
-            for future in futures:
-                result = future.result()
-                if result.abort is not None and not protocol._degraded:
-                    # Strict mode: merge the aborting auction's partial
-                    # accounting (the sequential driver charges it too),
-                    # discard everything after it, and void the run.
-                    _merge_shard(protocol, result)
-                    protocol._parallelism["batches"] = batch_count
-                    return result.abort
+        # Deterministic ordered merge: results are consumed in task
+        # order regardless of which worker finishes first.
+        for future in futures:
+            result = future.result()
+            if result.abort is not None and not protocol._degraded:
+                # Strict mode: merge the aborting auction's partial
+                # accounting (the sequential driver charges it too),
+                # discard everything after it, and void the run.
                 _merge_shard(protocol, result)
-                if result.abort is not None:
-                    protocol._quarantine(result.task, result.abort)
-                if checkpoint_path is not None:
-                    protocol._write_checkpoint(checkpoint_path, num_tasks,
-                                               result.task + 1)
-                if _POST_MERGE_HOOK is not None:
-                    _POST_MERGE_HOOK(result)
+                protocol._parallelism["batches"] = batch_count
+                return result.abort
+            _merge_shard(protocol, result)
+            if result.abort is not None:
+                protocol._quarantine(result.task, result.abort)
+            if checkpoint_path is not None:
+                protocol._write_checkpoint(checkpoint_path, num_tasks,
+                                           result.task + 1)
+            if _POST_MERGE_HOOK is not None:
+                _POST_MERGE_HOOK(result)
     protocol._parallelism["batches"] = batch_count
     return None

@@ -80,6 +80,62 @@ class TestFixedBaseTable:
             assert table.pow(exponent) == pow(3, exponent, 101)
 
 
+class TestFixedBaseTableCache:
+    """Daemon-grade table cache: observable, bounded, evictable.
+
+    Regression guard for the former opaque ``@lru_cache`` on the factory
+    — a long-lived service needs hit/size/byte stats for the metrics
+    registry and a per-modulus eviction hook for the warm-cache store.
+    """
+
+    def test_stats_observe_hits_misses_and_bytes(self, group_small):
+        group = group_small.group
+        cache = fastexp.FixedBaseTableCache(maxsize=8)
+        before = dict(hits=cache.hits, misses=cache.misses)
+        first = cache.get(group_small.z1, group.p, group.q.bit_length())
+        again = cache.get(group_small.z1, group.p, group.q.bit_length())
+        assert again is first
+        assert cache.misses == before["misses"] + 1
+        assert cache.hits == before["hits"] + 1
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["approx_bytes"] > 0
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = fastexp.FixedBaseTableCache(maxsize=2)
+        cache.get(3, 101, 6)
+        cache.get(5, 101, 6)
+        cache.get(3, 101, 6)  # refresh 3 so 5 is the LRU entry
+        cache.get(7, 101, 6)  # evicts 5
+        assert cache.stats()["entries"] == 2
+        assert cache.evictions == 1
+        hits = cache.hits
+        cache.get(5, 101, 6)  # rebuilt, not a hit
+        assert cache.hits == hits
+
+    def test_per_modulus_eviction_hook(self, group_small):
+        group = group_small.group
+        fastexp.clear_fixed_base_tables()
+        fixed_base_table(group_small.z1, group.p, group.q.bit_length())
+        fixed_base_table(3, 101, 6)
+        assert fastexp.fixed_base_table_stats()["entries"] == 2
+        assert fastexp.clear_fixed_base_tables(group.p) == 1
+        assert fastexp.fixed_base_table_stats()["entries"] == 1
+        # The surviving small-modulus table is untouched.
+        assert fastexp.clear_fixed_base_tables(101) == 1
+
+    def test_process_wide_stats_surface(self, group_small):
+        group = group_small.group
+        stats = fastexp.fixed_base_table_stats()
+        assert set(stats) >= {"hits", "misses", "evictions", "entries",
+                              "approx_bytes"}
+        fixed_base_table(group_small.z1, group.p, group.q.bit_length())
+        fixed_base_table(group_small.z1, group.p, group.q.bit_length())
+        after = fastexp.fixed_base_table_stats()
+        assert after["hits"] > stats["hits"] or \
+            after["misses"] > stats["misses"]
+
+
 class TestMultiExp:
     def _naive(self, bases, exponents, modulus):
         result = 1

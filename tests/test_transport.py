@@ -17,10 +17,12 @@ Three guarantees pinned here:
    plans with dropped links and crashes.
 """
 
+import gc
 import json
 import os
 import random
 import sys
+import warnings
 
 import pytest
 
@@ -123,6 +125,64 @@ class TestAsyncioTransportUnit:
         transport.close()  # idempotent
         with pytest.raises(TransportError):
             transport.step()
+
+
+class TestAsyncioTransportLifecycle:
+    """Daemon-grade shutdown: repeated runs must not leak loop state.
+
+    A long-lived service (``dmw serve``) creates and destroys many
+    transports in one process; ``close()`` has to drain every reader
+    task and socket, and even a transport dropped *without* ``close()``
+    (a run aborting mid-round and unwinding past its finally) must be
+    finalized without pending tasks or ``ResourceWarning``s.
+    """
+
+    def test_repeated_runs_drain_tasks_and_raise_no_warnings(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                transport = create_transport("asyncio", 3)
+                transport.send(0, 1, "x", 1)
+                transport.step()
+                # Abort mid-round: a message is queued but never stepped.
+                transport.send(1, 2, "y", 2)
+                tasks = list(transport._tasks)
+                loop = transport._loop
+                transport.close()
+                assert all(task.done() for task in tasks)
+                assert transport._tasks == []
+                assert transport._hub_writers == {}
+                assert transport._client_writers == {}
+                assert loop.is_closed()
+                transport.close()  # stays idempotent after the drain
+            gc.collect()
+        leaked = [w for w in caught
+                  if issubclass(w.category, ResourceWarning)]
+        assert not leaked, [str(w.message) for w in leaked]
+
+    def test_transport_dropped_without_close_is_finalized(self):
+        import weakref
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            transport = create_transport("asyncio", 3)
+            transport.send(0, 1, "x", 1)
+            transport.step()
+            # Weak refs only: a strong ref from the test would keep the
+            # loop <-> task <-> transport cycle reachable forever.
+            transport_ref = weakref.ref(transport)
+            loop_ref = weakref.ref(transport._loop)
+            # The daemon crash path: the object is dropped with live
+            # reader tasks, open sockets, and an open private loop.
+            del transport
+            for _ in range(3):
+                gc.collect()
+        assert transport_ref() is None
+        loop = loop_ref()
+        assert loop is None or loop.is_closed()
+        leaked = [w for w in caught
+                  if issubclass(w.category, ResourceWarning)]
+        assert not leaked, [str(w.message) for w in leaked]
 
 
 # ---------------------------------------------------------------------------
